@@ -1,0 +1,420 @@
+// Package autopilot's benchmark harness regenerates every table and figure
+// in the paper's evaluation section (run with `go test -bench=. -benchmem`)
+// and adds ablation benchmarks for the design choices called out in
+// DESIGN.md §5 (SMS-EGO vs random search, dataflow choice, architectural
+// fine-tuning) plus micro-benchmarks of the hot substrates.
+//
+// Figure/table benchmarks report domain metrics through b.ReportMetric
+// (missions, hypervolume, FPS) so regressions in the *results*, not just the
+// runtime, are visible.
+package autopilot
+
+import (
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/bayesopt"
+	"autopilot/internal/core"
+	"autopilot/internal/dse"
+	"autopilot/internal/experiments"
+	"autopilot/internal/gp"
+	"autopilot/internal/pareto"
+	"autopilot/internal/policy"
+	"autopilot/internal/power"
+	"autopilot/internal/rl"
+	"autopilot/internal/spa"
+	"autopilot/internal/systolic"
+	"autopilot/internal/tensor"
+	"autopilot/internal/uav"
+)
+
+// benchConfig is the budget used by the figure benchmarks: small enough to
+// iterate, large enough to reproduce the paper's shapes.
+func benchConfig() experiments.Config {
+	bo := bayesopt.DefaultConfig()
+	bo.InitSamples, bo.Iterations, bo.ScreenSize = 10, 14, 96
+	return experiments.Config{
+		Phase2: dse.Config{CandidatePool: 192, BO: bo, Seed: 1, ProbeCorners: true},
+		Seed:   1,
+	}
+}
+
+// --- One benchmark per paper table/figure --------------------------------
+
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig2b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig3b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).TableV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullPipeline times one complete AutoPilot run (nano, dense) and
+// reports the headline domain metric.
+func BenchmarkFullPipeline(b *testing.B) {
+	var missions float64
+	for i := 0; i < b.N; i++ {
+		spec := core.DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
+		spec.Phase2 = benchConfig().Phase2
+		rep, err := core.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		missions = rep.Selected.Missions()
+	}
+	b.ReportMetric(missions, "missions")
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ----------------------------------
+
+// BenchmarkAblationBOvsRandom compares the Pareto hypervolume SMS-EGO
+// reaches against random search at the same evaluation budget.
+func BenchmarkAblationBOvsRandom(b *testing.B) {
+	db := airlearning.NewDatabase()
+	airlearning.PopulateSurrogate(db)
+	space := dse.DefaultSpace()
+	makeProblem := func() (bayesopt.Problem, []dse.DesignPoint) {
+		cands := space.Sample(512, 3)
+		feats := make([][]float64, len(cands))
+		for i, d := range cands {
+			feats[i] = space.Features(d)
+		}
+		ev := dse.NewEvaluator(space, db, airlearning.DenseObstacle, power.Default())
+		return bayesopt.Problem{
+			Candidates: feats,
+			Evaluate: func(i int) []float64 {
+				e, err := ev.Evaluate(cands[i])
+				if err != nil {
+					b.Fatal(err)
+				}
+				return e.Objectives()
+			},
+			NumObjectives: 3,
+			Ref:           []float64{0, 30, 1},
+		}, cands
+	}
+	b.Run("sms-ego", func(b *testing.B) {
+		var hv float64
+		for i := 0; i < b.N; i++ {
+			p, _ := makeProblem()
+			cfg := bayesopt.DefaultConfig()
+			cfg.InitSamples, cfg.Iterations, cfg.ScreenSize = 12, 28, 128
+			res, err := bayesopt.Optimize(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hv = res.HypervolumeTrace[len(res.HypervolumeTrace)-1]
+		}
+		b.ReportMetric(hv, "hypervolume")
+	})
+	b.Run("random", func(b *testing.B) {
+		var hv float64
+		for i := 0; i < b.N; i++ {
+			p, _ := makeProblem()
+			res, err := bayesopt.RandomSearch(p, 40, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hv = res.HypervolumeTrace[len(res.HypervolumeTrace)-1]
+		}
+		b.ReportMetric(hv, "hypervolume")
+	})
+}
+
+// BenchmarkAblationOptimizers compares every Phase-2 search method (the
+// paper's §III-B: BO is replaceable with GA/SA) at the same evaluation
+// budget, reporting the dominated hypervolume of the resulting front.
+func BenchmarkAblationOptimizers(b *testing.B) {
+	db := airlearning.NewDatabase()
+	airlearning.PopulateSurrogate(db)
+	space := dse.DefaultSpace()
+	cfg := benchConfig().Phase2
+	ref := []float64{0, 30, 1}
+	for _, opt := range []dse.Optimizer{dse.OptBayesian, dse.OptGenetic, dse.OptAnnealing, dse.OptReinforce, dse.OptRandom} {
+		b.Run(opt.String(), func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				res, err := dse.RunWith(opt, space, db, airlearning.DenseObstacle, power.Default(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				objs := make([][]float64, 0, len(res.ParetoIdx))
+				for _, e := range res.Pareto() {
+					objs = append(objs, e.Objectives())
+				}
+				hv = pareto.Hypervolume(objs, ref)
+			}
+			b.ReportMetric(hv, "hypervolume")
+		})
+	}
+}
+
+// BenchmarkAblationDataflow compares the three systolic mappings on the
+// dense-obstacle policy, reporting achieved FPS.
+func BenchmarkAblationDataflow(b *testing.B) {
+	net, err := policy.Build(policy.Hyper{Layers: 7, Filters: 48}, policy.DefaultTemplate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, df := range []systolic.Dataflow{systolic.OutputStationary, systolic.WeightStationary, systolic.InputStationary} {
+		b.Run(df.String(), func(b *testing.B) {
+			// generous bandwidth puts the array in the compute-bound regime
+			// where the mapping strategy actually matters
+			cfg := systolic.Config{
+				Rows: 128, Cols: 128, IfmapKB: 256, FilterKB: 256, OfmapKB: 256,
+				Dataflow: df, FreqMHz: 500, BandwidthGBps: 64,
+			}
+			var fps float64
+			for i := 0; i < b.N; i++ {
+				rep, err := systolic.Simulate(net, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fps = rep.FPS
+			}
+			b.ReportMetric(fps, "fps")
+		})
+	}
+}
+
+// BenchmarkAblationTuning measures what the architectural fine-tuning stage
+// (frequency + node scaling) buys at mission level.
+func BenchmarkAblationTuning(b *testing.B) {
+	spec := core.DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
+	spec.Phase2 = benchConfig().Phase2
+	db, err := core.Phase1(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Phase2(spec, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-tuning", func(b *testing.B) {
+		var missions float64
+		for i := 0; i < b.N; i++ {
+			rep, err := core.Phase3(spec, res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			missions = rep.Selected.Missions()
+		}
+		b.ReportMetric(missions, "missions")
+	})
+	b.Run("without-tuning", func(b *testing.B) {
+		frozen := spec
+		// restrict tuning to the identity variant
+		frozen.Tuning.FreqScales = []float64{1.0}
+		frozen.Tuning.Nodes = []int{28}
+		var missions float64
+		for i := 0; i < b.N; i++ {
+			rep, err := core.Phase3(frozen, res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			missions = rep.Selected.Missions()
+		}
+		b.ReportMetric(missions, "missions")
+	})
+}
+
+// --- Micro-benchmarks of the substrates -----------------------------------
+
+func BenchmarkSystolicSimulate(b *testing.B) {
+	net, err := policy.Build(policy.Hyper{Layers: 7, Filters: 48}, policy.DefaultTemplate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := systolic.Config{Rows: 128, Cols: 128, IfmapKB: 256, FilterKB: 256, OfmapKB: 256,
+		Dataflow: systolic.OutputStationary, FreqMHz: 500, BandwidthGBps: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := systolic.Simulate(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPFitPredict(b *testing.B) {
+	g := tensor.NewRNG(1)
+	n := 64
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{g.Float64(), g.Float64(), g.Float64()}
+		y[i] = g.NormFloat64()
+	}
+	k := gp.SE{Variance: 1, LengthScale: 0.5}
+	q := []float64{0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := gp.Fit(x, y, k, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Predict(q)
+	}
+}
+
+func BenchmarkHypervolume3D(b *testing.B) {
+	g := tensor.NewRNG(2)
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = []float64{g.Float64(), g.Float64(), g.Float64()}
+	}
+	ref := []float64{1.5, 1.5, 1.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pareto.Hypervolume(pts, ref)
+	}
+}
+
+func BenchmarkPolicyForward(b *testing.B) {
+	g := tensor.NewRNG(3)
+	m, err := policy.NewTrainable(policy.Hyper{Layers: 4, Filters: 48}, policy.DefaultTrainable(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := g.Randn(1, 1, 11, 11)
+	st := g.Randn(1, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(img, st)
+	}
+}
+
+func BenchmarkEnvEpisode(b *testing.B) {
+	env := airlearning.NewEnv(airlearning.DenseObstacle, 1)
+	expert := airlearning.ExpertPolicy{Env: env}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		airlearning.RunEpisode(env, expert)
+	}
+}
+
+func BenchmarkDQNTrainingStep(b *testing.B) {
+	g := tensor.NewRNG(4)
+	h := policy.Hyper{Layers: 2, Filters: 32}
+	online, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	target, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	cfg := rl.DefaultDQNConfig()
+	cfg.LearnStart, cfg.UpdateEvery, cfg.BatchSize = 1, 1, 8
+	agent := rl.NewDQN(online, target, cfg, 1)
+	env := airlearning.NewEnv(airlearning.LowObstacle, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Train(env, 1)
+	}
+}
+
+func BenchmarkExtSensor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).ExtSensor(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtOptimizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewSuite(benchConfig()).ExtOptimizer(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPAEpisode(b *testing.B) {
+	env := airlearning.NewEnv(airlearning.DenseObstacle, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := spa.NewPipeline(env)
+		airlearning.RunEpisode(env, pl)
+	}
+}
+
+func BenchmarkTraceLayer(b *testing.B) {
+	layer := policy.LayerSpec{
+		Name: "conv", Kind: policy.KindConv,
+		Conv: tensor.ConvDims{InC: 3, InH: 16, InW: 16, OutC: 16, K: 3, Stride: 1, Pad: 1},
+	}
+	cfg := systolic.Config{Rows: 8, Cols: 8, IfmapKB: 32, FilterKB: 32, OfmapKB: 32,
+		Dataflow: systolic.OutputStationary, FreqMHz: 500, BandwidthGBps: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := systolic.TraceLayer(layer, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command autopilot runs the full three-phase AutoPilot pipeline for one
+// (UAV, scenario) specification and prints the selected DSSoC design, the
+// conventional-DSE alternatives, and the mission-level comparison against
+// the general-purpose baselines.
+//
+// Usage:
+//
+//	autopilot -uav nano -scenario dense [-sensor-fps 60] [-pool 2048]
+//	          [-bo-iters 72] [-seed 1] [-train] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/core"
+	"autopilot/internal/policy"
+	"autopilot/internal/uav"
+)
+
+func parseUAV(s string) (uav.Platform, error) {
+	switch strings.ToLower(s) {
+	case "mini", "pelican":
+		return uav.AscTecPelican(), nil
+	case "micro", "spark":
+		return uav.DJISpark(), nil
+	case "nano":
+		return uav.ZhangNano(), nil
+	default:
+		return uav.Platform{}, fmt.Errorf("unknown uav %q (want mini|micro|nano)", s)
+	}
+}
+
+func parseScenario(s string) (airlearning.Scenario, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return airlearning.LowObstacle, nil
+	case "medium", "med":
+		return airlearning.MediumObstacle, nil
+	case "dense":
+		return airlearning.DenseObstacle, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q (want low|medium|dense)", s)
+	}
+}
+
+func describe(name string, s core.Selection) {
+	if !s.Liftable {
+		fmt.Printf("%-3s  cannot be lifted by this UAV (payload %.0f g)\n", name, s.PayloadG)
+		return
+	}
+	fmt.Printf("%-3s  %s\n", name, s.Design.Design)
+	if s.Tuned != "" {
+		fmt.Printf("     fine-tuned: %s\n", s.Tuned)
+	}
+	fmt.Printf("     success %.0f%%  %.1f FPS  %.2f W SoC  %.1f g payload\n",
+		100*s.Design.SuccessRate, s.Design.FPS, s.Design.SoCPowerW, s.PayloadG)
+	fmt.Printf("     action %.1f Hz (knee %.1f Hz, %s, %s)  v_safe %.2f m/s\n",
+		s.ActionHz, s.KneeHz, s.Bound, s.Provisioning, s.VSafeMS)
+	fmt.Printf("     %.2f missions per charge (%.1f s, %.0f J each)\n",
+		s.Missions(), s.Profile.MissionTime, s.Profile.MissionJ)
+}
+
+func main() {
+	uavName := flag.String("uav", "nano", "UAV class: mini|micro|nano")
+	scenName := flag.String("scenario", "dense", "deployment scenario: low|medium|dense")
+	sensorFPS := flag.Float64("sensor-fps", 0, "sensor frame rate (0 = platform maximum)")
+	pool := flag.Int("pool", 2048, "Phase-2 candidate pool size")
+	boIters := flag.Int("bo-iters", 72, "Phase-2 Bayesian-optimization iterations")
+	seed := flag.Int64("seed", 1, "random seed")
+	train := flag.Bool("train", false, "Phase 1: actually train policies with RL instead of the surrogate (slow)")
+	episodes := flag.Int("episodes", 150, "RL episodes per policy with -train")
+	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
+	flag.Parse()
+
+	plat, err := parseUAV(*uavName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilot:", err)
+		os.Exit(2)
+	}
+	scen, err := parseScenario(*scenName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilot:", err)
+		os.Exit(2)
+	}
+
+	spec := core.DefaultSpec(plat, scen)
+	spec.SensorFPS = *sensorFPS
+	spec.Phase2.CandidatePool = *pool
+	spec.Phase2.BO.Iterations = *boIters
+	spec.Phase2.Seed = *seed
+	spec.Phase2.BO.Seed = *seed
+	if *train {
+		spec.Phase1Mode = core.Phase1Train
+		spec.TrainCfg.Episodes = *episodes
+		// a small representative slice of the family keeps -train tractable
+		spec.TrainHypers = []policy.Hyper{
+			{Layers: 2, Filters: 32}, {Layers: 4, Filters: 48}, {Layers: 7, Filters: 48},
+		}
+	}
+
+	rep, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilot:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "autopilot:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("AutoPilot DSSoC co-design: %s, %s scenario\n", plat.Name, scen)
+	fmt.Printf("Phase 1: %d validated policies in the Air Learning database\n", rep.Database.Len())
+	fmt.Printf("Phase 2: %d designs evaluated, %d on the Pareto front\n\n",
+		len(rep.Phase2.Evaluated), len(rep.Phase2.ParetoIdx))
+	describe("AP", rep.Selected)
+	fmt.Println()
+	describe("HT", rep.HT)
+	describe("LP", rep.LP)
+	describe("HE", rep.HE)
+	fmt.Println()
+	fmt.Println("Baselines on this UAV:")
+	for _, b := range uav.Baselines() {
+		sel := core.EvaluateBaseline(spec, rep.Database, b)
+		gain := core.MissionGain(rep.Selected, sel)
+		if sel.Missions() > 0 {
+			fmt.Printf("  %-12s %6.2f missions  (AutoPilot gain %.2fx)\n", b.Name, sel.Missions(), gain)
+		} else {
+			fmt.Printf("  %-12s grounded (%.0f g exceeds lift capacity)\n", b.Name, b.WeightG)
+		}
+	}
+}

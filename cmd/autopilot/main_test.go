@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/uav"
+)
+
+func TestParseUAV(t *testing.T) {
+	cases := map[string]uav.Class{
+		"mini": uav.Mini, "Pelican": uav.Mini,
+		"micro": uav.Micro, "spark": uav.Micro,
+		"NANO": uav.Nano,
+	}
+	for in, want := range cases {
+		p, err := parseUAV(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if p.Class != want {
+			t.Errorf("%q -> %v, want %v", in, p.Class, want)
+		}
+	}
+	if _, err := parseUAV("blimp"); err == nil {
+		t.Error("expected error for unknown UAV")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	cases := map[string]airlearning.Scenario{
+		"low": airlearning.LowObstacle, "medium": airlearning.MediumObstacle,
+		"med": airlearning.MediumObstacle, "DENSE": airlearning.DenseObstacle,
+	}
+	for in, want := range cases {
+		s, err := parseScenario(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if s != want {
+			t.Errorf("%q -> %v, want %v", in, s, want)
+		}
+	}
+	if _, err := parseScenario("urban"); err == nil {
+		t.Error("expected error for unknown scenario")
+	}
+}

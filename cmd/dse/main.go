@@ -1,0 +1,89 @@
+// Command dse runs AutoPilot's Phase 2 in isolation: multi-objective
+// Bayesian design-space exploration over the Table II model/accelerator
+// space for one deployment scenario, printing the Pareto frontier and the
+// conventional HT/LP/HE picks.
+//
+// Usage:
+//
+//	dse -scenario dense [-pool 2048] [-iters 72] [-seed 1] [-db policies.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/dse"
+	"autopilot/internal/power"
+)
+
+func main() {
+	scenName := flag.String("scenario", "dense", "deployment scenario: low|medium|dense")
+	pool := flag.Int("pool", 2048, "candidate pool size")
+	iters := flag.Int("iters", 72, "Bayesian-optimization iterations")
+	seed := flag.Int64("seed", 1, "random seed")
+	dbPath := flag.String("db", "", "Air Learning database file (default: built-in surrogate)")
+	flag.Parse()
+
+	var scen airlearning.Scenario
+	switch strings.ToLower(*scenName) {
+	case "low":
+		scen = airlearning.LowObstacle
+	case "medium", "med":
+		scen = airlearning.MediumObstacle
+	case "dense":
+		scen = airlearning.DenseObstacle
+	default:
+		fmt.Fprintf(os.Stderr, "dse: unknown scenario %q\n", *scenName)
+		os.Exit(2)
+	}
+
+	var db *airlearning.Database
+	if *dbPath != "" {
+		loaded, err := airlearning.Load(*dbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		db = loaded
+	} else {
+		db = airlearning.NewDatabase()
+		airlearning.PopulateSurrogate(db)
+	}
+
+	cfg := dse.DefaultConfig()
+	cfg.CandidatePool = *pool
+	cfg.BO.Iterations = *iters
+	cfg.Seed = *seed
+	cfg.BO.Seed = *seed
+	space := dse.DefaultSpace()
+	fmt.Printf("design space: %d joint points; exploring %d candidates with %d+%d evaluations\n",
+		space.Size(), cfg.CandidatePool, cfg.BO.InitSamples, cfg.BO.Iterations)
+
+	res, err := dse.Run(space, db, scen, power.Default(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nPareto frontier (%d of %d evaluated designs):\n", len(res.ParetoIdx), len(res.Evaluated))
+	fmt.Printf("%-44s %8s %8s %8s %8s\n", "design", "success", "FPS", "SoC W", "FPS/W")
+	for _, e := range res.Pareto() {
+		fmt.Printf("%-44s %7.0f%% %8.1f %8.2f %8.1f\n",
+			e.Design.String(), 100*e.SuccessRate, e.FPS, e.SoCPowerW, e.EfficiencyFPSW())
+	}
+	fmt.Println("\nconventional-DSE picks (top-success designs):")
+	for _, pick := range []struct {
+		name string
+		idx  int
+	}{{"HT", res.HT}, {"LP", res.LP}, {"HE", res.HE}} {
+		if pick.idx < 0 {
+			continue
+		}
+		e := res.Evaluated[pick.idx]
+		fmt.Printf("  %-2s  %-44s %6.1f FPS %6.2f W %6.1f FPS/W\n",
+			pick.name, e.Design.String(), e.FPS, e.SoCPowerW, e.EfficiencyFPSW())
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section and prints them in order. Use -only to select one
+// experiment by id (e.g. -only Fig7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autopilot/internal/experiments"
+	"autopilot/internal/taxonomy"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate only the experiment with this id (e.g. Fig7, TableV)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	qualitative := flag.Bool("qualitative", false, "also print the qualitative tables (Table I, Table VI)")
+	plots := flag.Bool("plots", false, "also render the ASCII Pareto scatter and F-1 roofline")
+	flag.Parse()
+	if *qualitative {
+		fmt.Println(taxonomy.Render())
+	}
+	suite := experiments.NewSuite(experiments.DefaultConfig())
+	if *markdown && *only == "" {
+		if err := suite.WriteAllMarkdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tables, err := suite.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		if *markdown {
+			if err := t.WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(t)
+	}
+	if *plots {
+		pareto, err := suite.ParetoPlot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(pareto)
+		roof, err := suite.RooflinePlot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(roof)
+	}
+}

@@ -1,0 +1,85 @@
+// Command trainsim runs AutoPilot's Phase 1 for real: it trains an E2E
+// policy with reinforcement learning on the grid-world navigation simulator,
+// validates its success rate over domain-randomized episodes, and appends
+// the record to an Air Learning database file.
+//
+// Usage:
+//
+//	trainsim -layers 4 -filters 48 -scenario medium -episodes 300 -db policies.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+	"autopilot/internal/rl"
+)
+
+func main() {
+	layers := flag.Int("layers", 4, "E2E template depth (2-10)")
+	filters := flag.Int("filters", 48, "E2E template width (32|48|64)")
+	scenName := flag.String("scenario", "medium", "deployment scenario: low|medium|dense")
+	episodes := flag.Int("episodes", 300, "training episodes")
+	evalEps := flag.Int("eval", 50, "validation episodes")
+	algo := flag.String("algo", "dqn", "training algorithm: dqn|reinforce")
+	seed := flag.Int64("seed", 1, "random seed")
+	dbPath := flag.String("db", "", "Air Learning database file to update (optional)")
+	flag.Parse()
+
+	var scen airlearning.Scenario
+	switch strings.ToLower(*scenName) {
+	case "low":
+		scen = airlearning.LowObstacle
+	case "medium", "med":
+		scen = airlearning.MediumObstacle
+	case "dense":
+		scen = airlearning.DenseObstacle
+	default:
+		fmt.Fprintf(os.Stderr, "trainsim: unknown scenario %q\n", *scenName)
+		os.Exit(2)
+	}
+	var algorithm rl.Algorithm
+	switch strings.ToLower(*algo) {
+	case "dqn":
+		algorithm = rl.AlgDQN
+	case "reinforce":
+		algorithm = rl.AlgReinforce
+	default:
+		fmt.Fprintf(os.Stderr, "trainsim: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	h := policy.Hyper{Layers: *layers, Filters: *filters}
+	if err := h.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(2)
+	}
+	cfg := rl.TrainConfig{Algorithm: algorithm, Episodes: *episodes, EvalEpisodes: *evalEps, Seed: *seed}
+	fmt.Printf("training %s on %s with %s for %d episodes...\n", h, scen, algorithm, *episodes)
+	rec, pol, err := rl.TrainPolicy(h, scen, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+	ciEnv := airlearning.NewEnv(scen, *seed+5000)
+	_, lo, hi := airlearning.SuccessRateCI(ciEnv, pol, *evalEps)
+	fmt.Printf("validated success rate: %.0f%% over %d episodes (95%% CI %.0f-%.0f%%; %d env steps, %d deployment params)\n",
+		100*rec.SuccessRate, *evalEps, 100*lo, 100*hi, rec.TrainSteps, rec.Params)
+
+	if *dbPath != "" {
+		db, err := airlearning.Load(*dbPath)
+		if err != nil {
+			db = airlearning.NewDatabase()
+		}
+		db.Put(rec)
+		if err := db.Save(*dbPath); err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("database %s now holds %d records\n", *dbPath, db.Len())
+	}
+}

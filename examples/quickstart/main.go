@@ -1,0 +1,42 @@
+// Quickstart: co-design a DSSoC for a nano-UAV flying dense-obstacle
+// missions, in ~20 lines of code.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/core"
+	"autopilot/internal/uav"
+)
+
+func main() {
+	// 1. Describe the task: which UAV, which deployment scenario.
+	spec := core.DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
+
+	// 2. Run the three-phase pipeline: train/validate E2E policies (Phase 1),
+	//    Bayesian-optimize the model+accelerator space (Phase 2), and select
+	//    the mission-optimal design with the F-1 model (Phase 3).
+	report, err := core.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Read off the co-designed (algorithm, accelerator) pair.
+	sel := report.Selected
+	fmt.Printf("selected E2E model:   %s (%.0f%% task success)\n",
+		sel.Design.Design.Hyper, 100*sel.Design.SuccessRate)
+	fmt.Printf("selected accelerator: %s\n", sel.Design.Design.HW)
+	if sel.Tuned != "" {
+		fmt.Printf("fine-tuning applied:  %s\n", sel.Tuned)
+	}
+	fmt.Printf("operating point:      %.1f FPS at %.2f W, %.1f g payload\n",
+		sel.Design.FPS, sel.Design.SoCPowerW, sel.PayloadG)
+	fmt.Printf("mission performance:  %.2f missions per battery charge (v_safe %.2f m/s)\n",
+		sel.Missions(), sel.VSafeMS)
+}

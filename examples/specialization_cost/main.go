@@ -1,0 +1,35 @@
+// Specialization cost study (paper §VI, Table V): what does it cost to skip
+// deployment-specific hardware specialization? The study takes the mini-UAV
+// on medium-obstacle missions and compares its scenario-optimized DSSoC
+// against (a) AutoPilot designs specialized for the *other* scenarios but
+// reused here, and (b) general-purpose hardware (Jetson TX2, Intel NCS).
+//
+// Run with:
+//
+//	go run ./examples/specialization_cost
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autopilot/internal/experiments"
+)
+
+func main() {
+	suite := experiments.NewSuite(experiments.DefaultConfig())
+	table, err := suite.TableV()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+	fmt.Println(`
+Reading the table:
+  - the medium-obstacle knee design is the reference (0% degradation);
+  - reusing a design specialized for a sparser scenario under-provisions
+    compute, so the UAV must fly slower (compute bound lowers Vsafe);
+  - reusing a heavier design or flying general-purpose hardware drags the
+    roofline down through payload weight;
+  - per the paper, specialization is worth 27-67% of mission capacity, but
+    reusing a single DSSoC saves design cost if that loss is acceptable.`)
+}

@@ -1,0 +1,3 @@
+module autopilot
+
+go 1.22

@@ -1,0 +1,119 @@
+package airlearning
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"autopilot/internal/policy"
+)
+
+// Record is one validated policy entry in the Air Learning database
+// (paper §III-B): an identifier, the hyper-parameters used for training, and
+// the success rate measured during validation.
+type Record struct {
+	ID          string       `json:"id"`
+	Hyper       policy.Hyper `json:"hyper"`
+	Scenario    Scenario     `json:"scenario"`
+	SuccessRate float64      `json:"success_rate"`
+	Params      int64        `json:"params"`
+	TrainSteps  int          `json:"train_steps"`
+}
+
+// Database stores validated policies; Phase 2 reads success rates from it.
+// It is safe for concurrent use.
+type Database struct {
+	mu      sync.RWMutex
+	records map[string]Record
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{records: make(map[string]Record)}
+}
+
+// Key builds the canonical record ID for (hyper, scenario).
+func Key(h policy.Hyper, s Scenario) string {
+	return fmt.Sprintf("%s/%s", s, h)
+}
+
+// Put inserts or replaces a record, deriving its ID if empty.
+func (d *Database) Put(r Record) {
+	if r.ID == "" {
+		r.ID = Key(r.Hyper, r.Scenario)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.records[r.ID] = r
+}
+
+// Get fetches the record for (hyper, scenario).
+func (d *Database) Get(h policy.Hyper, s Scenario) (Record, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.records[Key(h, s)]
+	return r, ok
+}
+
+// Len returns the number of records.
+func (d *Database) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.records)
+}
+
+// All returns records sorted by ID for deterministic iteration.
+func (d *Database) All() []Record {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Record, 0, len(d.records))
+	for _, r := range d.records {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Best returns the highest-success record for a scenario, which Phase 3
+// filters on before mapping designs to the F-1 model.
+func (d *Database) Best(s Scenario) (Record, bool) {
+	var best Record
+	found := false
+	for _, r := range d.All() {
+		if r.Scenario != s {
+			continue
+		}
+		if !found || r.SuccessRate > best.SuccessRate {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// Save writes the database as JSON.
+func (d *Database) Save(path string) error {
+	data, err := json.MarshalIndent(d.All(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("airlearning: marshal database: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a database previously written by Save.
+func Load(path string) (*Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("airlearning: read database: %w", err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("airlearning: parse database: %w", err)
+	}
+	db := NewDatabase()
+	for _, r := range recs {
+		db.Put(r)
+	}
+	return db, nil
+}

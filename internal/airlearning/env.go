@@ -1,0 +1,374 @@
+package airlearning
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/tensor"
+)
+
+// Point is a cell coordinate in the arena.
+type Point struct{ X, Y int }
+
+// ObsWindow is the side length of the egocentric observation crop.
+const ObsWindow = 11
+
+// StateDim is the width of the state (goal/odometry) vector.
+const StateDim = 4
+
+// NumActions is the discrete action count (8 compass moves).
+const NumActions = 8
+
+var dirs = [NumActions]Point{
+	{0, -1},  // N
+	{1, -1},  // NE
+	{1, 0},   // E
+	{1, 1},   // SE
+	{0, 1},   // S
+	{-1, 1},  // SW
+	{-1, 0},  // W
+	{-1, -1}, // NW
+}
+
+// Observation is what the policy sees: an egocentric occupancy image and a
+// normalized goal vector — the two branches of the multi-modal template.
+type Observation struct {
+	Image *tensor.Tensor // (1, ObsWindow, ObsWindow) occupancy, 1 = blocked
+	State *tensor.Tensor // (StateDim): dx, dy (normalized), distance, step fraction
+}
+
+// Outcome describes how an episode ended.
+type Outcome int
+
+// Episode outcomes.
+const (
+	Running Outcome = iota
+	Success
+	Collision
+	Timeout
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Running:
+		return "running"
+	case Success:
+		return "success"
+	case Collision:
+		return "collision"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Env is one domain-randomized navigation environment instance. Each Reset
+// draws a fresh obstacle layout and goal per the scenario's randomization.
+type Env struct {
+	Scenario Scenario
+	cfg      EnvConfig
+	rng      *tensor.RNG
+
+	grid       []bool // true = blocked (static)
+	pos, goal  Point
+	steps      int
+	outcome    Outcome
+	totalDist0 float64
+
+	movers []mover // dynamic obstacles
+}
+
+// mover is a bouncing single-cell dynamic obstacle.
+type mover struct {
+	pos Point
+	vel Point
+}
+
+// NewEnv returns an environment for the scenario seeded deterministically.
+func NewEnv(s Scenario, seed int64) *Env {
+	return NewEnvWithConfig(s, s.Config(), seed)
+}
+
+// NewEnvWithConfig returns an environment with explicit parameters, e.g. a
+// smaller arena for fast training runs.
+func NewEnvWithConfig(s Scenario, cfg EnvConfig, seed int64) *Env {
+	if cfg.ArenaW < ObsWindow || cfg.ArenaH < ObsWindow {
+		panic(fmt.Sprintf("airlearning: arena %dx%d smaller than observation window %d",
+			cfg.ArenaW, cfg.ArenaH, ObsWindow))
+	}
+	return &Env{
+		Scenario: s,
+		cfg:      cfg,
+		rng:      tensor.NewRNG(seed),
+		grid:     make([]bool, cfg.ArenaW*cfg.ArenaH),
+	}
+}
+
+// Config exposes the environment parameters.
+func (e *Env) Config() EnvConfig { return e.cfg }
+
+// Pos returns the UAV's current cell.
+func (e *Env) Pos() Point { return e.pos }
+
+// Goal returns this episode's goal cell.
+func (e *Env) Goal() Point { return e.goal }
+
+// OutcomeNow returns the current episode outcome.
+func (e *Env) OutcomeNow() Outcome { return e.outcome }
+
+// Blocked reports whether a cell is outside the arena or occupied by a
+// static or dynamic obstacle.
+func (e *Env) Blocked(p Point) bool {
+	if e.staticBlocked(p) {
+		return true
+	}
+	for _, m := range e.movers {
+		if m.pos == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Env) staticBlocked(p Point) bool {
+	if p.X < 0 || p.X >= e.cfg.ArenaW || p.Y < 0 || p.Y >= e.cfg.ArenaH {
+		return true
+	}
+	return e.grid[p.Y*e.cfg.ArenaW+p.X]
+}
+
+// Movers returns the current dynamic-obstacle positions.
+func (e *Env) Movers() []Point {
+	out := make([]Point, len(e.movers))
+	for i, m := range e.movers {
+		out[i] = m.pos
+	}
+	return out
+}
+
+// stepMovers advances the dynamic obstacles one cell along their velocity,
+// bouncing off walls, static obstacles and each other.
+func (e *Env) stepMovers() {
+	for i := range e.movers {
+		m := &e.movers[i]
+		next := Point{m.pos.X + m.vel.X, m.pos.Y + m.vel.Y}
+		blocked := e.staticBlocked(next) || next == e.goal
+		for j := range e.movers {
+			if j != i && e.movers[j].pos == next {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			m.vel = Point{-m.vel.X, -m.vel.Y}
+			continue
+		}
+		m.pos = next
+	}
+}
+
+func (e *Env) placeBlock(topLeft Point) {
+	for dy := 0; dy < e.cfg.ObstacleSize; dy++ {
+		for dx := 0; dx < e.cfg.ObstacleSize; dx++ {
+			x, y := topLeft.X+dx, topLeft.Y+dy
+			if x >= 0 && x < e.cfg.ArenaW && y >= 0 && y < e.cfg.ArenaH {
+				e.grid[y*e.cfg.ArenaW+x] = true
+			}
+		}
+	}
+}
+
+// fixedObstaclePositions spreads the fixed obstacles over the arena interior
+// deterministically (quarter points), as in the paper's fixed layouts.
+func (e *Env) fixedObstaclePositions() []Point {
+	w, h := e.cfg.ArenaW, e.cfg.ArenaH
+	all := []Point{
+		{w / 4, h / 4}, {3 * w / 4, h / 4},
+		{w / 4, 3 * h / 4}, {3 * w / 4, 3 * h / 4},
+		{w / 2, h / 2}, {w / 2, h / 4}, {w / 4, h / 2}, {3 * w / 4, h / 2},
+	}
+	if e.cfg.FixedObstacles > len(all) {
+		panic("airlearning: too many fixed obstacles requested")
+	}
+	return all[:e.cfg.FixedObstacles]
+}
+
+// Reset draws a new domain-randomized layout and returns the first
+// observation. It guarantees the goal is reachable from the start.
+func (e *Env) Reset() Observation {
+	for attempt := 0; ; attempt++ {
+		for i := range e.grid {
+			e.grid[i] = false
+		}
+		for _, p := range e.fixedObstaclePositions() {
+			e.placeBlock(p)
+		}
+		n := 0
+		if e.cfg.RandomMax > 0 {
+			n = e.rng.Intn(e.cfg.RandomMax + 1)
+			if e.Scenario == LowObstacle {
+				n = e.cfg.RandomMax // low scenario: exactly 4 obstacles, random positions
+			}
+		}
+		for i := 0; i < n; i++ {
+			e.placeBlock(Point{e.rng.Intn(e.cfg.ArenaW - 1), e.rng.Intn(e.cfg.ArenaH - 1)})
+		}
+		e.pos = Point{1, e.cfg.ArenaH - 2}
+		e.grid[e.pos.Y*e.cfg.ArenaW+e.pos.X] = false
+		// random goal, re-drawn every episode, away from the start
+		ok := false
+		for tries := 0; tries < 50; tries++ {
+			g := Point{e.rng.Intn(e.cfg.ArenaW), e.rng.Intn(e.cfg.ArenaH)}
+			if e.Blocked(g) || manhattan(g, e.pos) < (e.cfg.ArenaW+e.cfg.ArenaH)/3 {
+				continue
+			}
+			e.goal = g
+			ok = true
+			break
+		}
+		if !ok {
+			continue
+		}
+		e.movers = e.movers[:0]
+		if e.reachable(e.pos, e.goal) {
+			break
+		}
+		if attempt > 100 {
+			panic("airlearning: could not generate a solvable layout")
+		}
+	}
+	// spawn dynamic obstacles on free cells away from the start and goal
+	for i := 0; i < e.cfg.Dynamic; i++ {
+		for tries := 0; tries < 50; tries++ {
+			p := Point{e.rng.Intn(e.cfg.ArenaW), e.rng.Intn(e.cfg.ArenaH)}
+			if e.Blocked(p) || p == e.goal || manhattan(p, e.pos) < 4 {
+				continue
+			}
+			vel := dirs[e.rng.Intn(4)*2] // N/E/S/W
+			e.movers = append(e.movers, mover{pos: p, vel: vel})
+			break
+		}
+	}
+	e.steps = 0
+	e.outcome = Running
+	e.totalDist0 = euclid(e.pos, e.goal)
+	return e.observe()
+}
+
+// reachable runs BFS over 8-connected moves.
+func (e *Env) reachable(from, to Point) bool {
+	return len(e.ShortestPath(from, to)) > 0
+}
+
+// ShortestPath returns a BFS shortest path from `from` to `to` inclusive of
+// both endpoints, or nil if unreachable. Exposed for the scripted expert
+// policy and tests.
+func (e *Env) ShortestPath(from, to Point) []Point {
+	w, h := e.cfg.ArenaW, e.cfg.ArenaH
+	prev := make([]int, w*h)
+	for i := range prev {
+		prev[i] = -2
+	}
+	idx := func(p Point) int { return p.Y*w + p.X }
+	queue := []Point{from}
+	prev[idx(from)] = -1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			var path []Point
+			for p := to; ; {
+				path = append([]Point{p}, path...)
+				pi := prev[idx(p)]
+				if pi == -1 {
+					return path
+				}
+				p = Point{pi % w, pi / w}
+			}
+		}
+		for _, d := range dirs {
+			nxt := Point{cur.X + d.X, cur.Y + d.Y}
+			if e.Blocked(nxt) || prev[idx(nxt)] != -2 {
+				continue
+			}
+			prev[idx(nxt)] = idx(cur)
+			queue = append(queue, nxt)
+		}
+	}
+	return nil
+}
+
+// Step applies a discrete action. It returns the next observation, the
+// shaped reward, and whether the episode ended.
+func (e *Env) Step(action int) (Observation, float64, bool) {
+	if e.outcome != Running {
+		panic("airlearning: Step on a finished episode; call Reset")
+	}
+	if action < 0 || action >= NumActions {
+		panic(fmt.Sprintf("airlearning: action %d outside [0,%d)", action, NumActions))
+	}
+	e.steps++
+	prev := euclid(e.pos, e.goal)
+	next := Point{e.pos.X + dirs[action].X, e.pos.Y + dirs[action].Y}
+	if e.Blocked(next) {
+		e.outcome = Collision
+		return e.observe(), -1.0, true
+	}
+	e.pos = next
+	if e.pos == e.goal {
+		e.outcome = Success
+		return e.observe(), 10.0, true
+	}
+	e.stepMovers()
+	for _, m := range e.movers {
+		if m.pos == e.pos {
+			e.outcome = Collision
+			return e.observe(), -1.0, true
+		}
+	}
+	if e.steps >= e.cfg.MaxSteps {
+		e.outcome = Timeout
+		return e.observe(), -0.5, true
+	}
+	reward := (prev-euclid(e.pos, e.goal))*0.2 - 0.01
+	return e.observe(), reward, false
+}
+
+func (e *Env) observe() Observation {
+	img := tensor.New(1, ObsWindow, ObsWindow)
+	half := ObsWindow / 2
+	for dy := -half; dy <= half; dy++ {
+		for dx := -half; dx <= half; dx++ {
+			p := Point{e.pos.X + dx, e.pos.Y + dy}
+			if e.Blocked(p) {
+				img.Set(1, 0, dy+half, dx+half)
+			}
+		}
+	}
+	st := tensor.New(StateDim)
+	dx := float64(e.goal.X-e.pos.X) / float64(e.cfg.ArenaW)
+	dy := float64(e.goal.Y-e.pos.Y) / float64(e.cfg.ArenaH)
+	st.Set(dx, 0)
+	st.Set(dy, 1)
+	st.Set(euclid(e.pos, e.goal)/e.totalDist0, 2)
+	st.Set(float64(e.steps)/float64(e.cfg.MaxSteps), 3)
+	return Observation{Image: img, State: st}
+}
+
+func manhattan(a, b Point) int {
+	return iabs(a.X-b.X) + iabs(a.Y-b.Y)
+}
+
+func euclid(a, b Point) float64 {
+	dx, dy := float64(a.X-b.X), float64(a.Y-b.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func iabs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

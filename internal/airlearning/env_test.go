@@ -1,0 +1,440 @@
+package airlearning
+
+import (
+	"strings"
+	"testing"
+
+	"autopilot/internal/policy"
+)
+
+func TestScenarioConfigsMatchPaper(t *testing.T) {
+	low := LowObstacle.Config()
+	if low.RandomMax != 4 || low.FixedObstacles != 0 {
+		t.Errorf("low = %+v", low)
+	}
+	med := MediumObstacle.Config()
+	if med.FixedObstacles != 4 || med.RandomMax != 3 {
+		t.Errorf("medium = %+v", med)
+	}
+	dense := DenseObstacle.Config()
+	if dense.FixedObstacles != 4 || dense.RandomMax != 5 {
+		t.Errorf("dense = %+v", dense)
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	for _, s := range Scenarios {
+		if s.String() == "" {
+			t.Errorf("empty name for %d", int(s))
+		}
+	}
+}
+
+func TestObstacleDensityOrdering(t *testing.T) {
+	if !(LowObstacle.ObstacleDensity() < MediumObstacle.ObstacleDensity()) {
+		// low has 4 random (mean 4), medium has 4 fixed + mean 1.5 random = 5.5
+		t.Error("medium must be denser than low")
+	}
+	if !(MediumObstacle.ObstacleDensity() < DenseObstacle.ObstacleDensity()) {
+		t.Error("dense must be denser than medium")
+	}
+}
+
+func TestResetProducesSolvableEpisodes(t *testing.T) {
+	for _, s := range Scenarios {
+		env := NewEnv(s, 7)
+		for ep := 0; ep < 20; ep++ {
+			obs := env.Reset()
+			if env.Blocked(env.Pos()) {
+				t.Fatalf("%v: start blocked", s)
+			}
+			if env.Blocked(env.Goal()) {
+				t.Fatalf("%v: goal blocked", s)
+			}
+			if path := env.ShortestPath(env.Pos(), env.Goal()); len(path) == 0 {
+				t.Fatalf("%v: unreachable goal", s)
+			}
+			if obs.Image.Len() != ObsWindow*ObsWindow {
+				t.Fatalf("obs image len = %d", obs.Image.Len())
+			}
+			if obs.State.Len() != StateDim {
+				t.Fatalf("obs state len = %d", obs.State.Len())
+			}
+		}
+	}
+}
+
+func TestGoalRandomizedEachEpisode(t *testing.T) {
+	env := NewEnv(LowObstacle, 3)
+	goals := map[Point]bool{}
+	for i := 0; i < 10; i++ {
+		env.Reset()
+		goals[env.Goal()] = true
+	}
+	if len(goals) < 3 {
+		t.Fatalf("only %d distinct goals over 10 episodes; domain randomization broken", len(goals))
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	a, b := NewEnv(DenseObstacle, 42), NewEnv(DenseObstacle, 42)
+	for i := 0; i < 5; i++ {
+		a.Reset()
+		b.Reset()
+		if a.Goal() != b.Goal() || a.Pos() != b.Pos() {
+			t.Fatal("same seed must reproduce the same episodes")
+		}
+	}
+}
+
+func TestStepIntoWallCollides(t *testing.T) {
+	env := NewEnv(LowObstacle, 1)
+	env.Reset()
+	// start is at (1, H-2); move SW repeatedly to leave the arena
+	done := false
+	var reward float64
+	for i := 0; i < 5 && !done; i++ {
+		_, reward, done = env.Step(5) // SW
+	}
+	if !done || env.OutcomeNow() != Collision {
+		t.Fatalf("outcome = %v, want collision", env.OutcomeNow())
+	}
+	if reward >= 0 {
+		t.Fatalf("collision reward = %g, want negative", reward)
+	}
+}
+
+func TestReachGoalGivesSuccessAndPositiveReward(t *testing.T) {
+	env := NewEnv(LowObstacle, 5)
+	env.Reset()
+	expert := ExpertPolicy{Env: env}
+	var reward float64
+	done := false
+	obs := env.observe()
+	for !done {
+		obs, reward, done = env.Step(expert.Act(obs))
+	}
+	if env.OutcomeNow() != Success {
+		t.Fatalf("outcome = %v, want success", env.OutcomeNow())
+	}
+	if reward <= 0 {
+		t.Fatalf("terminal reward = %g, want positive", reward)
+	}
+}
+
+func TestTimeoutOutcome(t *testing.T) {
+	env := NewEnv(LowObstacle, 9)
+	env.Reset()
+	// oscillate E/W forever (legal moves from the start region)
+	done := false
+	i := 0
+	for !done {
+		a := 2
+		if i%2 == 1 {
+			a = 6
+		}
+		_, _, done = env.Step(a)
+		i++
+		if i > env.Config().MaxSteps+2 {
+			t.Fatal("episode did not time out")
+		}
+	}
+	if env.OutcomeNow() != Timeout && env.OutcomeNow() != Collision {
+		t.Fatalf("outcome = %v", env.OutcomeNow())
+	}
+}
+
+func TestStepAfterDonePanics(t *testing.T) {
+	env := NewEnv(LowObstacle, 1)
+	env.Reset()
+	done := false
+	for !done {
+		_, _, done = env.Step(5)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env.Step(0)
+}
+
+func TestBadActionPanics(t *testing.T) {
+	env := NewEnv(LowObstacle, 1)
+	env.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env.Step(8)
+}
+
+func TestExpertPolicyHighSuccess(t *testing.T) {
+	for _, s := range Scenarios {
+		env := NewEnv(s, 11)
+		rate := SuccessRate(env, ExpertPolicy{Env: env}, 30)
+		if rate < 0.95 {
+			t.Errorf("%v: expert success %.2f, want >= 0.95", s, rate)
+		}
+	}
+}
+
+func TestRandomPolicyWorseThanExpert(t *testing.T) {
+	env := NewEnv(LowObstacle, 13)
+	i := 0
+	random := PolicyFunc(func(Observation) int {
+		i = (i*7 + 3) % NumActions
+		return i
+	})
+	randRate := SuccessRate(env, random, 30)
+	expertRate := SuccessRate(env, ExpertPolicy{Env: env}, 30)
+	if randRate >= expertRate {
+		t.Fatalf("random %.2f >= expert %.2f", randRate, expertRate)
+	}
+}
+
+func TestRunEpisodeResultConsistency(t *testing.T) {
+	env := NewEnv(MediumObstacle, 17)
+	res := RunEpisode(env, ExpertPolicy{Env: env})
+	if res.Steps <= 0 {
+		t.Fatal("episode took no steps")
+	}
+	if res.Outcome == Running {
+		t.Fatal("RunEpisode returned while still running")
+	}
+}
+
+func TestSuccessRateZeroEpisodes(t *testing.T) {
+	env := NewEnv(LowObstacle, 1)
+	if got := SuccessRate(env, ExpertPolicy{Env: env}, 0); got != 0 {
+		t.Fatalf("SuccessRate(0 eps) = %g", got)
+	}
+}
+
+func TestObservationEgocentricWalls(t *testing.T) {
+	env := NewEnv(LowObstacle, 21)
+	obs := env.Reset()
+	// start near the bottom-left corner: the left edge of the window must
+	// show out-of-arena cells as blocked
+	blockedLeft := 0.0
+	for y := 0; y < ObsWindow; y++ {
+		blockedLeft += obs.Image.At(0, y, 0)
+	}
+	if blockedLeft == 0 {
+		t.Fatal("expected wall cells visible in egocentric crop near the corner")
+	}
+}
+
+func TestDatabasePutGetBest(t *testing.T) {
+	db := NewDatabase()
+	db.Put(Record{Hyper: policy.Hyper{Layers: 4, Filters: 48}, Scenario: MediumObstacle, SuccessRate: 0.8})
+	db.Put(Record{Hyper: policy.Hyper{Layers: 2, Filters: 32}, Scenario: MediumObstacle, SuccessRate: 0.6})
+	db.Put(Record{Hyper: policy.Hyper{Layers: 9, Filters: 64}, Scenario: DenseObstacle, SuccessRate: 0.7})
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	r, ok := db.Get(policy.Hyper{Layers: 4, Filters: 48}, MediumObstacle)
+	if !ok || r.SuccessRate != 0.8 {
+		t.Fatalf("Get = %+v, %v", r, ok)
+	}
+	best, ok := db.Best(MediumObstacle)
+	if !ok || best.Hyper.Layers != 4 {
+		t.Fatalf("Best = %+v", best)
+	}
+	if _, ok := db.Best(LowObstacle); ok {
+		t.Fatal("Best on empty scenario must report !ok")
+	}
+}
+
+func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	PopulateSurrogate(db)
+	path := t.TempDir() + "/db.json"
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("loaded %d records, want %d", loaded.Len(), db.Len())
+	}
+	for _, r := range db.All() {
+		lr, ok := loaded.Get(r.Hyper, r.Scenario)
+		if !ok || lr.SuccessRate != r.SuccessRate {
+			t.Fatalf("record %s lost in round trip", r.ID)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(t.TempDir() + "/nope.json"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSurrogateBestModelsMatchPaper(t *testing.T) {
+	var sur SurrogateDB
+	wants := map[Scenario]policy.Hyper{
+		LowObstacle:    {Layers: 5, Filters: 32},
+		MediumObstacle: {Layers: 4, Filters: 48},
+		DenseObstacle:  {Layers: 7, Filters: 48},
+	}
+	for s, want := range wants {
+		best, bestRate := policy.Hyper{}, -1.0
+		for _, h := range policy.AllHypers() {
+			if r := sur.SuccessRate(h, s); r > bestRate {
+				best, bestRate = h, r
+			}
+		}
+		if best != want {
+			t.Errorf("%v: best = %v, want %v", s, best, want)
+		}
+	}
+}
+
+func TestSurrogateRatesInPaperBand(t *testing.T) {
+	var sur SurrogateDB
+	for _, s := range Scenarios {
+		for _, h := range policy.AllHypers() {
+			r := sur.SuccessRate(h, s)
+			if r < 0.55 || r > 0.915 {
+				t.Errorf("%v %v: rate %.3f outside paper band [0.55, 0.915]", s, h, r)
+			}
+		}
+	}
+}
+
+func TestSurrogateInvalidHyperZero(t *testing.T) {
+	var sur SurrogateDB
+	if sur.SuccessRate(policy.Hyper{Layers: 0, Filters: 0}, LowObstacle) != 0 {
+		t.Fatal("invalid hyper must score 0")
+	}
+}
+
+func TestPopulateSurrogateCoversSpace(t *testing.T) {
+	db := NewDatabase()
+	PopulateSurrogate(db)
+	if db.Len() != 27*3 {
+		t.Fatalf("Len = %d, want 81", db.Len())
+	}
+	for _, r := range db.All() {
+		if r.Params <= 0 {
+			t.Fatalf("record %s missing params", r.ID)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{Running, Success, Collision, Timeout} {
+		if o.String() == "" {
+			t.Errorf("empty string for %d", int(o))
+		}
+	}
+}
+
+func TestRenderContainsActors(t *testing.T) {
+	env := NewEnv(MediumObstacle, 3)
+	env.Reset()
+	s := env.Render()
+	for _, want := range []string{"U", "G", "#", "."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != env.Config().ArenaH {
+		t.Fatalf("render has %d lines, want %d", len(lines), env.Config().ArenaH)
+	}
+	if strings.Count(s, "U") != 1 || strings.Count(s, "G") != 1 {
+		t.Fatal("render must show exactly one UAV and one goal")
+	}
+}
+
+func TestDynamicObstaclesSpawnAndMove(t *testing.T) {
+	cfg := LowObstacle.Config()
+	cfg.Dynamic = 3
+	env := NewEnvWithConfig(LowObstacle, cfg, 31)
+	env.Reset()
+	before := env.Movers()
+	if len(before) != 3 {
+		t.Fatalf("movers = %d, want 3", len(before))
+	}
+	for i := 0; i < 6; i++ {
+		if env.OutcomeNow() != Running {
+			env.Reset()
+		}
+		env.Step(2) // move E if possible
+	}
+	after := env.Movers()
+	moved := false
+	for i := range after {
+		if after[i] != before[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("dynamic obstacles never moved")
+	}
+}
+
+func TestDynamicObstaclesBlockCells(t *testing.T) {
+	cfg := LowObstacle.Config()
+	cfg.Dynamic = 2
+	env := NewEnvWithConfig(LowObstacle, cfg, 33)
+	env.Reset()
+	for _, p := range env.Movers() {
+		if !env.Blocked(p) {
+			t.Fatalf("mover cell %v not blocked", p)
+		}
+	}
+}
+
+func TestExpertHandlesDynamicObstacles(t *testing.T) {
+	cfg := LowObstacle.Config()
+	cfg.Dynamic = 2
+	env := NewEnvWithConfig(LowObstacle, cfg, 35)
+	rate := SuccessRate(env, ExpertPolicy{Env: env}, 25)
+	if rate < 0.5 {
+		t.Fatalf("expert success with dynamic obstacles = %.2f, want >= 0.5", rate)
+	}
+}
+
+func TestStaticScenariosHaveNoMovers(t *testing.T) {
+	env := NewEnv(DenseObstacle, 1)
+	env.Reset()
+	if len(env.Movers()) != 0 {
+		t.Fatal("paper scenarios are static; no movers expected")
+	}
+}
+
+func TestSuccessRateCI(t *testing.T) {
+	env := NewEnv(LowObstacle, 41)
+	rate, lo, hi := SuccessRateCI(env, ExpertPolicy{Env: env}, 30)
+	if !(lo <= rate && rate <= hi) {
+		t.Fatalf("CI [%g, %g] does not bracket rate %g", lo, hi, rate)
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("CI [%g, %g] outside [0,1]", lo, hi)
+	}
+	// expert is near-perfect: the interval must sit high
+	if lo < 0.6 {
+		t.Fatalf("expert lower bound %g suspiciously low", lo)
+	}
+	if r, l, h := SuccessRateCI(env, ExpertPolicy{Env: env}, 0); r != 0 || l != 0 || h != 0 {
+		t.Fatal("zero episodes must give a zero CI")
+	}
+}
+
+func TestSuccessRateCIWiderWithFewerEpisodes(t *testing.T) {
+	envA := NewEnv(LowObstacle, 43)
+	_, loA, hiA := SuccessRateCI(envA, ExpertPolicy{Env: envA}, 10)
+	envB := NewEnv(LowObstacle, 43)
+	_, loB, hiB := SuccessRateCI(envB, ExpertPolicy{Env: envB}, 100)
+	if hiA-loA <= hiB-loB {
+		t.Fatalf("10-episode CI width %.3f should exceed 100-episode width %.3f", hiA-loA, hiB-loB)
+	}
+}

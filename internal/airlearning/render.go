@@ -1,0 +1,27 @@
+package airlearning
+
+import "strings"
+
+// Render draws the current arena as ASCII art for debugging and the example
+// programs: '#' obstacle, 'U' the UAV, 'G' the goal, '.' free space.
+func (e *Env) Render() string {
+	var b strings.Builder
+	b.Grow((e.cfg.ArenaW + 1) * e.cfg.ArenaH)
+	for y := 0; y < e.cfg.ArenaH; y++ {
+		for x := 0; x < e.cfg.ArenaW; x++ {
+			p := Point{x, y}
+			switch {
+			case p == e.pos:
+				b.WriteByte('U')
+			case p == e.goal:
+				b.WriteByte('G')
+			case e.Blocked(p):
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

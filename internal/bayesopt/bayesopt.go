@@ -1,0 +1,386 @@
+// Package bayesopt implements the paper's Phase-2 optimizer: multi-objective
+// Bayesian optimization over a discrete design space with the
+// S-Metric-Selection Efficient Global Optimization (SMS-EGO) acquisition
+// function (§III-B). One Gaussian process is fit per objective; candidates
+// are scored by the hypervolume contribution of their lower-confidence-bound
+// estimate over the current Pareto front, with a penalty for
+// epsilon-dominated candidates.
+package bayesopt
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/gp"
+	"autopilot/internal/pareto"
+	"autopilot/internal/tensor"
+)
+
+// Problem is a discrete multi-objective minimization problem.
+type Problem struct {
+	// Candidates are normalized feature encodings of each design point.
+	Candidates [][]float64
+	// Evaluate returns the objective vector (minimization) of candidate i.
+	// It is called at most once per candidate.
+	Evaluate func(i int) []float64
+	// NumObjectives is the length of every objective vector.
+	NumObjectives int
+	// Ref is the hypervolume reference point; every reachable objective
+	// vector should be component-wise below it.
+	Ref []float64
+}
+
+// Acquisition selects the candidate-scoring strategy. The paper uses
+// SMS-EGO and notes it outperforms "other acquisition strategies such as
+// expected improvement" for multi-objective DSE; the scalarized-EI
+// alternative is provided for that comparison.
+type Acquisition int
+
+// Available acquisition functions.
+const (
+	AcqSMSEGO Acquisition = iota
+	AcqScalarizedEI
+)
+
+// String names the acquisition function.
+func (a Acquisition) String() string {
+	switch a {
+	case AcqSMSEGO:
+		return "sms-ego"
+	case AcqScalarizedEI:
+		return "scalarized-ei"
+	default:
+		return fmt.Sprintf("Acquisition(%d)", int(a))
+	}
+}
+
+// Config controls the optimization loop.
+type Config struct {
+	InitSamples int     // random evaluations before the model-guided phase
+	Iterations  int     // model-guided evaluations
+	ScreenSize  int     // candidates scored per iteration (subsampled)
+	Gain        float64 // LCB gain (how optimistic the acquisition is)
+	Noise       float64 // GP observation noise
+	LengthScale float64 // SE kernel length scale in normalized feature space
+	Acquisition Acquisition
+	Seed        int64
+}
+
+// DefaultConfig returns settings that work well on the DSSoC space.
+func DefaultConfig() Config {
+	return Config{
+		InitSamples: 16,
+		Iterations:  48,
+		ScreenSize:  1024,
+		Gain:        1.0,
+		Noise:       1e-6,
+		LengthScale: 0.35,
+		Seed:        1,
+	}
+}
+
+// Evaluation is one evaluated design point.
+type Evaluation struct {
+	Index      int
+	Objectives []float64
+}
+
+// Result is the optimizer output.
+type Result struct {
+	// Evaluations in the order they were performed.
+	Evaluations []Evaluation
+	// FrontIndices are candidate indices on the final Pareto front.
+	FrontIndices []int
+	// HypervolumeTrace[i] is the dominated hypervolume after evaluation i.
+	HypervolumeTrace []float64
+}
+
+// Front returns the objective vectors of the final Pareto front.
+func (r *Result) Front() [][]float64 {
+	byIdx := map[int][]float64{}
+	for _, e := range r.Evaluations {
+		byIdx[e.Index] = e.Objectives
+	}
+	out := make([][]float64, 0, len(r.FrontIndices))
+	for _, i := range r.FrontIndices {
+		out = append(out, byIdx[i])
+	}
+	return out
+}
+
+func (p Problem) validate() error {
+	if len(p.Candidates) == 0 {
+		return fmt.Errorf("bayesopt: empty candidate set")
+	}
+	if p.Evaluate == nil {
+		return fmt.Errorf("bayesopt: nil evaluator")
+	}
+	if p.NumObjectives <= 0 {
+		return fmt.Errorf("bayesopt: non-positive objective count")
+	}
+	if len(p.Ref) != p.NumObjectives {
+		return fmt.Errorf("bayesopt: ref dim %d, want %d", len(p.Ref), p.NumObjectives)
+	}
+	return nil
+}
+
+// Optimize runs SMS-EGO Bayesian optimization and returns the evaluated
+// designs, the final Pareto front and the hypervolume trace.
+func Optimize(p Problem, cfg Config) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitSamples <= 0 || cfg.Iterations < 0 {
+		return nil, fmt.Errorf("bayesopt: bad budget %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	total := cfg.InitSamples + cfg.Iterations
+	if total > len(p.Candidates) {
+		total = len(p.Candidates)
+	}
+
+	res := &Result{}
+	evaluated := map[int]bool{}
+	var objs [][]float64 // objective vectors of evaluated points
+	var feats [][]float64
+
+	record := func(i int) {
+		y := p.Evaluate(i)
+		if len(y) != p.NumObjectives {
+			panic(fmt.Sprintf("bayesopt: evaluator returned %d objectives, want %d", len(y), p.NumObjectives))
+		}
+		evaluated[i] = true
+		objs = append(objs, y)
+		feats = append(feats, p.Candidates[i])
+		res.Evaluations = append(res.Evaluations, Evaluation{Index: i, Objectives: y})
+		res.HypervolumeTrace = append(res.HypervolumeTrace, pareto.Hypervolume(objs, p.Ref))
+	}
+
+	// Phase A: random initialization.
+	perm := rng.Perm(len(p.Candidates))
+	for _, i := range perm {
+		if len(res.Evaluations) >= cfg.InitSamples || len(res.Evaluations) >= total {
+			break
+		}
+		record(i)
+	}
+
+	// Phase B: model-guided SMS-EGO iterations.
+	kernel := gp.SE{Variance: 1, LengthScale: cfg.LengthScale}
+	for len(res.Evaluations) < total {
+		models, scales, err := fitModels(feats, objs, p.NumObjectives, kernel, cfg.Noise)
+		if err != nil {
+			return nil, err
+		}
+		front := pareto.Filter(objs)
+		pool := screen(rng, len(p.Candidates), evaluated, cfg.ScreenSize)
+		if len(pool) == 0 {
+			break
+		}
+		var weights []float64
+		var bestScalar float64
+		if cfg.Acquisition == AcqScalarizedEI {
+			weights, bestScalar = eiSetup(rng, objs, p.Ref, p.NumObjectives)
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for _, ci := range pool {
+			var score float64
+			if cfg.Acquisition == AcqScalarizedEI {
+				score = expectedImprovement(models, scales, p.Candidates[ci], weights, bestScalar, p.Ref)
+			} else {
+				score = acquisition(models, scales, p.Candidates[ci], front, p.Ref, cfg.Gain)
+			}
+			if score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		record(best)
+	}
+
+	// Final Pareto front over everything evaluated.
+	nd := pareto.NonDominated(objs)
+	for _, i := range nd {
+		res.FrontIndices = append(res.FrontIndices, res.Evaluations[i].Index)
+	}
+	return res, nil
+}
+
+// fitModels fits one standardized-output GP per objective and returns the
+// models plus per-objective (mean, std) used to de-standardize predictions.
+func fitModels(feats [][]float64, objs [][]float64, m int, kernel gp.SE, noise float64) ([]*gp.GP, [][2]float64, error) {
+	models := make([]*gp.GP, m)
+	scales := make([][2]float64, m)
+	for j := 0; j < m; j++ {
+		y := make([]float64, len(objs))
+		mean, sd := 0.0, 0.0
+		for i, o := range objs {
+			y[i] = o[j]
+			mean += o[j]
+		}
+		mean /= float64(len(y))
+		for _, v := range y {
+			sd += (v - mean) * (v - mean)
+		}
+		sd = math.Sqrt(sd / float64(len(y)))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		for i := range y {
+			y[i] = (y[i] - mean) / sd
+		}
+		g, err := gp.Fit(feats, y, kernel, noise+1e-9)
+		if err != nil {
+			return nil, nil, err
+		}
+		models[j] = g
+		scales[j] = [2]float64{mean, sd}
+	}
+	return models, scales, nil
+}
+
+// screen returns up to n unevaluated candidate indices sampled without
+// replacement.
+func screen(rng *tensor.RNG, total int, evaluated map[int]bool, n int) []int {
+	remaining := total - len(evaluated)
+	if remaining <= 0 {
+		return nil
+	}
+	if remaining <= n {
+		out := make([]int, 0, remaining)
+		for i := 0; i < total; i++ {
+			if !evaluated[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, n)
+	seen := map[int]bool{}
+	for len(out) < n {
+		i := rng.Intn(total)
+		if evaluated[i] || seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	return out
+}
+
+// acquisition is the SMS-EGO score of a candidate: the hypervolume
+// contribution of its LCB estimate, with a dominance penalty when the LCB
+// point is epsilon-dominated by the current front.
+func acquisition(models []*gp.GP, scales [][2]float64, x []float64, front [][]float64, ref []float64, gain float64) float64 {
+	lcb := make([]float64, len(models))
+	for j, g := range models {
+		mu, v := g.Predict(x)
+		mu = mu*scales[j][1] + scales[j][0]
+		sd := math.Sqrt(v) * scales[j][1]
+		lcb[j] = mu - gain*sd
+	}
+	// dominance penalty: distance by which the closest front point beats lcb
+	penalty := 0.0
+	for _, f := range front {
+		if pareto.WeaklyDominates(f, lcb) {
+			slack := 0.0
+			for j := range f {
+				d := (lcb[j] - f[j]) / math.Max(math.Abs(ref[j]), 1e-9)
+				if d > slack {
+					slack = d
+				}
+			}
+			if penalty == 0 || slack < penalty {
+				penalty = slack
+			}
+		}
+	}
+	if penalty > 0 {
+		return -penalty
+	}
+	return pareto.Contribution(front, lcb, ref)
+}
+
+// eiSetup draws a random scalarization weight vector (normalized by the
+// reference point) and returns it with the best scalarized observation.
+func eiSetup(rng *tensor.RNG, objs [][]float64, ref []float64, m int) ([]float64, float64) {
+	w := make([]float64, m)
+	sum := 0.0
+	for i := range w {
+		w[i] = rng.Float64() + 1e-3
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	best := math.Inf(1)
+	for _, y := range objs {
+		if s := scalarize(w, y, ref); s < best {
+			best = s
+		}
+	}
+	return w, best
+}
+
+func scalarize(w, y, ref []float64) float64 {
+	s := 0.0
+	for i := range y {
+		s += w[i] * y[i] / math.Max(math.Abs(ref[i]), 1e-9)
+	}
+	return s
+}
+
+// expectedImprovement is the classic single-objective EI applied to the
+// weighted scalarization of the per-objective GP posteriors (independence
+// assumed across objectives).
+func expectedImprovement(models []*gp.GP, scales [][2]float64, x, w []float64, best float64, ref []float64) float64 {
+	mu, varSum := 0.0, 0.0
+	for j, g := range models {
+		m, v := g.Predict(x)
+		m = m*scales[j][1] + scales[j][0]
+		sd := math.Sqrt(v) * scales[j][1]
+		norm := math.Max(math.Abs(ref[j]), 1e-9)
+		mu += w[j] * m / norm
+		varSum += (w[j] * sd / norm) * (w[j] * sd / norm)
+	}
+	sd := math.Sqrt(varSum)
+	if sd < 1e-12 {
+		if mu < best {
+			return best - mu
+		}
+		return 0
+	}
+	z := (best - mu) / sd
+	return (best-mu)*stdNormalCDF(z) + sd*stdNormalPDF(z)
+}
+
+func stdNormalPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// RandomSearch evaluates `budget` random candidates — the baseline the
+// ablation benchmarks compare SMS-EGO against.
+func RandomSearch(p Problem, budget int, seed int64) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed)
+	if budget > len(p.Candidates) {
+		budget = len(p.Candidates)
+	}
+	res := &Result{}
+	var objs [][]float64
+	for _, i := range rng.Perm(len(p.Candidates))[:budget] {
+		y := p.Evaluate(i)
+		objs = append(objs, y)
+		res.Evaluations = append(res.Evaluations, Evaluation{Index: i, Objectives: y})
+		res.HypervolumeTrace = append(res.HypervolumeTrace, pareto.Hypervolume(objs, p.Ref))
+	}
+	for _, i := range pareto.NonDominated(objs) {
+		res.FrontIndices = append(res.FrontIndices, res.Evaluations[i].Index)
+	}
+	return res, nil
+}

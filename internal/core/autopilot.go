@@ -1,0 +1,401 @@
+// Package core is the AutoPilot orchestrator (paper Fig. 1): it wires the
+// three phases together. Phase 1 populates the Air Learning database with
+// validated E2E policies (trained with RL, or via the calibrated surrogate
+// for experiment-scale runs). Phase 2 runs multi-objective Bayesian DSE over
+// the joint model/accelerator space. Phase 3 is the domain-specific back
+// end: it filters top-success designs, maps them onto the F-1 model with
+// their thermal payload weight, evaluates mission-level performance
+// (Eq. 1–4), applies architectural fine-tuning, and selects the design that
+// maximizes the number of missions.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/dse"
+	"autopilot/internal/f1"
+	"autopilot/internal/mission"
+	"autopilot/internal/policy"
+	"autopilot/internal/power"
+	"autopilot/internal/rl"
+	"autopilot/internal/systolic"
+	"autopilot/internal/thermal"
+	"autopilot/internal/tuning"
+	"autopilot/internal/uav"
+)
+
+// Phase1Mode selects how the policy database is produced.
+type Phase1Mode int
+
+// Phase-1 modes.
+const (
+	// Phase1Surrogate fills the database from the calibrated success-rate
+	// surrogate (laptop-scale substitute for the multi-day RL sweep).
+	Phase1Surrogate Phase1Mode = iota
+	// Phase1Train actually trains each model with RL on the grid-world
+	// simulator.
+	Phase1Train
+)
+
+// Spec is the high-level task specification the user hands AutoPilot
+// (paper §III-A): the UAV, the deployment scenario, and budgets.
+type Spec struct {
+	Platform uav.Platform
+	Scenario airlearning.Scenario
+
+	// SensorFPS of 0 selects the platform's fastest sensor mode.
+	SensorFPS float64
+
+	Mission       mission.Spec
+	MissionParams mission.Params
+	Thermal       thermal.Params
+	PowerModel    power.Model
+
+	Phase1Mode Phase1Mode
+	// TrainHypers limits Phase1Train to a subset of the template family
+	// (nil = the full Table II family, which is slow).
+	TrainHypers []policy.Hyper
+	TrainCfg    rl.TrainConfig
+
+	Space  dse.Space
+	Phase2 dse.Config
+
+	Tuning tuning.Options
+}
+
+// DefaultSpec returns a complete specification for a platform and scenario
+// using surrogate Phase 1 and the default budgets.
+func DefaultSpec(p uav.Platform, s airlearning.Scenario) Spec {
+	return Spec{
+		Platform:      p,
+		Scenario:      s,
+		Mission:       mission.DefaultSpec(),
+		MissionParams: mission.DefaultParams(),
+		Thermal:       thermal.Default(),
+		PowerModel:    power.Default(),
+		Phase1Mode:    Phase1Surrogate,
+		TrainCfg:      rl.DefaultTrainConfig(),
+		Space:         dse.DefaultSpace(),
+		Phase2:        dse.DefaultConfig(),
+		Tuning:        tuning.DefaultOptions(),
+	}
+}
+
+// Validate checks the specification.
+func (s Spec) Validate() error {
+	if err := s.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := s.Space.Validate(); err != nil {
+		return err
+	}
+	if err := s.Thermal.Validate(); err != nil {
+		return err
+	}
+	if s.Mission.DistanceM <= 0 {
+		return fmt.Errorf("core: non-positive mission distance")
+	}
+	return nil
+}
+
+// Selection is one design evaluated at the full-UAV level.
+type Selection struct {
+	Design   dse.Evaluated
+	NodeNM   int
+	Tuned    string // human-readable tuning description, "" if untouched
+	PayloadG float64
+
+	ActionHz     float64
+	Bound        f1.Bound
+	Provisioning f1.Provisioning
+	KneeHz       float64
+	VSafeMS      float64
+
+	Profile  mission.Profile
+	Liftable bool
+}
+
+// Missions returns the mission count, 0 when the UAV cannot lift the design.
+func (s Selection) Missions() float64 {
+	if !s.Liftable {
+		return 0
+	}
+	return s.Profile.Missions
+}
+
+// Report is the full AutoPilot output for one (UAV, scenario) specification.
+type Report struct {
+	Spec     Spec
+	Database *airlearning.Database
+	Phase2   *dse.Result
+	F1       f1.Model
+
+	// Selected is AutoPilot's pick (the "AP" design).
+	Selected Selection
+	// HT, LP, HE are the conventional-DSE picks evaluated at mission level.
+	HT, LP, HE Selection
+	// Candidates are all top-success designs evaluated at mission level.
+	Candidates []Selection
+}
+
+// Run executes the full three-phase pipeline.
+func Run(spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	db, err := Phase1(spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	res, err := Phase2(spec, db)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	rep, err := Phase3(spec, res)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3: %w", err)
+	}
+	rep.Database = db
+	return rep, nil
+}
+
+// Phase1 produces the validated-policy database for the scenario.
+func Phase1(spec Spec) (*airlearning.Database, error) {
+	db := airlearning.NewDatabase()
+	switch spec.Phase1Mode {
+	case Phase1Surrogate:
+		airlearning.PopulateSurrogate(db)
+		return db, nil
+	case Phase1Train:
+		hypers := spec.TrainHypers
+		if hypers == nil {
+			hypers = policy.AllHypers()
+		}
+		for i, h := range hypers {
+			cfg := spec.TrainCfg
+			cfg.Seed += int64(i)
+			rec, _, err := rl.TrainPolicy(h, spec.Scenario, cfg)
+			if err != nil {
+				return nil, err
+			}
+			db.Put(rec)
+		}
+		return db, nil
+	default:
+		return nil, fmt.Errorf("core: unknown phase-1 mode %d", int(spec.Phase1Mode))
+	}
+}
+
+// Phase2 runs the multi-objective DSE against the database.
+func Phase2(spec Spec, db *airlearning.Database) (*dse.Result, error) {
+	return dse.Run(spec.Space, db, spec.Scenario, spec.PowerModel, spec.Phase2)
+}
+
+// sensorFPS resolves the spec's sensor rate.
+func (s Spec) sensorFPS() float64 {
+	if s.SensorFPS > 0 {
+		return s.SensorFPS
+	}
+	return s.Platform.MaxSensorFPS()
+}
+
+// EvaluateOnPlatform performs the Phase-3 full-system evaluation of one
+// scored design on the spec's UAV: payload weight from the accelerator TDP,
+// F-1 safe velocity at the effective action throughput, and Eq. 1–4 mission
+// metrics. Designs the UAV cannot lift come back with Liftable=false.
+func EvaluateOnPlatform(spec Spec, e dse.Evaluated, model f1.Model) Selection {
+	sel := Selection{Design: e, NodeNM: 28}
+	sel.PayloadG = spec.Thermal.ComputeWeightGrams(e.AccelPowerW)
+	if !spec.Platform.CanLift(sel.PayloadG) {
+		return sel
+	}
+	sel.Liftable = true
+	accel := spec.Platform.MaxAccelMS2(sel.PayloadG)
+	sel.KneeHz = model.KneePoint(accel)
+	sel.ActionHz, sel.Bound = model.EffectiveThroughput(e.FPS, spec.sensorFPS(), accel)
+	sel.Provisioning = model.Classify(sel.ActionHz, accel)
+	sel.VSafeMS = model.SafeVelocity(sel.ActionHz, accel)
+	prof, err := mission.Evaluate(spec.Platform, spec.MissionParams, spec.Mission,
+		sel.PayloadG, e.SoCPowerW, sel.VSafeMS)
+	if err != nil {
+		sel.Liftable = false
+		return sel
+	}
+	sel.Profile = prof
+	return sel
+}
+
+// Phase3 is the domain-specific back end: filter top-success designs, map
+// them to the F-1 model, fine-tune, and select the mission-optimal design.
+func Phase3(spec Spec, res *dse.Result) (*Report, error) {
+	model := f1.ForScenario(spec.Scenario)
+	rep := &Report{Spec: spec, Phase2: res, F1: model}
+
+	top := res.TopSuccess(0.02)
+	if len(top) == 0 {
+		return nil, fmt.Errorf("core: phase 2 produced no designs")
+	}
+	best := Selection{}
+	for _, i := range top {
+		sel := EvaluateOnPlatform(spec, res.Evaluated[i], model)
+		rep.Candidates = append(rep.Candidates, sel)
+		if preferable(sel, best) {
+			best = sel
+		}
+	}
+	if !best.Liftable {
+		return nil, fmt.Errorf("core: %s cannot lift any top-success design", spec.Platform.Name)
+	}
+
+	// Architectural fine-tuning: try frequency/node variants of the winner
+	// and keep whichever maximizes missions.
+	tuned, err := FineTune(spec, best, model)
+	if err != nil {
+		return nil, err
+	}
+	rep.Selected = tuned
+
+	if res.HT >= 0 {
+		rep.HT = EvaluateOnPlatform(spec, res.Evaluated[res.HT], model)
+	}
+	if res.LP >= 0 {
+		rep.LP = EvaluateOnPlatform(spec, res.Evaluated[res.LP], model)
+	}
+	if res.HE >= 0 {
+		rep.HE = EvaluateOnPlatform(spec, res.Evaluated[res.HE], model)
+	}
+	return rep, nil
+}
+
+// FineTune searches frequency/node variants of a selection and returns the
+// best mission performer (possibly the untouched design).
+func FineTune(spec Spec, sel Selection, model f1.Model) (Selection, error) {
+	variants, err := tuning.Variants(sel.Design.Design, spec.Tuning)
+	if err != nil {
+		return Selection{}, err
+	}
+	net, err := policy.Build(sel.Design.Design.Hyper, spec.Space.Template)
+	if err != nil {
+		return Selection{}, err
+	}
+	best := sel
+	for _, v := range variants {
+		pm, err := spec.PowerModel.AtNode(v.NodeNM)
+		if err != nil {
+			return Selection{}, err
+		}
+		rep, err := systolic.Simulate(net, v.Design.HW)
+		if err != nil {
+			continue // a variant clock may be invalid; skip it
+		}
+		bd := pm.Accelerator(rep)
+		e := dse.Evaluated{
+			Design:      v.Design,
+			SuccessRate: sel.Design.SuccessRate,
+			FPS:         rep.FPS,
+			RuntimeSec:  rep.RuntimeSec,
+			SoCPowerW:   bd.Total() + power.FixedComponentsW,
+			AccelPowerW: bd.Total(),
+			Breakdown:   bd,
+		}
+		cand := EvaluateOnPlatform(spec, e, model)
+		cand.NodeNM = v.NodeNM
+		if v.NodeNM != 28 || v.FreqScale != 1.0 {
+			cand.Tuned = v.Describe()
+		}
+		if preferable(cand, best) {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// EvaluateBaseline evaluates a fixed compute platform (TX2, NX, PULP, NCS)
+// carrying the scenario's best E2E model on the spec's UAV — the Fig. 5
+// comparison points.
+func EvaluateBaseline(spec Spec, db *airlearning.Database, b uav.ComputeBaseline) Selection {
+	model := f1.ForScenario(spec.Scenario)
+	weights := int64(0)
+	success := 0.0
+	if rec, ok := db.Best(spec.Scenario); ok {
+		success = rec.SuccessRate
+		if net, err := policy.Build(rec.Hyper, spec.Space.Template); err == nil {
+			weights = net.Params()
+		}
+	}
+	e := dse.Evaluated{
+		SuccessRate: success,
+		FPS:         b.FPSFor(weights),
+		SoCPowerW:   b.PowerW + power.FixedComponentsW,
+		AccelPowerW: b.PowerW,
+	}
+	if e.FPS > 0 {
+		e.RuntimeSec = 1 / e.FPS
+	}
+	sel := Selection{Design: e, NodeNM: 28}
+	// Baseline boards are flown as-is: their flown weight replaces the
+	// motherboard+heatsink model.
+	sel.PayloadG = b.WeightG
+	if !spec.Platform.CanLift(sel.PayloadG) {
+		return sel
+	}
+	sel.Liftable = true
+	accel := spec.Platform.MaxAccelMS2(sel.PayloadG)
+	sel.KneeHz = model.KneePoint(accel)
+	sel.ActionHz, sel.Bound = model.EffectiveThroughput(e.FPS, spec.sensorFPS(), accel)
+	sel.Provisioning = model.Classify(sel.ActionHz, accel)
+	sel.VSafeMS = model.SafeVelocity(sel.ActionHz, accel)
+	prof, err := mission.Evaluate(spec.Platform, spec.MissionParams, spec.Mission,
+		sel.PayloadG, e.SoCPowerW, sel.VSafeMS)
+	if err != nil {
+		sel.Liftable = false
+		return sel
+	}
+	sel.Profile = prof
+	return sel
+}
+
+// MissionGain returns how many times more missions `a` achieves than `b`,
+// guarding against division by zero.
+func MissionGain(a, b Selection) float64 {
+	if b.Missions() <= 0 {
+		return math.Inf(1)
+	}
+	return a.Missions() / b.Missions()
+}
+
+// preferable implements the paper's Phase-3 selection rule: maximize
+// missions, and among mission-equivalent designs (within 5%) prefer the one
+// closest to the F-1 knee point, then the lower-power one — "the design
+// point closest to the knee-point can be selected" (§III-C).
+func preferable(a, b Selection) bool {
+	am, bm := a.Missions(), b.Missions()
+	if am <= 0 {
+		return false
+	}
+	if bm <= 0 {
+		return true
+	}
+	if am > bm*1.05 {
+		return true
+	}
+	if bm > am*1.05 {
+		return false
+	}
+	ad, bd := kneeDistance(a), kneeDistance(b)
+	if math.Abs(ad-bd) > 1e-9 {
+		return ad < bd
+	}
+	return a.Design.SoCPowerW < b.Design.SoCPowerW
+}
+
+// kneeDistance is the log-scale distance of the action throughput from the
+// knee; over-provisioning counts the same as under-provisioning.
+func kneeDistance(s Selection) float64 {
+	if s.ActionHz <= 0 || s.KneeHz <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(math.Log(s.ActionHz / s.KneeHz))
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autopilot/internal/uav"
+)
+
+// SelectionSummary is the JSON-friendly digest of a full-system evaluation.
+type SelectionSummary struct {
+	Model        string  `json:"model"`
+	Hardware     string  `json:"hardware"`
+	NodeNM       int     `json:"node_nm"`
+	Tuned        string  `json:"tuned,omitempty"`
+	SuccessRate  float64 `json:"success_rate"`
+	FPS          float64 `json:"fps"`
+	SoCPowerW    float64 `json:"soc_w"`
+	PayloadG     float64 `json:"payload_g"`
+	ActionHz     float64 `json:"action_hz"`
+	KneeHz       float64 `json:"knee_hz"`
+	Bound        string  `json:"bound"`
+	Provisioning string  `json:"provisioning"`
+	VSafeMS      float64 `json:"v_safe_ms"`
+	Missions     float64 `json:"missions"`
+	Liftable     bool    `json:"liftable"`
+}
+
+// Summary converts a selection to its digest form.
+func (s Selection) Summary() SelectionSummary {
+	return SelectionSummary{
+		Model:        s.Design.Design.Hyper.String(),
+		Hardware:     s.Design.Design.HW.String(),
+		NodeNM:       s.NodeNM,
+		Tuned:        s.Tuned,
+		SuccessRate:  s.Design.SuccessRate,
+		FPS:          s.Design.FPS,
+		SoCPowerW:    s.Design.SoCPowerW,
+		PayloadG:     s.PayloadG,
+		ActionHz:     s.ActionHz,
+		KneeHz:       s.KneeHz,
+		Bound:        s.Bound.String(),
+		Provisioning: s.Provisioning.String(),
+		VSafeMS:      s.VSafeMS,
+		Missions:     s.Missions(),
+		Liftable:     s.Liftable,
+	}
+}
+
+// ReportSummary is the JSON-friendly digest of a pipeline run.
+type ReportSummary struct {
+	UAV       string            `json:"uav"`
+	Scenario  string            `json:"scenario"`
+	Policies  int               `json:"phase1_policies"`
+	Evaluated int               `json:"phase2_evaluated"`
+	Front     int               `json:"phase2_front"`
+	Selected  SelectionSummary  `json:"selected"`
+	HT        SelectionSummary  `json:"ht"`
+	LP        SelectionSummary  `json:"lp"`
+	HE        SelectionSummary  `json:"he"`
+	Baselines []BaselineSummary `json:"baselines,omitempty"`
+}
+
+// BaselineSummary is one general-purpose board evaluated at mission level.
+type BaselineSummary struct {
+	Name     string  `json:"name"`
+	Missions float64 `json:"missions"`
+	Gain     float64 `json:"autopilot_gain"`
+	Liftable bool    `json:"liftable"`
+}
+
+// Summary converts the report, including the Fig. 5 baseline comparison.
+func (r *Report) Summary() ReportSummary {
+	out := ReportSummary{
+		UAV:       r.Spec.Platform.Name,
+		Scenario:  r.Spec.Scenario.String(),
+		Evaluated: len(r.Phase2.Evaluated),
+		Front:     len(r.Phase2.ParetoIdx),
+		Selected:  r.Selected.Summary(),
+		HT:        r.HT.Summary(),
+		LP:        r.LP.Summary(),
+		HE:        r.HE.Summary(),
+	}
+	if r.Database != nil {
+		out.Policies = r.Database.Len()
+		for _, b := range uav.Baselines() {
+			sel := EvaluateBaseline(r.Spec, r.Database, b)
+			out.Baselines = append(out.Baselines, BaselineSummary{
+				Name:     b.Name,
+				Missions: sel.Missions(),
+				Gain:     MissionGain(r.Selected, sel),
+				Liftable: sel.Liftable,
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the report summary as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Summary()); err != nil {
+		return fmt.Errorf("core: encode report: %w", err)
+	}
+	return nil
+}
+
+// WriteText renders the report for terminals.
+func (r *Report) WriteText(w io.Writer) error {
+	s := r.Summary()
+	_, err := fmt.Fprintf(w, `AutoPilot DSSoC co-design: %s, %s scenario
+Phase 1: %d validated policies
+Phase 2: %d designs evaluated, %d on the Pareto front
+Selected (AP): %s on %s%s
+  %.1f FPS @ %.2f W, %.1f g payload, action %.1f Hz (knee %.1f Hz, %s, %s)
+  v_safe %.2f m/s -> %.2f missions per charge
+Conventional picks: HT %.2f | LP %.2f | HE %.2f missions
+`,
+		s.UAV, s.Scenario, s.Policies, s.Evaluated, s.Front,
+		s.Selected.Model, s.Selected.Hardware, tunedSuffix(s.Selected.Tuned),
+		s.Selected.FPS, s.Selected.SoCPowerW, s.Selected.PayloadG,
+		s.Selected.ActionHz, s.Selected.KneeHz, s.Selected.Bound, s.Selected.Provisioning,
+		s.Selected.VSafeMS, s.Selected.Missions,
+		s.HT.Missions, s.LP.Missions, s.HE.Missions)
+	if err != nil {
+		return fmt.Errorf("core: write report: %w", err)
+	}
+	for _, b := range s.Baselines {
+		if b.Liftable {
+			_, err = fmt.Fprintf(w, "Baseline %-12s %6.2f missions (gain %.2fx)\n", b.Name, b.Missions, b.Gain)
+		} else {
+			_, err = fmt.Fprintf(w, "Baseline %-12s grounded\n", b.Name)
+		}
+		if err != nil {
+			return fmt.Errorf("core: write report: %w", err)
+		}
+	}
+	return nil
+}
+
+func tunedSuffix(t string) string {
+	if t == "" {
+		return ""
+	}
+	return " (tuned: " + t + ")"
+}

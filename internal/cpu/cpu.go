@@ -1,0 +1,97 @@
+// Package cpu models the embedded multicore processor that runs
+// Sense-Plan-Act autonomy stacks — the hardware template that replaces the
+// systolic array when AutoPilot is instantiated for the SPA paradigm
+// (paper §VII): a core count, clock, and effective IPC determine sustained
+// operation throughput, and a simple per-core power model determines the
+// TDP the thermal/weight back end consumes.
+package cpu
+
+import "fmt"
+
+// Config is one embedded CPU operating point.
+type Config struct {
+	Cores      int
+	FreqMHz    float64
+	IPC        float64 // sustained instructions per cycle per core
+	Efficiency float64 // fraction of peak achieved on branchy robotics code
+}
+
+// Validate checks plausibility.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.FreqMHz <= 0 || c.IPC <= 0 {
+		return fmt.Errorf("cpu: implausible config %+v", c)
+	}
+	if c.Efficiency <= 0 || c.Efficiency > 1 {
+		return fmt.Errorf("cpu: efficiency %g outside (0,1]", c.Efficiency)
+	}
+	return nil
+}
+
+// String renders the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("%d-core @%.0fMHz IPC %.1f", c.Cores, c.FreqMHz, c.IPC)
+}
+
+// SustainedOpsPerSec returns the throughput available to a well-parallelized
+// SPA pipeline.
+func (c Config) SustainedOpsPerSec() float64 {
+	return float64(c.Cores) * c.FreqMHz * 1e6 * c.IPC * c.Efficiency
+}
+
+// PowerModel converts a configuration into watts.
+type PowerModel struct {
+	BaseW       float64 // uncore + memory controller
+	PerCoreMHzW float64 // dynamic power per core per MHz
+}
+
+// DefaultPowerModel is calibrated to embedded-class cores (a quad-core
+// Cortex-A53 at 1 GHz lands near 1.5 W).
+func DefaultPowerModel() PowerModel {
+	return PowerModel{BaseW: 0.3, PerCoreMHzW: 0.0003}
+}
+
+// Power returns the configuration's power draw.
+func (m PowerModel) Power(c Config) float64 {
+	return m.BaseW + m.PerCoreMHzW*float64(c.Cores)*c.FreqMHz
+}
+
+// Catalog returns representative embedded operating points spanning
+// microcontroller-class to application-class processors.
+func Catalog() []Config {
+	return []Config{
+		{Cores: 1, FreqMHz: 200, IPC: 0.8, Efficiency: 0.7},   // MCU class (Cortex-M7)
+		{Cores: 2, FreqMHz: 400, IPC: 1.0, Efficiency: 0.6},   // small dual core
+		{Cores: 4, FreqMHz: 1000, IPC: 1.2, Efficiency: 0.55}, // Cortex-A53 class
+		{Cores: 8, FreqMHz: 1500, IPC: 2.0, Efficiency: 0.5},  // application class
+	}
+}
+
+// ActionHz returns the SPA decision rate a configuration sustains for a
+// pipeline needing opsPerDecision operations.
+func (c Config) ActionHz(opsPerDecision float64) float64 {
+	if opsPerDecision <= 0 {
+		return 0
+	}
+	return c.SustainedOpsPerSec() / opsPerDecision
+}
+
+// SelectForKnee returns the cheapest catalog configuration whose SPA action
+// rate reaches the F-1 knee — the SPA analogue of the Phase-3 knee-point
+// selection — or an error if none reaches it.
+func SelectForKnee(opsPerDecision, kneeHz float64, pm PowerModel) (Config, error) {
+	var best Config
+	found := false
+	for _, c := range Catalog() {
+		if c.ActionHz(opsPerDecision) < kneeHz {
+			continue
+		}
+		if !found || pm.Power(c) < pm.Power(best) {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return Config{}, fmt.Errorf("cpu: no catalog config reaches %.1f Hz at %.0f ops/decision", kneeHz, opsPerDecision)
+	}
+	return best, nil
+}

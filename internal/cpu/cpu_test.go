@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	for _, c := range Catalog() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{},
+		{Cores: 4, FreqMHz: 1000, IPC: 1, Efficiency: 0},
+		{Cores: 4, FreqMHz: 1000, IPC: 1, Efficiency: 1.5},
+		{Cores: -1, FreqMHz: 1000, IPC: 1, Efficiency: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSustainedOpsScaling(t *testing.T) {
+	c := Config{Cores: 4, FreqMHz: 1000, IPC: 1.2, Efficiency: 0.5}
+	want := 4.0 * 1000e6 * 1.2 * 0.5
+	if math.Abs(c.SustainedOpsPerSec()-want) > 1 {
+		t.Fatalf("ops = %g, want %g", c.SustainedOpsPerSec(), want)
+	}
+	double := c
+	double.Cores = 8
+	if double.SustainedOpsPerSec() != 2*c.SustainedOpsPerSec() {
+		t.Fatal("ops must scale linearly with cores")
+	}
+}
+
+func TestPowerModelCalibration(t *testing.T) {
+	pm := DefaultPowerModel()
+	a53 := Config{Cores: 4, FreqMHz: 1000, IPC: 1.2, Efficiency: 0.55}
+	if p := pm.Power(a53); p < 1.0 || p > 2.5 {
+		t.Fatalf("quad A53 power = %.2f W, want ~1.5", p)
+	}
+	mcu := Catalog()[0]
+	if pm.Power(mcu) >= pm.Power(a53) {
+		t.Fatal("MCU class must draw less than application class")
+	}
+}
+
+func TestActionHz(t *testing.T) {
+	c := Catalog()[2]
+	hz := c.ActionHz(1e6)
+	if hz <= 0 {
+		t.Fatal("non-positive action rate")
+	}
+	if c.ActionHz(0) != 0 {
+		t.Fatal("degenerate ops must give 0")
+	}
+	// halving the work doubles the rate
+	if math.Abs(c.ActionHz(0.5e6)-2*hz) > 1e-6 {
+		t.Fatal("action rate must scale inversely with work")
+	}
+}
+
+func TestSelectForKneePicksCheapestSufficient(t *testing.T) {
+	pm := DefaultPowerModel()
+	// light SPA workload: even the MCU reaches 46 Hz
+	sel, err := SelectForKnee(500, 46, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Cores != 1 {
+		t.Fatalf("selected %v; the MCU suffices for 500 ops/decision", sel)
+	}
+	// heavy workload: needs an application-class part
+	sel, err = SelectForKnee(50e6, 46, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.ActionHz(50e6) < 46 {
+		t.Fatalf("selected %v cannot reach the knee", sel)
+	}
+	// impossible workload
+	if _, err := SelectForKnee(1e12, 46, pm); err == nil {
+		t.Fatal("expected error for impossible workload")
+	}
+}
+
+func TestCatalogOrderedByCapability(t *testing.T) {
+	cat := Catalog()
+	for i := 1; i < len(cat); i++ {
+		if cat[i].SustainedOpsPerSec() <= cat[i-1].SustainedOpsPerSec() {
+			t.Fatalf("catalog entry %d not more capable than %d", i, i-1)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if Catalog()[0].String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,415 @@
+// Package dse implements AutoPilot's Phase 2 (paper §III-B): domain-agnostic
+// multi-objective design-space exploration over the joint space of E2E model
+// hyper-parameters (Table II: layers, filters) and accelerator hardware
+// parameters (PE array shape, scratchpad sizes). Each candidate is scored on
+// three objectives — task success rate (from the Air Learning database),
+// SoC power, and inference runtime — and explored with SMS-EGO Bayesian
+// optimization. The output is a set of evaluated designs, their Pareto
+// front, and the conventional-DSE picks (HT/LP/HE) that Phase 3 compares
+// against.
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/bayesopt"
+	"autopilot/internal/pareto"
+	"autopilot/internal/policy"
+	"autopilot/internal/power"
+	"autopilot/internal/systolic"
+	"autopilot/internal/tensor"
+)
+
+// Space is the Table II search space plus the fixed system parameters.
+type Space struct {
+	Layers  []int
+	Filters []int
+	PERows  []int
+	PECols  []int
+	SRAMKB  []int // choices shared by the ifmap/filter/ofmap scratchpads
+
+	Dataflow systolic.Dataflow
+	FreqMHz  float64
+	Template policy.TemplateConfig
+}
+
+// DefaultSpace returns the paper's Table II space.
+func DefaultSpace() Space {
+	return Space{
+		Layers:   policy.LayerChoices,
+		Filters:  policy.FilterChoices,
+		PERows:   []int{8, 16, 32, 64, 128, 256, 512, 1024},
+		PECols:   []int{8, 16, 32, 64, 128, 256, 512, 1024},
+		SRAMKB:   []int{32, 64, 128, 256, 512, 1024, 2048, 4096},
+		Dataflow: systolic.OutputStationary,
+		FreqMHz:  500,
+		Template: policy.DefaultTemplate(),
+	}
+}
+
+// Size returns the number of joint design points in the space.
+func (s Space) Size() int64 {
+	n := int64(len(s.Layers)) * int64(len(s.Filters))
+	n *= int64(len(s.PERows)) * int64(len(s.PECols))
+	sram := int64(len(s.SRAMKB))
+	return n * sram * sram * sram
+}
+
+// Validate checks the space definition.
+func (s Space) Validate() error {
+	if len(s.Layers) == 0 || len(s.Filters) == 0 || len(s.PERows) == 0 ||
+		len(s.PECols) == 0 || len(s.SRAMKB) == 0 {
+		return fmt.Errorf("dse: empty dimension in space")
+	}
+	if s.FreqMHz <= 0 {
+		return fmt.Errorf("dse: non-positive frequency")
+	}
+	return nil
+}
+
+// Bandwidth returns the DRAM bandwidth provisioned for an array size: larger
+// accelerators ship with wider memory interfaces, from a 0.8 GB/s LPDDR
+// floor up to a 12 GB/s ceiling.
+func Bandwidth(pes int) float64 {
+	bw := 0.8 + 4.5e-5*float64(pes)
+	return math.Min(bw, 12.0)
+}
+
+// DesignPoint is one joint (model, accelerator) candidate.
+type DesignPoint struct {
+	Hyper policy.Hyper
+	HW    systolic.Config
+}
+
+// String renders the design compactly.
+func (d DesignPoint) String() string {
+	return fmt.Sprintf("%s on %s", d.Hyper, d.HW)
+}
+
+// design constructs the systolic config for raw choice values.
+func (s Space) design(layers, filters, rows, cols, ifKB, fKB, ofKB int) DesignPoint {
+	hw := systolic.Config{
+		Rows: rows, Cols: cols,
+		IfmapKB: ifKB, FilterKB: fKB, OfmapKB: ofKB,
+		Dataflow: s.Dataflow, FreqMHz: s.FreqMHz,
+		BandwidthGBps: Bandwidth(rows * cols),
+	}
+	return DesignPoint{Hyper: policy.Hyper{Layers: layers, Filters: filters}, HW: hw}
+}
+
+// Sample draws n distinct design points uniformly from the space, always
+// including the space's corner designs (smallest and largest accelerator for
+// each model extreme) so the optimizer sees the full dynamic range.
+func (s Space) Sample(n int, seed int64) []DesignPoint {
+	rng := tensor.NewRNG(seed)
+	seen := map[string]bool{}
+	var out []DesignPoint
+	add := func(d DesignPoint) {
+		k := d.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	minI, maxI := 0, len(s.SRAMKB)-1
+	add(s.design(s.Layers[0], s.Filters[0], s.PERows[0], s.PECols[0],
+		s.SRAMKB[minI], s.SRAMKB[minI], s.SRAMKB[minI]))
+	add(s.design(s.Layers[len(s.Layers)-1], s.Filters[len(s.Filters)-1],
+		s.PERows[len(s.PERows)-1], s.PECols[len(s.PECols)-1],
+		s.SRAMKB[maxI], s.SRAMKB[maxI], s.SRAMKB[maxI]))
+	if int64(n) > s.Size() {
+		n = int(s.Size())
+	}
+	misses := 0
+	for len(out) < n && misses < 200*n {
+		before := len(out)
+		add(s.design(
+			s.Layers[rng.Intn(len(s.Layers))],
+			s.Filters[rng.Intn(len(s.Filters))],
+			s.PERows[rng.Intn(len(s.PERows))],
+			s.PECols[rng.Intn(len(s.PECols))],
+			s.SRAMKB[rng.Intn(len(s.SRAMKB))],
+			s.SRAMKB[rng.Intn(len(s.SRAMKB))],
+			s.SRAMKB[rng.Intn(len(s.SRAMKB))],
+		))
+		if len(out) == before {
+			misses++
+		}
+	}
+	return out
+}
+
+// SampleForModel draws n design points with the model hyper-parameters
+// pinned — used when Phase 3 needs the accelerator space for the
+// highest-success model.
+func (s Space) SampleForModel(h policy.Hyper, n int, seed int64) []DesignPoint {
+	pinned := s
+	pinned.Layers = []int{h.Layers}
+	pinned.Filters = []int{h.Filters}
+	return pinned.Sample(n, seed)
+}
+
+// Features encodes a design point as a normalized vector for the GP models.
+func (s Space) Features(d DesignPoint) []float64 {
+	norm := func(v, lo, hi float64) float64 {
+		if hi == lo {
+			return 0.5
+		}
+		return (v - lo) / (hi - lo)
+	}
+	l2 := math.Log2
+	return []float64{
+		norm(float64(d.Hyper.Layers), 2, 10),
+		norm(float64(d.Hyper.Filters), 32, 64),
+		norm(l2(float64(d.HW.Rows)), 3, 10),
+		norm(l2(float64(d.HW.Cols)), 3, 10),
+		norm(l2(float64(d.HW.IfmapKB)), 5, 12),
+		norm(l2(float64(d.HW.FilterKB)), 5, 12),
+		norm(l2(float64(d.HW.OfmapKB)), 5, 12),
+	}
+}
+
+// Evaluated is one scored design point.
+type Evaluated struct {
+	Design      DesignPoint
+	SuccessRate float64
+	FPS         float64
+	RuntimeSec  float64
+	SoCPowerW   float64
+	AccelPowerW float64
+	Breakdown   power.Breakdown
+}
+
+// Objectives returns the minimization vector [−success, power, runtime].
+func (e Evaluated) Objectives() []float64 {
+	return []float64{-e.SuccessRate, e.SoCPowerW, e.RuntimeSec}
+}
+
+// EfficiencyFPSW returns compute efficiency in FPS per watt of SoC power.
+func (e Evaluated) EfficiencyFPSW() float64 {
+	if e.SoCPowerW <= 0 {
+		return 0
+	}
+	return e.FPS / e.SoCPowerW
+}
+
+// Evaluator scores design points, caching built networks per model.
+type Evaluator struct {
+	space Space
+	db    *airlearning.Database
+	scen  airlearning.Scenario
+	model power.Model
+	nets  map[policy.Hyper]*policy.Network
+}
+
+// NewEvaluator builds an evaluator over a success-rate database for one
+// deployment scenario.
+func NewEvaluator(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model) *Evaluator {
+	return &Evaluator{space: space, db: db, scen: scen, model: pm, nets: map[policy.Hyper]*policy.Network{}}
+}
+
+// Evaluate scores one design point.
+func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
+	net, ok := ev.nets[d.Hyper]
+	if !ok {
+		var err error
+		net, err = policy.Build(d.Hyper, ev.space.Template)
+		if err != nil {
+			return Evaluated{}, fmt.Errorf("dse: build %v: %w", d.Hyper, err)
+		}
+		ev.nets[d.Hyper] = net
+	}
+	rep, err := systolic.Simulate(net, d.HW)
+	if err != nil {
+		return Evaluated{}, fmt.Errorf("dse: simulate %v: %w", d, err)
+	}
+	success := 0.0
+	if rec, ok := ev.db.Get(d.Hyper, ev.scen); ok {
+		success = rec.SuccessRate
+	}
+	bd := ev.model.Accelerator(rep)
+	return Evaluated{
+		Design:      d,
+		SuccessRate: success,
+		FPS:         rep.FPS,
+		RuntimeSec:  rep.RuntimeSec,
+		SoCPowerW:   bd.Total() + power.FixedComponentsW,
+		AccelPowerW: bd.Total(),
+		Breakdown:   bd,
+	}, nil
+}
+
+// Config controls a Phase-2 run.
+type Config struct {
+	CandidatePool int // design points sampled from the space
+	BO            bayesopt.Config
+	Seed          int64
+	// ProbeCorners seeds the run with a deterministic sweep of accelerator
+	// sizes for the scenario's highest-success model (the domain-knowledge
+	// seeding §III-A describes), guaranteeing the evaluated set spans the
+	// full power/performance range the paper's Fig. 3b and Fig. 7 show.
+	ProbeCorners bool
+}
+
+// DefaultConfig returns a laptop-scale Phase-2 budget.
+func DefaultConfig() Config {
+	bo := bayesopt.DefaultConfig()
+	bo.InitSamples = 24
+	bo.Iterations = 72
+	return Config{CandidatePool: 2048, BO: bo, Seed: 1, ProbeCorners: true}
+}
+
+// ProbeDesigns returns the deterministic accelerator sweep for one model:
+// square arrays from the smallest to the largest Table II size crossed with
+// three scratchpad sizes.
+func (s Space) ProbeDesigns(h policy.Hyper) []DesignPoint {
+	var out []DesignPoint
+	srams := []int{s.SRAMKB[0], s.SRAMKB[len(s.SRAMKB)/2], s.SRAMKB[len(s.SRAMKB)-1]}
+	for _, side := range s.PERows {
+		for _, kb := range srams {
+			out = append(out, s.design(h.Layers, h.Filters, side, side, kb, kb, kb))
+		}
+	}
+	return out
+}
+
+// Result is the Phase-2 output.
+type Result struct {
+	Scenario  airlearning.Scenario
+	Evaluated []Evaluated
+	ParetoIdx []int // indices into Evaluated on the 3-objective front
+
+	// Conventional-DSE selections (paper §V-B): highest throughput, lowest
+	// power, highest efficiency — all restricted to designs running a
+	// top-success model.
+	HT, LP, HE int
+}
+
+// Pareto returns the Pareto-front designs.
+func (r *Result) Pareto() []Evaluated {
+	out := make([]Evaluated, 0, len(r.ParetoIdx))
+	for _, i := range r.ParetoIdx {
+		out = append(out, r.Evaluated[i])
+	}
+	return out
+}
+
+// TopSuccess returns the indices of evaluated designs whose success rate is
+// within eps of the best — the filter Phase 3 applies before the F-1 step.
+func (r *Result) TopSuccess(eps float64) []int {
+	best := 0.0
+	for _, e := range r.Evaluated {
+		if e.SuccessRate > best {
+			best = e.SuccessRate
+		}
+	}
+	var out []int
+	for i, e := range r.Evaluated {
+		if e.SuccessRate >= best-eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes Phase 2: sample the space, explore it with SMS-EGO, and label
+// the conventional-DSE picks.
+func Run(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CandidatePool < 2 {
+		return nil, fmt.Errorf("dse: candidate pool %d too small", cfg.CandidatePool)
+	}
+	cands := space.Sample(cfg.CandidatePool, cfg.Seed)
+	ev := NewEvaluator(space, db, scen, pm)
+
+	feats := make([][]float64, len(cands))
+	for i, d := range cands {
+		feats[i] = space.Features(d)
+	}
+	results := make(map[int]Evaluated, cfg.BO.InitSamples+cfg.BO.Iterations)
+	var evalErr error
+	problem := bayesopt.Problem{
+		Candidates: feats,
+		Evaluate: func(i int) []float64 {
+			e, err := ev.Evaluate(cands[i])
+			if err != nil && evalErr == nil {
+				evalErr = err
+			}
+			results[i] = e
+			return e.Objectives()
+		},
+		NumObjectives: 3,
+		// ref: success can only improve hypervolume down to -1; power tops
+		// out near the biggest SoC; runtime near the slowest design.
+		Ref: []float64{0, 30, 1},
+	}
+	boRes, err := bayesopt.Optimize(problem, cfg.BO)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	res := &Result{Scenario: scen}
+	for _, e := range boRes.Evaluations {
+		res.Evaluated = append(res.Evaluated, results[e.Index])
+	}
+	return finishResult(res, space, db, scen, ev, cfg)
+}
+
+// finishResult applies the shared Phase-2 post-processing: probe-corner
+// seeding, Pareto-front extraction, and conventional-DSE labeling.
+func finishResult(res *Result, space Space, db *airlearning.Database, scen airlearning.Scenario, ev *Evaluator, cfg Config) (*Result, error) {
+	if cfg.ProbeCorners {
+		if best, ok := db.Best(scen); ok {
+			seen := map[string]bool{}
+			for _, e := range res.Evaluated {
+				seen[e.Design.String()] = true
+			}
+			for _, d := range space.ProbeDesigns(best.Hyper) {
+				if seen[d.String()] {
+					continue
+				}
+				e, err := ev.Evaluate(d)
+				if err != nil {
+					return nil, err
+				}
+				res.Evaluated = append(res.Evaluated, e)
+			}
+		}
+	}
+	objs := make([][]float64, len(res.Evaluated))
+	for i, e := range res.Evaluated {
+		objs[i] = e.Objectives()
+	}
+	res.ParetoIdx = pareto.NonDominated(objs)
+	res.labelConventional()
+	return res, nil
+}
+
+// labelConventional picks HT/LP/HE among top-success designs.
+func (r *Result) labelConventional() {
+	top := r.TopSuccess(0.02)
+	if len(top) == 0 {
+		r.HT, r.LP, r.HE = -1, -1, -1
+		return
+	}
+	r.HT, r.LP, r.HE = top[0], top[0], top[0]
+	for _, i := range top {
+		e := r.Evaluated[i]
+		if e.FPS > r.Evaluated[r.HT].FPS {
+			r.HT = i
+		}
+		if e.SoCPowerW < r.Evaluated[r.LP].SoCPowerW {
+			r.LP = i
+		}
+		if e.EfficiencyFPSW() > r.Evaluated[r.HE].EfficiencyFPSW() {
+			r.HE = i
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package dse
+
+import (
+	"fmt"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/moea"
+	"autopilot/internal/power"
+)
+
+// Optimizer selects the Phase-2 search method. The paper uses Bayesian
+// optimization but notes it "can be replaced with reinforcement learning,
+// evolutionary algorithms, simulated annealing etc." (§III-B); the GA and SA
+// alternatives are provided for the ablation studies.
+type Optimizer int
+
+// Available Phase-2 optimizers.
+const (
+	OptBayesian Optimizer = iota
+	OptGenetic
+	OptAnnealing
+	OptReinforce
+	OptRandom
+)
+
+// String names the optimizer.
+func (o Optimizer) String() string {
+	switch o {
+	case OptBayesian:
+		return "bayesian"
+	case OptGenetic:
+		return "genetic"
+	case OptAnnealing:
+		return "annealing"
+	case OptReinforce:
+		return "reinforce"
+	case OptRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Optimizer(%d)", int(o))
+	}
+}
+
+// ChoiceDims returns the cardinality of each searched dimension, the genome
+// layout used by the evolutionary optimizers: layers, filters, PE rows, PE
+// cols, and the three scratchpad sizes.
+func (s Space) ChoiceDims() []int {
+	return []int{
+		len(s.Layers), len(s.Filters),
+		len(s.PERows), len(s.PECols),
+		len(s.SRAMKB), len(s.SRAMKB), len(s.SRAMKB),
+	}
+}
+
+// FromChoices materializes a design point from a choice-index genome.
+func (s Space) FromChoices(g []int) (DesignPoint, error) {
+	dims := s.ChoiceDims()
+	if len(g) != len(dims) {
+		return DesignPoint{}, fmt.Errorf("dse: genome length %d, want %d", len(g), len(dims))
+	}
+	for i, v := range g {
+		if v < 0 || v >= dims[i] {
+			return DesignPoint{}, fmt.Errorf("dse: gene %d value %d outside [0,%d)", i, v, dims[i])
+		}
+	}
+	return s.design(
+		s.Layers[g[0]], s.Filters[g[1]],
+		s.PERows[g[2]], s.PECols[g[3]],
+		s.SRAMKB[g[4]], s.SRAMKB[g[5]], s.SRAMKB[g[6]],
+	), nil
+}
+
+// Enumerate materializes every design point of the space in deterministic
+// order. It refuses spaces above the limit — exhaustive sweeps are only
+// tractable on pinned or reduced spaces (the paper's Phase 2 exists because
+// the full space is ~10^18). A limit of 0 defaults to 65536 points.
+func (s Space) Enumerate(limit int64) ([]DesignPoint, error) {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	if s.Size() > limit {
+		return nil, fmt.Errorf("dse: space of %d points exceeds enumeration limit %d", s.Size(), limit)
+	}
+	out := make([]DesignPoint, 0, s.Size())
+	for _, l := range s.Layers {
+		for _, f := range s.Filters {
+			for _, r := range s.PERows {
+				for _, c := range s.PECols {
+					for _, ik := range s.SRAMKB {
+						for _, fk := range s.SRAMKB {
+							for _, ok := range s.SRAMKB {
+								out = append(out, s.design(l, f, r, c, ik, fk, ok))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunWith executes Phase 2 with an explicit optimizer. Run is equivalent to
+// RunWith(..., OptBayesian, ...).
+func RunWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
+	if opt == OptBayesian {
+		return Run(space, db, scen, pm, cfg)
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	ev := NewEvaluator(space, db, scen, pm)
+	budget := cfg.BO.InitSamples + cfg.BO.Iterations
+
+	var evalErr error
+	evaluated := map[string]Evaluated{}
+	problem := moea.Problem{
+		Dims: space.ChoiceDims(),
+		Evaluate: func(g []int) []float64 {
+			d, err := space.FromChoices(g)
+			if err != nil {
+				panic(err) // genome generated from Dims: impossible
+			}
+			e, err := ev.Evaluate(d)
+			if err != nil && evalErr == nil {
+				evalErr = err
+			}
+			evaluated[d.String()] = e
+			return e.Objectives()
+		},
+		NumObjectives: 3,
+		Ref:           []float64{0, 30, 1},
+	}
+
+	var inds []moea.Individual
+	switch opt {
+	case OptGenetic:
+		gaCfg := moea.DefaultGAConfig()
+		gaCfg.MaxEvals = budget
+		gaCfg.Seed = cfg.Seed
+		res, err := moea.NSGA2(problem, gaCfg)
+		if err != nil {
+			return nil, err
+		}
+		inds = res.Evaluations
+	case OptAnnealing:
+		saCfg := moea.DefaultSAConfig()
+		saCfg.MaxEvals = budget
+		saCfg.Seed = cfg.Seed
+		saCfg.Steps = budget / saCfg.Chains
+		res, err := moea.Anneal(problem, saCfg)
+		if err != nil {
+			return nil, err
+		}
+		inds = res.Evaluations
+	case OptReinforce:
+		rlCfg := moea.DefaultRLConfig()
+		rlCfg.MaxEvals = budget
+		rlCfg.Seed = cfg.Seed
+		res, err := moea.Reinforce(problem, rlCfg)
+		if err != nil {
+			return nil, err
+		}
+		inds = res.Evaluations
+	case OptRandom:
+		res := &Result{Scenario: scen}
+		for _, d := range space.Sample(budget, cfg.Seed) {
+			e, err := ev.Evaluate(d)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated = append(res.Evaluated, e)
+		}
+		return finishResult(res, space, db, scen, ev, cfg)
+	default:
+		return nil, fmt.Errorf("dse: unknown optimizer %v", opt)
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	res := &Result{Scenario: scen}
+	for _, ind := range inds {
+		d, err := space.FromChoices(ind.Genome)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated = append(res.Evaluated, evaluated[d.String()])
+	}
+	return finishResult(res, space, db, scen, ev, cfg)
+}

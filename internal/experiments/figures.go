@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/core"
+	"autopilot/internal/dse"
+	"autopilot/internal/f1"
+	"autopilot/internal/pareto"
+	"autopilot/internal/policy"
+	"autopilot/internal/power"
+	"autopilot/internal/systolic"
+	"autopilot/internal/uav"
+)
+
+// Fig2b reproduces the E2E-model capacity vs task-success-rate trade-off:
+// every Table II model's parameter count and validated success rate per
+// scenario.
+func (s *Suite) Fig2b() (Table, error) {
+	db := airlearning.NewDatabase()
+	airlearning.PopulateSurrogate(db)
+	t := Table{
+		ID:     "Fig2b",
+		Title:  "E2E model parameters vs task success rate",
+		Header: []string{"model", "params(M)", "low", "medium", "dense"},
+	}
+	for _, h := range policy.AllHypers() {
+		net, err := policy.Build(h, policy.DefaultTemplate())
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{h.String(), f1s(float64(net.Params()) / 1e6)}
+		for _, scen := range airlearning.Scenarios {
+			rec, ok := db.Get(h, scen)
+			if !ok {
+				return Table{}, fmt.Errorf("experiments: missing record %v/%v", h, scen)
+			}
+			row = append(row, f2s(rec.SuccessRate))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: success spans ~60-91%; winners low=L5F32 medium=L4F48 dense=L7F48")
+	return t, nil
+}
+
+// Fig3b reproduces the accelerator-template sweep: varying PE array and
+// scratchpad sizes for a fixed policy produces the runtime/power Pareto
+// frontier.
+func (s *Suite) Fig3b() (Table, error) {
+	space := dse.DefaultSpace()
+	db := airlearning.NewDatabase()
+	airlearning.PopulateSurrogate(db)
+	ev := dse.NewEvaluator(space, db, airlearning.DenseObstacle, power.Default())
+	h := policy.Hyper{Layers: 7, Filters: 48}
+	var evs []dse.Evaluated
+	var objs [][]float64
+	for _, d := range space.ProbeDesigns(h) {
+		e, err := ev.Evaluate(d)
+		if err != nil {
+			return Table{}, err
+		}
+		evs = append(evs, e)
+		objs = append(objs, []float64{e.RuntimeSec, e.SoCPowerW})
+	}
+	front := map[int]bool{}
+	for _, i := range pareto.NonDominated(objs) {
+		front[i] = true
+	}
+	t := Table{
+		ID:     "Fig3b",
+		Title:  "Accelerator template sweep (L7F48): runtime/power Pareto",
+		Header: []string{"array", "SRAM(KB)", "FPS", "SoC W", "FPS/W", "pareto"},
+	}
+	for i, e := range evs {
+		mark := ""
+		if front[i] {
+			mark = "*"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", e.Design.HW.Rows, e.Design.HW.Cols),
+			fmt.Sprintf("%d", e.Design.HW.IfmapKB),
+			f1s(e.FPS), f2s(e.SoCPowerW), f1s(e.EfficiencyFPSW()), mark,
+		})
+	}
+	t.Notes = append(t.Notes, "paper Table III: NPU spans ~22-200 FPS and ~0.7-8.24 W across the template")
+	return t, nil
+}
+
+// Fig5 reproduces the headline comparison: number of missions for the
+// AutoPilot design vs Jetson TX2, Xavier NX and PULP-DroNet, for three UAVs
+// across three deployment scenarios (one sub-table per UAV, as in
+// Fig. 5a-c).
+func (s *Suite) Fig5() ([]Table, error) {
+	var out []Table
+	letters := []string{"a", "b", "c"}
+	for pi, plat := range uav.Platforms() {
+		t := Table{
+			ID:     "Fig5" + letters[pi],
+			Title:  fmt.Sprintf("Number of missions per charge: %s (%s-UAV)", plat.Name, plat.Class),
+			Header: []string{"scenario", "AutoPilot", "TX2", "NX", "P-DroNet", "gain vs mean"},
+		}
+		for _, scen := range airlearning.Scenarios {
+			rep, err := s.report(plat, scen)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{scen.String(), f2s(rep.Selected.Missions())}
+			var sum float64
+			var n int
+			for _, b := range uav.Baselines() {
+				sel := core.EvaluateBaseline(rep.Spec, rep.Database, b)
+				row = append(row, f2s(sel.Missions()))
+				if sel.Missions() > 0 {
+					sum += sel.Missions()
+					n++
+				}
+			}
+			gain := "inf"
+			if n > 0 && sum > 0 {
+				gain = f2s(rep.Selected.Missions() / (sum / float64(n)))
+			}
+			row = append(row, gain)
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"paper: AutoPilot gains up to 2.25x (nano), 1.62x (micro), 1.43x (mini) over baselines")
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig6 reproduces the DSSoC architectural-parameter variation across the
+// nine (UAV, scenario) combinations, normalized to the smallest selected
+// value per parameter.
+func (s *Suite) Fig6() (Table, error) {
+	t := Table{
+		ID:     "Fig6",
+		Title:  "Selected DSSoC parameters across 9 scenarios (normalized to min)",
+		Header: []string{"UAV/scenario", "layers", "filters", "PE rows", "PE cols", "if KB", "f KB", "of KB"},
+	}
+	type sel struct {
+		key string
+		d   dse.DesignPoint
+	}
+	var sels []sel
+	mins := []float64{1e18, 1e18, 1e18, 1e18, 1e18, 1e18, 1e18}
+	vals := func(d dse.DesignPoint) []float64 {
+		return []float64{
+			float64(d.Hyper.Layers), float64(d.Hyper.Filters),
+			float64(d.HW.Rows), float64(d.HW.Cols),
+			float64(d.HW.IfmapKB), float64(d.HW.FilterKB), float64(d.HW.OfmapKB),
+		}
+	}
+	for _, plat := range uav.Platforms() {
+		for _, scen := range airlearning.Scenarios {
+			rep, err := s.report(plat, scen)
+			if err != nil {
+				return Table{}, err
+			}
+			d := rep.Selected.Design.Design
+			sels = append(sels, sel{fmt.Sprintf("%s/%s", plat.Class, scen), d})
+			for i, v := range vals(d) {
+				if v < mins[i] {
+					mins[i] = v
+				}
+			}
+		}
+	}
+	for _, x := range sels {
+		row := []string{x.key}
+		for i, v := range vals(x.d) {
+			row = append(row, fmt.Sprintf("%.2fx", v/mins[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: parameters vary with UAV type and clutter — no one-size-fits-all DSSoC")
+	return t, nil
+}
+
+// Fig7 reproduces the Phase-2 Pareto view for the nano-UAV dense scenario
+// with the HT/LP/HE/AP design profiles (throughput, power, efficiency,
+// weight, safe velocity).
+func (s *Suite) Fig7() (Table, error) {
+	rep, err := s.report(uav.ZhangNano(), airlearning.DenseObstacle)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Fig7",
+		Title:  "HT/LP/HE vs AutoPilot (nano-UAV, dense obstacles)",
+		Header: []string{"design", "config", "FPS", "SoC W", "FPS/W", "payload g", "v_safe m/s"},
+	}
+	add := func(name string, sel core.Selection) {
+		t.Rows = append(t.Rows, []string{
+			name, sel.Design.Design.String(),
+			f1s(sel.Design.FPS), f2s(sel.Design.SoCPowerW), f1s(sel.Design.EfficiencyFPSW()),
+			f1s(sel.PayloadG), f2s(sel.VSafeMS),
+		})
+	}
+	add("HT", rep.HT)
+	add("LP", rep.LP)
+	add("HE", rep.HE)
+	add("AP", rep.Selected)
+	t.Notes = append(t.Notes,
+		"paper: HT 205FPS/8.24W/65g, LP lowest power, HE 96FPS/1.5W (~64 FPS/W), AP 46FPS/0.7W/24g (~55 FPS/W)",
+		fmt.Sprintf("Pareto front holds %d of %d evaluated designs", len(rep.Phase2.ParetoIdx), len(rep.Phase2.Evaluated)))
+	return t, nil
+}
+
+// fig8to10 renders one AP-vs-conventional comparison with its F-1 context.
+func (s *Suite) fig8to10(id, name string, pick func(*core.Report) core.Selection, paperGain string) (Table, error) {
+	rep, err := s.report(uav.ZhangNano(), airlearning.DenseObstacle)
+	if err != nil {
+		return Table{}, err
+	}
+	other := pick(rep)
+	t := Table{
+		ID:     id,
+		Title:  fmt.Sprintf("AP vs %s: missions and F-1 operating points (nano, dense)", name),
+		Header: []string{"design", "missions", "action Hz", "knee Hz", "v_safe", "payload g", "provisioning"},
+	}
+	for _, e := range []struct {
+		n string
+		s core.Selection
+	}{{"AP", rep.Selected}, {name, other}} {
+		t.Rows = append(t.Rows, []string{
+			e.n, f2s(e.s.Missions()), f1s(e.s.ActionHz), f1s(e.s.KneeHz),
+			f2s(e.s.VSafeMS), f1s(e.s.PayloadG), e.s.Provisioning.String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured AP/%s = %.2fx; paper reports %s", name, core.MissionGain(rep.Selected, other), paperGain))
+	return t, nil
+}
+
+// Fig8 compares AP against the high-throughput design.
+func (s *Suite) Fig8() (Table, error) {
+	return s.fig8to10("Fig8", "HT", func(r *core.Report) core.Selection { return r.HT }, "2.25x")
+}
+
+// Fig9 compares AP against the low-power design.
+func (s *Suite) Fig9() (Table, error) {
+	return s.fig8to10("Fig9", "LP", func(r *core.Report) core.Selection { return r.LP }, "1.8x")
+}
+
+// Fig10 compares AP against the high-efficiency design.
+func (s *Suite) Fig10() (Table, error) {
+	return s.fig8to10("Fig10", "HE", func(r *core.Report) core.Selection { return r.HE }, "1.3x")
+}
+
+// Fig11 reproduces the agility study: knee-point throughput for the DJI
+// Spark vs the more agile nano-UAV, both with 60 FPS sensors.
+func (s *Suite) Fig11() (Table, error) {
+	t := Table{
+		ID:     "Fig11",
+		Title:  "UAV agility raises the compute-throughput requirement (60 FPS sensors, dense)",
+		Header: []string{"UAV", "max accel m/s2", "knee Hz", "selected FPS", "v_safe m/s"},
+	}
+	for _, plat := range []uav.Platform{uav.DJISpark(), uav.ZhangNano()} {
+		rep, err := s.report(plat, airlearning.DenseObstacle)
+		if err != nil {
+			return Table{}, err
+		}
+		sel := rep.Selected
+		accel := plat.MaxAccelMS2(sel.PayloadG)
+		t.Rows = append(t.Rows, []string{
+			plat.Name, f1s(accel), f1s(sel.KneeHz), f1s(sel.Design.FPS), f2s(sel.VSafeMS),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: knee ~27 Hz for DJI Spark vs ~46 Hz for the nano (~1.7x)")
+	return t, nil
+}
+
+// TableV reproduces the specialization-cost study: the mini-UAV medium
+// scenario served by the medium-optimized design vs designs specialized for
+// the other scenarios, and vs general-purpose hardware (TX2, Intel NCS).
+func (s *Suite) TableV() (Table, error) {
+	plat := uav.AscTecPelican()
+	ref, err := s.report(plat, airlearning.MediumObstacle)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "TableV",
+		Title:  "Specialization cost: mini-UAV on medium obstacles",
+		Header: []string{"design", "missions", "degradation", "comment"},
+	}
+	refMissions := ref.Selected.Missions()
+	add := func(name string, sel core.Selection, comment string) {
+		deg := "grounded"
+		if sel.Missions() > 0 {
+			deg = fmt.Sprintf("%.0f%%", 100*(1-sel.Missions()/refMissions))
+		}
+		t.Rows = append(t.Rows, []string{name, f2s(sel.Missions()), deg, comment})
+	}
+	add("knee-point (medium)", ref.Selected, "optimal design")
+	for _, scen := range []airlearning.Scenario{airlearning.LowObstacle, airlearning.DenseObstacle} {
+		other, err := s.report(plat, scen)
+		if err != nil {
+			return Table{}, err
+		}
+		// reuse the other scenario's selected hardware, re-evaluated on the
+		// medium-obstacle task
+		reused := core.EvaluateOnPlatform(ref.Spec, resimulate(ref, other.Selected), ref.F1)
+		comment := "reused design"
+		switch ref.F1.Classify(reused.ActionHz, plat.MaxAccelMS2(reused.PayloadG)) {
+		case f1.UnderProvisioned:
+			comment = "compute bound lowers Vsafe"
+		case f1.OverProvisioned:
+			comment = "weight lowers the roofline"
+		}
+		add(fmt.Sprintf("knee-point (%s)", scen), reused, comment)
+	}
+	add("Nvidia TX2", core.EvaluateBaseline(ref.Spec, ref.Database, uav.JetsonTX2()), "weight lowers the roofline")
+	add("Intel NCS", core.EvaluateBaseline(ref.Spec, ref.Database, uav.IntelNCS()), "compute bound lowers Vsafe")
+	t.Notes = append(t.Notes, "paper: 0-30% degradation for reused knee designs, 30% TX2, 67% NCS")
+	return t, nil
+}
+
+// resimulate rescores another scenario's selected design under the reference
+// report's scenario (success rate comes from the reference database's best
+// record to keep the workload identical, as the paper does when reusing
+// hardware across scenarios).
+func resimulate(ref *core.Report, sel core.Selection) dse.Evaluated {
+	e := sel.Design
+	if best, ok := ref.Database.Best(ref.Spec.Scenario); ok {
+		if net, err := policy.Build(best.Hyper, ref.Spec.Space.Template); err == nil {
+			if rep, err := systolic.Simulate(net, e.Design.HW); err == nil {
+				pm := ref.Spec.PowerModel
+				if sel.NodeNM != 0 && sel.NodeNM != 28 {
+					if scaled, err := pm.AtNode(sel.NodeNM); err == nil {
+						pm = scaled
+					}
+				}
+				bd := pm.Accelerator(rep)
+				e = dse.Evaluated{
+					Design:      dse.DesignPoint{Hyper: best.Hyper, HW: e.Design.HW},
+					SuccessRate: best.SuccessRate,
+					FPS:         rep.FPS,
+					RuntimeSec:  rep.RuntimeSec,
+					SoCPowerW:   bd.Total() + power.FixedComponentsW,
+					AccelPowerW: bd.Total(),
+					Breakdown:   bd,
+				}
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the table as GitHub-flavored markdown, the format
+// EXPERIMENTS.md embeds.
+func (t Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteAllMarkdown regenerates every experiment and writes one markdown
+// document — `cmd/experiments -markdown` uses it to refresh the measured
+// numbers behind EXPERIMENTS.md.
+func (s *Suite) WriteAllMarkdown(w io.Writer) error {
+	tables, err := s.All()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# Regenerated experiment tables\n\n"); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			return fmt.Errorf("experiments: write %s: %w", t.ID, err)
+		}
+	}
+	return nil
+}

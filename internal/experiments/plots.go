@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"autopilot/internal/airlearning"
+	"autopilot/internal/plot"
+	"autopilot/internal/uav"
+)
+
+// ParetoPlot renders the Fig. 7(a)-style scatter of every Phase-2 design for
+// the nano dense-obstacle run (runtime on x as FPS, power on y) with the
+// HT/LP/HE/AP picks marked.
+func (s *Suite) ParetoPlot() (string, error) {
+	rep, err := s.report(uav.ZhangNano(), airlearning.DenseObstacle)
+	if err != nil {
+		return "", err
+	}
+	chart := plot.New("Phase-2 design space (nano, dense): power vs throughput",
+		"throughput (FPS)", "SoC power (W)")
+	var xs, ys []float64
+	for _, e := range rep.Phase2.Evaluated {
+		xs = append(xs, e.FPS)
+		ys = append(ys, e.SoCPowerW)
+	}
+	chart.Add(plot.Series{Name: "evaluated designs", X: xs, Y: ys, Marker: '.'})
+	var fx, fy []float64
+	for _, e := range rep.Phase2.Pareto() {
+		fx = append(fx, e.FPS)
+		fy = append(fy, e.SoCPowerW)
+	}
+	chart.Add(plot.Series{Name: "Pareto front", X: fx, Y: fy, Marker: '*'})
+	chart.AddPoint("HT", rep.HT.Design.FPS, rep.HT.Design.SoCPowerW, 'H')
+	chart.AddPoint("LP", rep.LP.Design.FPS, rep.LP.Design.SoCPowerW, 'L')
+	chart.AddPoint("HE", rep.HE.Design.FPS, rep.HE.Design.SoCPowerW, 'E')
+	chart.AddPoint("AP (AutoPilot)", rep.Selected.Design.FPS, rep.Selected.Design.SoCPowerW, 'A')
+	return chart.String(), nil
+}
+
+// RooflinePlot renders the Fig. 8b-style F-1 roofline for the nano
+// dense-obstacle run with the AP and HT operating points.
+func (s *Suite) RooflinePlot() (string, error) {
+	rep, err := s.report(uav.ZhangNano(), airlearning.DenseObstacle)
+	if err != nil {
+		return "", err
+	}
+	chart := plot.New("F-1 roofline (nano, dense): AP vs HT operating points",
+		"action throughput (Hz)", "safe velocity (m/s)")
+	accelAP := rep.Spec.Platform.MaxAccelMS2(rep.Selected.PayloadG)
+	pts := rep.F1.Curve(accelAP, 120, 60)
+	xs, ys := make([]float64, len(pts)), make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.ThroughputHz, p.VSafeMS
+	}
+	chart.AddLine("v_safe @ AP payload", xs, ys)
+	accelHT := rep.Spec.Platform.MaxAccelMS2(rep.HT.PayloadG)
+	pts = rep.F1.Curve(accelHT, 120, 60)
+	hx, hy := make([]float64, len(pts)), make([]float64, len(pts))
+	for i, p := range pts {
+		hx[i], hy[i] = p.ThroughputHz, p.VSafeMS
+	}
+	chart.AddLine("v_safe @ HT payload (lowered ceiling)", hx, hy)
+	chart.AddPoint("AP", rep.Selected.ActionHz, rep.Selected.VSafeMS, 'A')
+	chart.AddPoint("HT", rep.HT.ActionHz, rep.HT.VSafeMS, 'H')
+	return chart.String(), nil
+}

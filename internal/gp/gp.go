@@ -1,0 +1,208 @@
+// Package gp implements Gaussian-process regression with the squared
+// exponential kernel — the statistical model the paper's Bayesian optimizer
+// builds per objective (§III-B: "the widely-used squared exponential (SE)
+// kernel is used due to its simplicity").
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a positive-definite covariance function.
+type Kernel interface {
+	Eval(a, b []float64) float64
+}
+
+// SE is the squared exponential (RBF) kernel
+// k(a,b) = Variance · exp(-½ Σ ((aᵢ-bᵢ)/LengthScale)²).
+type SE struct {
+	Variance    float64
+	LengthScale float64
+}
+
+// Eval computes the kernel value.
+func (k SE) Eval(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("gp: kernel input dims %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := (a[i] - b[i]) / k.LengthScale
+		s += d * d
+	}
+	return k.Variance * math.Exp(-0.5*s)
+}
+
+// GP is a fitted Gaussian-process posterior.
+type GP struct {
+	kernel Kernel
+	noise  float64
+	x      [][]float64
+	l      [][]float64 // Cholesky factor of K + noise·I
+	alpha  []float64   // (K + noise·I)⁻¹ y
+}
+
+// Fit conditions a GP on observations (X, y). noise is the observation
+// noise variance added to the kernel diagonal; it must be positive to keep
+// the system well conditioned.
+func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("gp: no training points")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
+	}
+	if noise <= 0 {
+		return nil, fmt.Errorf("gp: noise variance must be positive, got %g", noise)
+	}
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(x[i], x[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += noise
+	}
+	l, err := Cholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: covariance not positive definite: %w", err)
+	}
+	alpha := SolveCholesky(l, y)
+	xs := make([][]float64, n)
+	for i, xi := range x {
+		xs[i] = append([]float64(nil), xi...)
+	}
+	return &GP{kernel: kernel, noise: noise, x: xs, l: l, alpha: alpha}, nil
+}
+
+// Predict returns the posterior mean and variance at a query point. The
+// variance is the latent-function variance (it excludes observation noise)
+// and is clamped at zero against round-off.
+func (g *GP) Predict(q []float64) (mean, variance float64) {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := range ks {
+		ks[i] = g.kernel.Eval(g.x[i], q)
+	}
+	for i := range ks {
+		mean += ks[i] * g.alpha[i]
+	}
+	v := forwardSolve(g.l, ks)
+	variance = g.kernel.Eval(q, q)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// LogMarginalLikelihood returns the GP's log marginal likelihood
+// log p(y | X, θ) = -½ yᵀα - Σ log Lᵢᵢ - (n/2) log 2π, used to select
+// kernel hyper-parameters.
+func (g *GP) LogMarginalLikelihood(y []float64) float64 {
+	n := len(g.x)
+	if len(y) != n {
+		panic(fmt.Sprintf("gp: %d targets for %d training points", len(y), n))
+	}
+	ll := 0.0
+	for i := range y {
+		ll -= 0.5 * y[i] * g.alpha[i]
+	}
+	for i := 0; i < n; i++ {
+		ll -= math.Log(g.l[i][i])
+	}
+	ll -= float64(n) / 2 * math.Log(2*math.Pi)
+	return ll
+}
+
+// SelectLengthScale fits one GP per candidate length scale and returns the
+// scale maximizing the log marginal likelihood — the standard type-II
+// maximum-likelihood model selection, over a grid because the spaces here
+// are small.
+func SelectLengthScale(x [][]float64, y []float64, variance, noise float64, scales []float64) (float64, error) {
+	if len(scales) == 0 {
+		return 0, fmt.Errorf("gp: no candidate length scales")
+	}
+	best, bestLL := scales[0], math.Inf(-1)
+	for _, s := range scales {
+		if s <= 0 {
+			return 0, fmt.Errorf("gp: non-positive length scale %g", s)
+		}
+		m, err := Fit(x, y, SE{Variance: variance, LengthScale: s}, noise)
+		if err != nil {
+			continue // ill-conditioned at this scale; skip
+		}
+		if ll := m.LogMarginalLikelihood(y); ll > bestLL {
+			best, bestLL = s, ll
+		}
+	}
+	if math.IsInf(bestLL, -1) {
+		return 0, fmt.Errorf("gp: no length scale produced a valid fit")
+	}
+	return best, nil
+}
+
+// Cholesky returns the lower-triangular factor L with A = L·Lᵀ, or an error
+// if A is not positive definite.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for p := 0; p < j; p++ {
+				sum -= l[i][p] * l[j][p]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("gp: pivot %d is %g", i, sum)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves (L·Lᵀ)·x = b given the Cholesky factor L.
+func SolveCholesky(l [][]float64, b []float64) []float64 {
+	y := forwardSolve(l, b)
+	return backSolve(l, y)
+}
+
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l[i][j] * y[j]
+		}
+		y[i] = s / l[i][i]
+	}
+	return y
+}
+
+func backSolve(l [][]float64, y []float64) []float64 {
+	n := len(y)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= l[j][i] * x[j]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x
+}

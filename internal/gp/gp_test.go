@@ -1,0 +1,260 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"autopilot/internal/tensor"
+)
+
+func TestSEKernelProperties(t *testing.T) {
+	k := SE{Variance: 2, LengthScale: 1}
+	a, b := []float64{0, 0}, []float64{1, 1}
+	if got := k.Eval(a, a); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("k(a,a) = %g, want variance 2", got)
+	}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Fatal("kernel must be symmetric")
+	}
+	far := []float64{100, 100}
+	if k.Eval(a, far) > 1e-10 {
+		t.Fatal("kernel must vanish at long range")
+	}
+	if k.Eval(a, b) >= k.Eval(a, a) {
+		t.Fatal("off-diagonal must be below the diagonal")
+	}
+}
+
+func TestSEKernelDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SE{Variance: 1, LengthScale: 1}.Eval([]float64{1}, []float64{1, 2})
+}
+
+func TestCholeskyKnownMatrix(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 3}}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 0}, {1, math.Sqrt(2)}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(l[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("L[%d][%d] = %g, want %g", i, j, l[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := Cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	g := tensor.NewRNG(1)
+	n := 6
+	// random SPD: A = B·Bᵀ + n·I
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+		for j := range b[i] {
+			b[i][j] = g.NormFloat64()
+		}
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			for p := 0; p < n; p++ {
+				a[i][j] += b[i][p] * b[j][p]
+			}
+		}
+		a[i][i] += float64(n)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rec := 0.0
+			for p := 0; p < n; p++ {
+				rec += l[i][p] * l[j][p]
+			}
+			if math.Abs(rec-a[i][j]) > 1e-9 {
+				t.Fatalf("LLᵀ[%d][%d] = %g, want %g", i, j, rec, a[i][j])
+			}
+		}
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 3}}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := SolveCholesky(l, []float64{10, 8})
+	// verify A·x = b
+	if got := 4*x[0] + 2*x[1]; math.Abs(got-10) > 1e-10 {
+		t.Fatalf("A·x row0 = %g", got)
+	}
+	if got := 2*x[0] + 3*x[1]; math.Abs(got-8) > 1e-10 {
+		t.Fatalf("A·x row1 = %g", got)
+	}
+}
+
+func trainGP(t *testing.T) (*GP, [][]float64, []float64) {
+	t.Helper()
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 10; i++ {
+		xi := float64(i) / 10 * 2 * math.Pi
+		x = append(x, []float64{xi})
+		y = append(y, math.Sin(xi))
+	}
+	g, err := Fit(x, y, SE{Variance: 1, LengthScale: 1}, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, x, y
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	g, x, y := trainGP(t)
+	for i := range x {
+		m, v := g.Predict(x[i])
+		if math.Abs(m-y[i]) > 1e-3 {
+			t.Fatalf("mean at train point %v = %g, want %g", x[i], m, y[i])
+		}
+		if v > 1e-4 {
+			t.Fatalf("variance at train point = %g, want ~0", v)
+		}
+	}
+}
+
+func TestGPGeneralizesBetweenPoints(t *testing.T) {
+	g, _, _ := trainGP(t)
+	for _, xq := range []float64{0.55, 1.7, 3.33, 5.01} {
+		m, _ := g.Predict([]float64{xq})
+		if math.Abs(m-math.Sin(xq)) > 0.05 {
+			t.Fatalf("mean at %g = %g, want ~%g", xq, m, math.Sin(xq))
+		}
+	}
+}
+
+func TestGPVarianceGrowsAwayFromData(t *testing.T) {
+	g, _, _ := trainGP(t)
+	_, nearVar := g.Predict([]float64{1.0})
+	_, farVar := g.Predict([]float64{20.0})
+	if farVar <= nearVar {
+		t.Fatalf("far variance %g <= near variance %g", farVar, nearVar)
+	}
+	if farVar > 1.0+1e-9 {
+		t.Fatalf("far variance %g exceeds prior variance", farVar)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	k := SE{Variance: 1, LengthScale: 1}
+	if _, err := Fit(nil, nil, k, 1e-6); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, k, 1e-6); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, k, 0); err == nil {
+		t.Fatal("expected error for zero noise")
+	}
+}
+
+func TestFitDuplicatePointsStableWithNoise(t *testing.T) {
+	k := SE{Variance: 1, LengthScale: 1}
+	x := [][]float64{{1}, {1}, {2}}
+	y := []float64{0.9, 1.1, 2}
+	g, err := Fit(x, y, k, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := g.Predict([]float64{1})
+	if math.Abs(m-1.0) > 0.1 {
+		t.Fatalf("duplicate-point mean = %g, want ~1.0", m)
+	}
+}
+
+func TestGPCopiesTrainingInputs(t *testing.T) {
+	k := SE{Variance: 1, LengthScale: 1}
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	g, err := Fit(x, y, k, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := g.Predict([]float64{1})
+	x[0][0] = 100 // mutate the caller's slice
+	after, _ := g.Predict([]float64{1})
+	if before != after {
+		t.Fatal("GP must defensively copy training inputs")
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersTrueScale(t *testing.T) {
+	// data from a smooth function: a moderate length scale must beat an
+	// absurdly tiny one
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 20; i++ {
+		xi := float64(i) / 20 * 2 * math.Pi
+		x = append(x, []float64{xi})
+		y = append(y, math.Sin(xi))
+	}
+	fit := func(scale float64) float64 {
+		g, err := Fit(x, y, SE{Variance: 1, LengthScale: scale}, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.LogMarginalLikelihood(y)
+	}
+	if fit(1.0) <= fit(0.01) {
+		t.Fatal("length scale 1.0 must have higher evidence than 0.01 on sin(x)")
+	}
+}
+
+func TestSelectLengthScale(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 20; i++ {
+		xi := float64(i) / 20 * 2 * math.Pi
+		x = append(x, []float64{xi})
+		y = append(y, math.Sin(xi))
+	}
+	got, err := SelectLengthScale(x, y, 1, 1e-6, []float64{0.01, 0.1, 1.0, 10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.0 {
+		t.Fatalf("selected scale %g, want 1.0", got)
+	}
+	if _, err := SelectLengthScale(x, y, 1, 1e-6, nil); err == nil {
+		t.Fatal("expected error for empty scale list")
+	}
+	if _, err := SelectLengthScale(x, y, 1, 1e-6, []float64{-1}); err == nil {
+		t.Fatal("expected error for negative scale")
+	}
+}
+
+func TestLogMarginalLikelihoodLengthMismatchPanics(t *testing.T) {
+	g, _, y := trainGP(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.LogMarginalLikelihood(y[:3])
+}

@@ -1,0 +1,114 @@
+// Package mission implements the paper's domain-specific evaluation metrics
+// (§IV, Eq. 1–4): mission energy and the number of missions per battery
+// charge, built on a momentum-theory rotor hover-power model. The number of
+// missions is
+//
+//	N = E_battery · V_safe / ((P_rotors + P_compute + P_others) · D_operation)
+package mission
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/uav"
+)
+
+// Params holds the rotor power-model constants.
+type Params struct {
+	AirDensityKgM3 float64 // ρ
+	FigureOfMerit  float64 // rotor + drivetrain efficiency
+
+	// PeukertExponent models capacity derating at high discharge rates:
+	// effective energy = rated energy · (P_rated / P_draw)^(k−1) when the
+	// draw exceeds the rated power. 1.0 (the default) is an ideal battery;
+	// LiPo packs are typically 1.02–1.10.
+	PeukertExponent float64
+	// RatedDischargeW is the draw at which the battery delivers its rated
+	// energy; 0 disables derating.
+	RatedDischargeW float64
+}
+
+// DefaultParams returns standard sea-level air, a typical small-rotor
+// figure of merit, and an ideal battery.
+func DefaultParams() Params {
+	return Params{AirDensityKgM3: 1.225, FigureOfMerit: 0.5, PeukertExponent: 1.0}
+}
+
+// EffectiveBatteryJ applies Peukert-style capacity derating to the rated
+// battery energy for a given power draw.
+func (p Params) EffectiveBatteryJ(ratedJ, drawW float64) float64 {
+	if p.PeukertExponent <= 1.0 || p.RatedDischargeW <= 0 || drawW <= p.RatedDischargeW {
+		return ratedJ
+	}
+	return ratedJ * math.Pow(p.RatedDischargeW/drawW, p.PeukertExponent-1)
+}
+
+// RotorHoverPowerW returns the electrical power to hover at the given all-up
+// mass, from momentum theory: P = T^1.5 / (FM · sqrt(2·ρ·A)) with T = m·g.
+func (p Params) RotorHoverPowerW(massKg, discAreaM2 float64) float64 {
+	if massKg <= 0 || discAreaM2 <= 0 {
+		return 0
+	}
+	thrust := massKg * uav.Gravity
+	return math.Pow(thrust, 1.5) / (p.FigureOfMerit * math.Sqrt(2*p.AirDensityKgM3*discAreaM2))
+}
+
+// Spec describes a mission.
+type Spec struct {
+	DistanceM float64 // D_operation: distance flown per mission
+}
+
+// DefaultSpec is a representative short-range autonomous sortie.
+func DefaultSpec() Spec { return Spec{DistanceM: 1000} }
+
+// Profile is the full mission-level evaluation of one (UAV, compute payload,
+// safe velocity) combination.
+type Profile struct {
+	VSafeMS     float64
+	RotorPowerW float64
+	ComputeW    float64
+	OthersW     float64
+	TotalW      float64
+	MissionTime float64 // seconds per mission
+	MissionJ    float64 // Eq. 3
+	Missions    float64 // Eq. 4
+}
+
+// Evaluate computes Eq. 1–4 for a platform carrying payloadG grams of
+// compute that draws computeW watts and sustains safe velocity vSafe.
+func Evaluate(p uav.Platform, params Params, spec Spec, payloadG, computeW, vSafe float64) (Profile, error) {
+	if spec.DistanceM <= 0 {
+		return Profile{}, fmt.Errorf("mission: non-positive distance %g", spec.DistanceM)
+	}
+	if vSafe <= 0 {
+		return Profile{}, fmt.Errorf("mission: non-positive safe velocity %g", vSafe)
+	}
+	if !p.CanLift(payloadG) {
+		return Profile{}, fmt.Errorf("mission: %s cannot lift %.0f g payload", p.Name, payloadG)
+	}
+	rotor := params.RotorHoverPowerW(p.TotalMassKg(payloadG), p.RotorDiscAreaM2)
+	total := rotor + computeW + p.OtherPowerW
+	t := spec.DistanceM / vSafe
+	e := total * t
+	return Profile{
+		VSafeMS:     vSafe,
+		RotorPowerW: rotor,
+		ComputeW:    computeW,
+		OthersW:     p.OtherPowerW,
+		TotalW:      total,
+		MissionTime: t,
+		MissionJ:    e,
+		Missions:    params.EffectiveBatteryJ(p.BatteryJ(), total) / e,
+	}, nil
+}
+
+// FlightTimeMin returns the hover endurance in minutes for the platform with
+// the payload, a convenient sanity metric.
+func FlightTimeMin(p uav.Platform, params Params, payloadG, computeW float64) float64 {
+	rotor := params.RotorHoverPowerW(p.TotalMassKg(payloadG), p.RotorDiscAreaM2)
+	total := rotor + computeW + p.OtherPowerW
+	if total <= 0 {
+		return 0
+	}
+	return p.BatteryJ() / total / 60
+}

@@ -1,0 +1,189 @@
+package mission
+
+import (
+	"math"
+	"testing"
+
+	"autopilot/internal/uav"
+)
+
+func TestRotorPowerMomentumTheory(t *testing.T) {
+	p := DefaultParams()
+	// doubling mass raises hover power by 2^1.5
+	a := p.RotorHoverPowerW(0.1, 0.01)
+	b := p.RotorHoverPowerW(0.2, 0.01)
+	if math.Abs(b/a-math.Pow(2, 1.5)) > 1e-9 {
+		t.Fatalf("power ratio = %g, want 2^1.5", b/a)
+	}
+	// doubling disc area cuts power by sqrt(2)
+	c := p.RotorHoverPowerW(0.1, 0.02)
+	if math.Abs(a/c-math.Sqrt2) > 1e-9 {
+		t.Fatalf("area scaling ratio = %g, want sqrt(2)", a/c)
+	}
+}
+
+func TestRotorPowerDegenerateInputs(t *testing.T) {
+	p := DefaultParams()
+	if p.RotorHoverPowerW(0, 0.01) != 0 || p.RotorHoverPowerW(0.1, 0) != 0 {
+		t.Fatal("degenerate inputs must give zero power")
+	}
+}
+
+func TestFlightTimesMatchRealDrones(t *testing.T) {
+	// sanity anchors: Spark ~16 min, Pelican ~20 min, Crazyflie-class nano
+	// ~7-12 min with a small payload
+	p := DefaultParams()
+	cases := []struct {
+		plat   uav.Platform
+		lo, hi float64
+	}{
+		{uav.ZhangNano(), 6, 14},
+		{uav.DJISpark(), 12, 24},
+		{uav.AscTecPelican(), 15, 28},
+	}
+	for _, c := range cases {
+		min := FlightTimeMin(c.plat, p, 24, 0.7)
+		if min < c.lo || min > c.hi {
+			t.Errorf("%s: flight time %.1f min outside [%g, %g]", c.plat.Name, min, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEvaluateEquationConsistency(t *testing.T) {
+	p := DefaultParams()
+	nano := uav.ZhangNano()
+	prof, err := Evaluate(nano, p, Spec{DistanceM: 500}, 24, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 2/3: E = P·t with t = D/v
+	if math.Abs(prof.MissionTime-100) > 1e-9 {
+		t.Fatalf("mission time = %g, want 100 s", prof.MissionTime)
+	}
+	if math.Abs(prof.MissionJ-prof.TotalW*prof.MissionTime) > 1e-9 {
+		t.Fatal("E != P·t")
+	}
+	// Eq. 1/4: N = E_batt / E_mission
+	if math.Abs(prof.Missions-nano.BatteryJ()/prof.MissionJ) > 1e-9 {
+		t.Fatal("N != E_batt / E_mission")
+	}
+	if math.Abs(prof.TotalW-(prof.RotorPowerW+prof.ComputeW+prof.OthersW)) > 1e-9 {
+		t.Fatal("total power must sum components")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	p := DefaultParams()
+	nano := uav.ZhangNano()
+	if _, err := Evaluate(nano, p, Spec{}, 24, 0.7, 5); err == nil {
+		t.Error("expected error for zero distance")
+	}
+	if _, err := Evaluate(nano, p, DefaultSpec(), 24, 0.7, 0); err == nil {
+		t.Error("expected error for zero velocity")
+	}
+	if _, err := Evaluate(nano, p, DefaultSpec(), 5000, 0.7, 5); err == nil {
+		t.Error("expected error for unliftable payload")
+	}
+}
+
+func TestFasterIsMoreMissionsAtSamePower(t *testing.T) {
+	p := DefaultParams()
+	nano := uav.ZhangNano()
+	slow, err := Evaluate(nano, p, DefaultSpec(), 24, 0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Evaluate(nano, p, DefaultSpec(), 24, 0.7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Missions <= slow.Missions {
+		t.Fatal("higher safe velocity must yield more missions (Eq. 4)")
+	}
+	if math.Abs(fast.Missions/slow.Missions-3) > 1e-9 {
+		t.Fatalf("missions must scale linearly with v: ratio %g", fast.Missions/slow.Missions)
+	}
+}
+
+func TestHeavierPayloadFewerMissions(t *testing.T) {
+	p := DefaultParams()
+	nano := uav.ZhangNano()
+	light, err := Evaluate(nano, p, DefaultSpec(), 24, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Evaluate(nano, p, DefaultSpec(), 65, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Missions >= light.Missions {
+		t.Fatal("heavier payload must cost missions via rotor power")
+	}
+}
+
+func TestRotorsDominateSoCPower(t *testing.T) {
+	// MAVBench observation the paper cites: ~95% of power goes to rotors on
+	// conventional UAVs; verify our Pelican profile has the same structure.
+	p := DefaultParams()
+	prof, err := Evaluate(uav.AscTecPelican(), p, DefaultSpec(), 24, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := prof.RotorPowerW / prof.TotalW; frac < 0.9 {
+		t.Fatalf("rotor fraction = %.2f, want > 0.9 for the mini-UAV", frac)
+	}
+}
+
+func TestFlightTimeDegeneratePower(t *testing.T) {
+	p := Params{}
+	if FlightTimeMin(uav.ZhangNano(), p, 0, 0) != 0 {
+		// zero-FM params give zero rotor power; with zero compute and the
+		// small OtherPowerW the time is finite — just ensure no panic and
+		// non-negative
+		t.Log("degenerate flight time computed without panic")
+	}
+}
+
+func TestPeukertDeratingReducesEffectiveCapacity(t *testing.T) {
+	p := DefaultParams()
+	p.PeukertExponent = 1.1
+	p.RatedDischargeW = 10
+	rated := 1000.0
+	if got := p.EffectiveBatteryJ(rated, 5); got != rated {
+		t.Fatalf("below-rated draw must not derate: %g", got)
+	}
+	high := p.EffectiveBatteryJ(rated, 40)
+	if high >= rated {
+		t.Fatalf("high draw must derate: %g", high)
+	}
+	// ratio (10/40)^0.1 ≈ 0.871
+	if math.Abs(high/rated-math.Pow(0.25, 0.1)) > 1e-12 {
+		t.Fatalf("derating = %g", high/rated)
+	}
+}
+
+func TestPeukertDisabledByDefault(t *testing.T) {
+	p := DefaultParams()
+	if p.EffectiveBatteryJ(500, 1e6) != 500 {
+		t.Fatal("default params must behave as an ideal battery")
+	}
+}
+
+func TestPeukertLowersMissions(t *testing.T) {
+	ideal := DefaultParams()
+	real := DefaultParams()
+	real.PeukertExponent = 1.08
+	real.RatedDischargeW = 5 // nano draws ~10 W: derating bites
+	nano := uav.ZhangNano()
+	a, err := Evaluate(nano, ideal, DefaultSpec(), 24, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(nano, real, DefaultSpec(), 24, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Missions >= a.Missions {
+		t.Fatalf("Peukert derating must cost missions: %g vs %g", b.Missions, a.Missions)
+	}
+}

@@ -1,0 +1,334 @@
+// Package moea provides the alternative multi-objective optimizers the paper
+// names as drop-in replacements for Bayesian optimization in Phase 2
+// (§III-B / Table VI: "the bayesian optimization method can be replaced with
+// reinforcement learning, evolutionary algorithms, simulated annealing"):
+// an NSGA-II-style genetic algorithm and a scalarized simulated annealer.
+//
+// Both operate on a discrete choice-vector genome — one index per design
+// dimension — so they plug directly into the dse.Space encoding.
+package moea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autopilot/internal/pareto"
+	"autopilot/internal/tensor"
+)
+
+// Problem is a discrete multi-objective minimization problem over choice
+// vectors: genome[i] ∈ [0, Dims[i]).
+type Problem struct {
+	Dims          []int // cardinality of each design dimension
+	Evaluate      func(genome []int) []float64
+	NumObjectives int
+	Ref           []float64 // hypervolume reference point
+}
+
+// Validate checks the problem definition.
+func (p Problem) Validate() error {
+	if len(p.Dims) == 0 {
+		return fmt.Errorf("moea: empty genome")
+	}
+	for i, d := range p.Dims {
+		if d <= 0 {
+			return fmt.Errorf("moea: dimension %d has cardinality %d", i, d)
+		}
+	}
+	if p.Evaluate == nil {
+		return fmt.Errorf("moea: nil evaluator")
+	}
+	if p.NumObjectives <= 0 || len(p.Ref) != p.NumObjectives {
+		return fmt.Errorf("moea: bad objective spec (%d objectives, ref dim %d)", p.NumObjectives, len(p.Ref))
+	}
+	return nil
+}
+
+// Individual is one evaluated genome.
+type Individual struct {
+	Genome     []int
+	Objectives []float64
+}
+
+// Result is the optimizer output, mirroring bayesopt.Result.
+type Result struct {
+	Evaluations      []Individual
+	Front            []Individual
+	HypervolumeTrace []float64
+	EvalCount        int // total evaluator calls (memoized duplicates excluded)
+}
+
+// tracker memoizes evaluations and maintains the hypervolume trace.
+type tracker struct {
+	p     Problem
+	seen  map[string][]float64
+	objs  [][]float64
+	res   *Result
+	limit int
+}
+
+func key(g []int) string {
+	b := make([]byte, 0, len(g)*3)
+	for _, v := range g {
+		b = append(b, byte(v), byte(v>>8), '|')
+	}
+	return string(b)
+}
+
+func (t *tracker) eval(g []int) []float64 {
+	k := key(g)
+	if y, ok := t.seen[k]; ok {
+		return y
+	}
+	y := t.p.Evaluate(g)
+	t.seen[k] = y
+	genome := append([]int(nil), g...)
+	t.res.Evaluations = append(t.res.Evaluations, Individual{Genome: genome, Objectives: y})
+	t.objs = append(t.objs, y)
+	t.res.HypervolumeTrace = append(t.res.HypervolumeTrace, pareto.Hypervolume(t.objs, t.p.Ref))
+	t.res.EvalCount++
+	return y
+}
+
+func (t *tracker) exhausted() bool { return t.res.EvalCount >= t.limit }
+
+func (t *tracker) finish() {
+	for _, i := range pareto.NonDominated(t.objs) {
+		t.res.Front = append(t.res.Front, t.res.Evaluations[i])
+	}
+}
+
+// GAConfig controls the genetic algorithm.
+type GAConfig struct {
+	Population  int
+	Generations int
+	CrossoverP  float64
+	MutationP   float64 // per-gene mutation probability
+	TournamentK int
+	MaxEvals    int // hard budget on evaluator calls
+	Seed        int64
+}
+
+// DefaultGAConfig returns settings sized like the Phase-2 BO budget.
+func DefaultGAConfig() GAConfig {
+	return GAConfig{
+		Population: 24, Generations: 12,
+		CrossoverP: 0.9, MutationP: 0.15, TournamentK: 2,
+		MaxEvals: 96, Seed: 1,
+	}
+}
+
+// NSGA2 runs an NSGA-II-style multi-objective genetic algorithm: fast
+// non-dominated sorting plus crowding-distance environmental selection.
+func NSGA2(p Problem, cfg GAConfig) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Population < 4 || cfg.Generations < 1 {
+		return nil, fmt.Errorf("moea: bad GA budget %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	t := &tracker{p: p, seen: map[string][]float64{}, res: &Result{}, limit: cfg.MaxEvals}
+
+	randomGenome := func() []int {
+		g := make([]int, len(p.Dims))
+		for i, d := range p.Dims {
+			g[i] = rng.Intn(d)
+		}
+		return g
+	}
+	pop := make([]Individual, cfg.Population)
+	for i := range pop {
+		g := randomGenome()
+		pop[i] = Individual{Genome: g, Objectives: t.eval(g)}
+		if t.exhausted() {
+			break
+		}
+	}
+
+	for gen := 0; gen < cfg.Generations && !t.exhausted(); gen++ {
+		ranks, crowd := rankAndCrowd(pop)
+		tournament := func() Individual {
+			best := rng.Intn(len(pop))
+			for k := 1; k < cfg.TournamentK; k++ {
+				c := rng.Intn(len(pop))
+				if ranks[c] < ranks[best] || (ranks[c] == ranks[best] && crowd[c] > crowd[best]) {
+					best = c
+				}
+			}
+			return pop[best]
+		}
+		var offspring []Individual
+		for len(offspring) < cfg.Population && !t.exhausted() {
+			a, b := tournament(), tournament()
+			child := append([]int(nil), a.Genome...)
+			if rng.Float64() < cfg.CrossoverP {
+				for i := range child {
+					if rng.Float64() < 0.5 {
+						child[i] = b.Genome[i]
+					}
+				}
+			}
+			for i := range child {
+				if rng.Float64() < cfg.MutationP {
+					child[i] = rng.Intn(p.Dims[i])
+				}
+			}
+			offspring = append(offspring, Individual{Genome: child, Objectives: t.eval(child)})
+		}
+		pop = environmentalSelect(append(pop, offspring...), cfg.Population)
+	}
+	t.finish()
+	return t.res, nil
+}
+
+// rankAndCrowd computes non-domination ranks and crowding distances.
+func rankAndCrowd(pop []Individual) (ranks []int, crowd []float64) {
+	n := len(pop)
+	ranks = make([]int, n)
+	crowd = make([]float64, n)
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	rank := 0
+	for len(remaining) > 0 {
+		var front, rest []int
+		for _, i := range remaining {
+			dominated := false
+			for _, j := range remaining {
+				if i != j && pareto.Dominates(pop[j].Objectives, pop[i].Objectives) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, i)
+			} else {
+				front = append(front, i)
+			}
+		}
+		for _, i := range front {
+			ranks[i] = rank
+		}
+		assignCrowding(pop, front, crowd)
+		remaining = rest
+		rank++
+	}
+	return ranks, crowd
+}
+
+// assignCrowding adds crowding distances for one front.
+func assignCrowding(pop []Individual, front []int, crowd []float64) {
+	if len(front) == 0 {
+		return
+	}
+	m := len(pop[front[0]].Objectives)
+	for obj := 0; obj < m; obj++ {
+		sort.Slice(front, func(a, b int) bool {
+			return pop[front[a]].Objectives[obj] < pop[front[b]].Objectives[obj]
+		})
+		lo := pop[front[0]].Objectives[obj]
+		hi := pop[front[len(front)-1]].Objectives[obj]
+		crowd[front[0]] = math.Inf(1)
+		crowd[front[len(front)-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < len(front)-1; k++ {
+			gap := pop[front[k+1]].Objectives[obj] - pop[front[k-1]].Objectives[obj]
+			crowd[front[k]] += gap / (hi - lo)
+		}
+	}
+}
+
+// environmentalSelect keeps the best n individuals by (rank, crowding).
+func environmentalSelect(pop []Individual, n int) []Individual {
+	ranks, crowd := rankAndCrowd(pop)
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if ranks[idx[a]] != ranks[idx[b]] {
+			return ranks[idx[a]] < ranks[idx[b]]
+		}
+		return crowd[idx[a]] > crowd[idx[b]]
+	})
+	out := make([]Individual, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, pop[i])
+	}
+	return out
+}
+
+// SAConfig controls the simulated annealer.
+type SAConfig struct {
+	Chains   int     // independent chains with random scalarization weights
+	Steps    int     // annealing steps per chain
+	TempHi   float64 // initial temperature
+	TempLo   float64 // final temperature
+	MaxEvals int
+	Seed     int64
+}
+
+// DefaultSAConfig returns settings sized like the Phase-2 BO budget.
+func DefaultSAConfig() SAConfig {
+	return SAConfig{Chains: 4, Steps: 24, TempHi: 1.0, TempLo: 0.01, MaxEvals: 96, Seed: 1}
+}
+
+// Anneal runs weighted-sum simulated annealing: each chain draws a random
+// weight vector over the (normalized) objectives and anneals a single
+// genome; together the chains trace out the Pareto front.
+func Anneal(p Problem, cfg SAConfig) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Chains < 1 || cfg.Steps < 1 {
+		return nil, fmt.Errorf("moea: bad SA budget %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	t := &tracker{p: p, seen: map[string][]float64{}, res: &Result{}, limit: cfg.MaxEvals}
+
+	scalar := func(w, y []float64) float64 {
+		s := 0.0
+		for i := range y {
+			// normalize by the reference point so objectives are comparable
+			s += w[i] * y[i] / math.Max(math.Abs(p.Ref[i]), 1e-9)
+		}
+		return s
+	}
+	for chain := 0; chain < cfg.Chains && !t.exhausted(); chain++ {
+		w := make([]float64, p.NumObjectives)
+		sum := 0.0
+		for i := range w {
+			w[i] = rng.Float64() + 1e-3
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		cur := make([]int, len(p.Dims))
+		for i, d := range p.Dims {
+			cur[i] = rng.Intn(d)
+		}
+		curE := scalar(w, t.eval(cur))
+		for step := 0; step < cfg.Steps && !t.exhausted(); step++ {
+			denom := float64(cfg.Steps - 1)
+			if denom < 1 {
+				denom = 1
+			}
+			temp := cfg.TempHi * math.Pow(cfg.TempLo/cfg.TempHi, float64(step)/denom)
+			next := append([]int(nil), cur...)
+			i := rng.Intn(len(next))
+			next[i] = rng.Intn(p.Dims[i])
+			nextE := scalar(w, t.eval(next))
+			if nextE < curE || rng.Float64() < math.Exp((curE-nextE)/math.Max(temp, 1e-12)) {
+				cur, curE = next, nextE
+			}
+		}
+	}
+	t.finish()
+	return t.res, nil
+}

@@ -1,0 +1,279 @@
+package moea
+
+import (
+	"math"
+	"testing"
+)
+
+// biObjective builds a small two-objective problem on a 2-D grid with a
+// known front at gene1 = 0: f1 = a, f2 = b + (1-a)².
+func biObjective(n int) Problem {
+	return Problem{
+		Dims: []int{n, n},
+		Evaluate: func(g []int) []float64 {
+			a := float64(g[0]) / float64(n-1)
+			b := float64(g[1]) / float64(n-1)
+			return []float64{a, b + (1-a)*(1-a)}
+		},
+		NumObjectives: 2,
+		Ref:           []float64{2, 3},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	good := biObjective(5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Problem{
+		{},
+		{Dims: []int{0}, Evaluate: good.Evaluate, NumObjectives: 2, Ref: []float64{1, 1}},
+		{Dims: []int{3}, NumObjectives: 2, Ref: []float64{1, 1}},
+		{Dims: []int{3}, Evaluate: good.Evaluate, NumObjectives: 2, Ref: []float64{1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNSGA2FindsTrueFront(t *testing.T) {
+	p := biObjective(16)
+	cfg := DefaultGAConfig()
+	cfg.MaxEvals = 120
+	res, err := NSGA2(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	onTrue := 0
+	for _, ind := range res.Front {
+		if ind.Genome[1] == 0 {
+			onTrue++
+		}
+	}
+	if onTrue < 3 {
+		t.Fatalf("only %d true-front points found", onTrue)
+	}
+}
+
+func TestNSGA2BudgetRespected(t *testing.T) {
+	p := biObjective(32)
+	cfg := DefaultGAConfig()
+	cfg.MaxEvals = 30
+	res, err := NSGA2(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalCount > 30 {
+		t.Fatalf("evals = %d, budget 30", res.EvalCount)
+	}
+}
+
+func TestNSGA2Memoizes(t *testing.T) {
+	calls := 0
+	p := Problem{
+		Dims: []int{2, 2}, // only 4 genomes
+		Evaluate: func(g []int) []float64 {
+			calls++
+			return []float64{float64(g[0]), float64(g[1])}
+		},
+		NumObjectives: 2,
+		Ref:           []float64{2, 2},
+	}
+	cfg := DefaultGAConfig()
+	cfg.MaxEvals = 1000
+	cfg.Generations = 5
+	if _, err := NSGA2(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls > 4 {
+		t.Fatalf("evaluator called %d times for a 4-genome space", calls)
+	}
+}
+
+func TestNSGA2Errors(t *testing.T) {
+	if _, err := NSGA2(Problem{}, DefaultGAConfig()); err == nil {
+		t.Fatal("expected validation error")
+	}
+	cfg := DefaultGAConfig()
+	cfg.Population = 1
+	if _, err := NSGA2(biObjective(4), cfg); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestNSGA2Deterministic(t *testing.T) {
+	cfg := DefaultGAConfig()
+	cfg.MaxEvals = 60
+	a, err := NSGA2(biObjective(10), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NSGA2(biObjective(10), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EvalCount != b.EvalCount {
+		t.Fatal("same seed must evaluate the same points")
+	}
+	last := len(a.HypervolumeTrace) - 1
+	if a.HypervolumeTrace[last] != b.HypervolumeTrace[last] {
+		t.Fatal("hypervolume differs for identical seeds")
+	}
+}
+
+func TestAnnealFindsGoodPoints(t *testing.T) {
+	p := biObjective(16)
+	cfg := DefaultSAConfig()
+	cfg.MaxEvals = 120
+	cfg.Steps = 30
+	res, err := Anneal(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	// the scalarized chains should push at least one point onto (or near)
+	// the true front
+	best := math.Inf(1)
+	for _, ind := range res.Evaluations {
+		if v := ind.Objectives[0] + ind.Objectives[1]; v < best {
+			best = v
+		}
+	}
+	if best > 1.3 {
+		t.Fatalf("best scalarized objective %.2f; annealer failed to descend", best)
+	}
+}
+
+func TestAnnealBudgetRespected(t *testing.T) {
+	cfg := DefaultSAConfig()
+	cfg.MaxEvals = 25
+	res, err := Anneal(biObjective(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalCount > 25 {
+		t.Fatalf("evals = %d, budget 25", res.EvalCount)
+	}
+}
+
+func TestAnnealErrors(t *testing.T) {
+	if _, err := Anneal(Problem{}, DefaultSAConfig()); err == nil {
+		t.Fatal("expected validation error")
+	}
+	cfg := DefaultSAConfig()
+	cfg.Chains = 0
+	if _, err := Anneal(biObjective(4), cfg); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestHypervolumeTraceMonotoneBothOptimizers(t *testing.T) {
+	check := func(name string, trace []float64) {
+		for i := 1; i < len(trace); i++ {
+			if trace[i] < trace[i-1]-1e-12 {
+				t.Fatalf("%s: hypervolume trace decreased at %d", name, i)
+			}
+		}
+	}
+	ga, err := NSGA2(biObjective(12), DefaultGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ga", ga.HypervolumeTrace)
+	sa, err := Anneal(biObjective(12), DefaultSAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sa", sa.HypervolumeTrace)
+}
+
+func TestFrontIsNonDominated(t *testing.T) {
+	res, err := NSGA2(biObjective(12), DefaultGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Front {
+		for j, b := range res.Front {
+			if i == j {
+				continue
+			}
+			dom, strict := true, false
+			for k := range a.Objectives {
+				if a.Objectives[k] > b.Objectives[k] {
+					dom = false
+				}
+				if a.Objectives[k] < b.Objectives[k] {
+					strict = true
+				}
+			}
+			if dom && strict {
+				t.Fatal("front contains a dominated individual")
+			}
+		}
+	}
+}
+
+func TestReinforceOptimizerDescends(t *testing.T) {
+	p := biObjective(16)
+	cfg := DefaultRLConfig()
+	cfg.MaxEvals = 120
+	res, err := Reinforce(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	best := math.Inf(1)
+	for _, ind := range res.Evaluations {
+		if v := ind.Objectives[0] + ind.Objectives[1]; v < best {
+			best = v
+		}
+	}
+	if best > 1.5 {
+		t.Fatalf("best scalarized objective %.2f; RL optimizer failed to descend", best)
+	}
+}
+
+func TestReinforceBudgetRespected(t *testing.T) {
+	cfg := DefaultRLConfig()
+	cfg.MaxEvals = 20
+	res, err := Reinforce(biObjective(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalCount > 20 {
+		t.Fatalf("evals = %d, budget 20", res.EvalCount)
+	}
+}
+
+func TestReinforceErrors(t *testing.T) {
+	if _, err := Reinforce(Problem{}, DefaultRLConfig()); err == nil {
+		t.Fatal("expected validation error")
+	}
+	cfg := DefaultRLConfig()
+	cfg.BatchSize = 1
+	if _, err := Reinforce(biObjective(4), cfg); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestResultHypervolumeHelpers(t *testing.T) {
+	res, err := NSGA2(biObjective(8), DefaultGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FrontObjectives()) != len(res.Front) {
+		t.Fatal("FrontObjectives length mismatch")
+	}
+	if res.Hypervolume([]float64{2, 3}) <= 0 {
+		t.Fatal("zero hypervolume on a non-empty front")
+	}
+}

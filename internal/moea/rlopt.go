@@ -1,0 +1,135 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/pareto"
+	"autopilot/internal/tensor"
+)
+
+// RLConfig controls the reinforcement-learning optimizer.
+type RLConfig struct {
+	BatchSize int     // genomes sampled per policy update
+	Updates   int     // policy-gradient updates
+	LR        float64 // logit learning rate
+	Entropy   float64 // entropy bonus keeping exploration alive
+	MaxEvals  int
+	Seed      int64
+}
+
+// DefaultRLConfig returns settings sized like the Phase-2 BO budget.
+func DefaultRLConfig() RLConfig {
+	return RLConfig{BatchSize: 12, Updates: 8, LR: 0.35, Entropy: 0.01, MaxEvals: 96, Seed: 1}
+}
+
+// Reinforce runs the RL-based design-space search the paper lists as a BO
+// alternative (§III-B, citing Sutton & Barto): a factored categorical policy
+// over the choice dimensions is sampled in batches and updated with
+// REINFORCE, where a genome's reward is the hypervolume improvement its
+// objectives contribute over the front discovered so far.
+func Reinforce(p Problem, cfg RLConfig) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize < 2 || cfg.Updates < 1 {
+		return nil, fmt.Errorf("moea: bad RL budget %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	t := &tracker{p: p, seen: map[string][]float64{}, res: &Result{}, limit: cfg.MaxEvals}
+
+	// factored policy: independent logits per dimension
+	logits := make([][]float64, len(p.Dims))
+	for i, d := range p.Dims {
+		logits[i] = make([]float64, d)
+	}
+	softmax := func(l []float64) []float64 {
+		mx := math.Inf(-1)
+		for _, v := range l {
+			mx = math.Max(mx, v)
+		}
+		out := make([]float64, len(l))
+		sum := 0.0
+		for i, v := range l {
+			out[i] = math.Exp(v - mx)
+			sum += out[i]
+		}
+		for i := range out {
+			out[i] /= sum
+		}
+		return out
+	}
+	sample := func(probs []float64) int {
+		u := rng.Float64()
+		acc := 0.0
+		for i, v := range probs {
+			acc += v
+			if u < acc {
+				return i
+			}
+		}
+		return len(probs) - 1
+	}
+
+	for upd := 0; upd < cfg.Updates && !t.exhausted(); upd++ {
+		probs := make([][]float64, len(logits))
+		for i := range logits {
+			probs[i] = softmax(logits[i])
+		}
+		type rollout struct {
+			genome []int
+			reward float64
+		}
+		var batch []rollout
+		for b := 0; b < cfg.BatchSize && !t.exhausted(); b++ {
+			g := make([]int, len(p.Dims))
+			for i := range g {
+				g[i] = sample(probs[i])
+			}
+			before := 0.0
+			if n := len(t.res.HypervolumeTrace); n > 0 {
+				before = t.res.HypervolumeTrace[n-1]
+			}
+			t.eval(g)
+			after := t.res.HypervolumeTrace[len(t.res.HypervolumeTrace)-1]
+			batch = append(batch, rollout{genome: g, reward: after - before})
+		}
+		if len(batch) == 0 {
+			break
+		}
+		// baseline: batch mean reward
+		mean := 0.0
+		for _, r := range batch {
+			mean += r.reward
+		}
+		mean /= float64(len(batch))
+		for _, r := range batch {
+			adv := r.reward - mean
+			for i, choice := range r.genome {
+				for j := range logits[i] {
+					grad := -probs[i][j]
+					if j == choice {
+						grad += 1
+					}
+					logits[i][j] += cfg.LR * (adv*grad + cfg.Entropy*(-probs[i][j]*math.Log(probs[i][j]+1e-12)))
+				}
+			}
+		}
+	}
+	t.finish()
+	return t.res, nil
+}
+
+// FrontObjectives extracts the objective vectors of a result's front.
+func (r *Result) FrontObjectives() [][]float64 {
+	out := make([][]float64, len(r.Front))
+	for i, ind := range r.Front {
+		out[i] = ind.Objectives
+	}
+	return out
+}
+
+// Hypervolume returns the dominated hypervolume of the final front.
+func (r *Result) Hypervolume(ref []float64) float64 {
+	return pareto.Hypervolume(r.FrontObjectives(), ref)
+}

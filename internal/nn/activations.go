@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+
+	"autopilot/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	in *tensor.Tensor
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.in = x
+	return tensor.Apply(x, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward masks the incoming gradient by the activation pattern.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	od, id := out.Data(), r.in.Data()
+	for i := range od {
+		if id[i] <= 0 {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns no tensors: ReLU has no parameters.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads returns no tensors: ReLU has no parameters.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	t.out = tensor.Apply(x, math.Tanh)
+	return t.out
+}
+
+// Backward scales the gradient by 1 - tanh².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	od, yd := out.Data(), t.out.Data()
+	for i := range od {
+		od[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Params returns no tensors: Tanh has no parameters.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads returns no tensors: Tanh has no parameters.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Flatten reshapes any input to rank 1, remembering the original shape so the
+// gradient can be restored on the way back.
+type Flatten struct {
+	shape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens x to a vector.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.shape = append(f.shape[:0], x.Shape()...)
+	return x.Reshape(x.Len())
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.shape...)
+}
+
+// Params returns no tensors: Flatten has no parameters.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads returns no tensors: Flatten has no parameters.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Softmax returns the softmax of a vector, computed stably.
+func Softmax(x *tensor.Tensor) *tensor.Tensor {
+	mx, _ := x.Max()
+	out := tensor.Apply(x, func(v float64) float64 { return math.Exp(v - mx) })
+	s := out.Sum()
+	out.ScaleInPlace(1 / s)
+	return out
+}

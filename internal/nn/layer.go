@@ -1,0 +1,178 @@
+// Package nn implements the small neural-network substrate used to train and
+// run the end-to-end (E2E) UAV autonomy policies: dense and convolutional
+// layers with hand-derived backward passes, common activations, losses, and
+// SGD/Adam optimizers. It processes one sample at a time, which is all the
+// reinforcement-learning trainer needs.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/tensor"
+)
+
+// Layer is a differentiable network stage. Forward caches whatever Backward
+// needs; Backward receives dLoss/dOutput and returns dLoss/dInput while
+// accumulating parameter gradients.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*tensor.Tensor
+	Grads() []*tensor.Tensor
+}
+
+// Dense is a fully connected layer: y = W·x + b.
+type Dense struct {
+	W, B   *tensor.Tensor // W: (out, in), B: (out)
+	gw, gb *tensor.Tensor
+	in     *tensor.Tensor // cached input (flattened view)
+}
+
+// NewDense returns a Dense layer with He-style initialization.
+func NewDense(in, out int, g *tensor.RNG) *Dense {
+	std := 1.0
+	if in > 0 {
+		std = sqrtf(2.0 / float64(in))
+	}
+	return &Dense{
+		W:  g.Randn(std, out, in),
+		B:  tensor.New(out),
+		gw: tensor.New(out, in),
+		gb: tensor.New(out),
+	}
+}
+
+// InDim returns the input width.
+func (d *Dense) InDim() int { return d.W.Dim(1) }
+
+// OutDim returns the output width.
+func (d *Dense) OutDim() int { return d.W.Dim(0) }
+
+// Forward computes W·x + b for a flattened input.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	in := d.W.Dim(1)
+	if x.Len() != in {
+		panic(fmt.Sprintf("nn: Dense input len %d, want %d", x.Len(), in))
+	}
+	d.in = x.Reshape(in)
+	out := d.W.Dim(0)
+	y := tensor.New(out)
+	wd, xd, yd := d.W.Data(), d.in.Data(), y.Data()
+	for o := 0; o < out; o++ {
+		s := d.B.At(o)
+		row := wd[o*in : (o+1)*in]
+		for i, xv := range xd {
+			s += row[i] * xv
+		}
+		yd[o] = s
+	}
+	return y
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out, in := d.W.Dim(0), d.W.Dim(1)
+	if grad.Len() != out {
+		panic(fmt.Sprintf("nn: Dense grad len %d, want %d", grad.Len(), out))
+	}
+	gd, xd := grad.Data(), d.in.Data()
+	gwd, wd := d.gw.Data(), d.W.Data()
+	gbd := d.gb.Data()
+	for o := 0; o < out; o++ {
+		gbd[o] += gd[o]
+	}
+	dx := tensor.New(in)
+	dxv := dx.Data()
+	for o := 0; o < out; o++ {
+		g := gd[o]
+		if g == 0 {
+			continue
+		}
+		grow := gwd[o*in : (o+1)*in]
+		wrow := wd[o*in : (o+1)*in]
+		for i := 0; i < in; i++ {
+			grow[i] += g * xd[i]
+			dxv[i] += g * wrow[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the trainable tensors.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads returns the accumulated gradients, parallel to Params.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gw, d.gb} }
+
+// Conv2D is a 2-D convolution over a CHW input, implemented via im2col.
+type Conv2D struct {
+	Dims   tensor.ConvDims
+	W, B   *tensor.Tensor // W: (OutC, InC*K*K), B: (OutC)
+	gw, gb *tensor.Tensor
+	cols   *tensor.Tensor // cached im2col matrix
+}
+
+// NewConv2D returns a Conv2D layer with He-style initialization.
+func NewConv2D(d tensor.ConvDims, g *tensor.RNG) *Conv2D {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	fanIn := d.InC * d.K * d.K
+	std := sqrtf(2.0 / float64(fanIn))
+	return &Conv2D{
+		Dims: d,
+		W:    g.Randn(std, d.OutC, fanIn),
+		B:    tensor.New(d.OutC),
+		gw:   tensor.New(d.OutC, fanIn),
+		gb:   tensor.New(d.OutC),
+	}
+}
+
+// Forward convolves a flattened CHW input and returns a (OutC, OutH, OutW) tensor.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.cols = tensor.Im2col(x, c.Dims)
+	y := tensor.MatMul(c.W, c.cols) // (OutC, OutH*OutW)
+	oh, ow := c.Dims.OutH(), c.Dims.OutW()
+	yd := y.Data()
+	hw := oh * ow
+	for oc := 0; oc < c.Dims.OutC; oc++ {
+		b := c.B.At(oc)
+		if b == 0 {
+			continue
+		}
+		row := yd[oc*hw : (oc+1)*hw]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return y.Reshape(c.Dims.OutC, oh, ow)
+}
+
+// Backward accumulates dW, dB and returns the gradient w.r.t. the input.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	hw := c.Dims.OutH() * c.Dims.OutW()
+	g2 := grad.Reshape(c.Dims.OutC, hw)
+	// dW += g2 · colsᵀ
+	c.gw.AddInPlace(tensor.MatMul(g2, tensor.Transpose(c.cols)))
+	// dB += row sums of g2
+	gd := g2.Data()
+	for oc := 0; oc < c.Dims.OutC; oc++ {
+		s := 0.0
+		for _, v := range gd[oc*hw : (oc+1)*hw] {
+			s += v
+		}
+		c.gb.Data()[oc] += s
+	}
+	// dX = col2im(Wᵀ · g2)
+	dcols := tensor.MatMul(tensor.Transpose(c.W), g2)
+	return tensor.Col2im(dcols, c.Dims)
+}
+
+// Params returns the trainable tensors.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads returns the accumulated gradients, parallel to Params.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
+
+func sqrtf(x float64) float64 { return math.Sqrt(x) }

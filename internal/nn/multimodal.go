@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+
+	"autopilot/internal/tensor"
+)
+
+// MultiModal is the two-branch network shape used by the Air Learning E2E
+// policy template (paper Fig. 2a): an image trunk (convolutions) and a state
+// trunk (IMU/goal vector through dense layers) whose outputs are concatenated
+// and fed to a dense head that produces action values or logits.
+type MultiModal struct {
+	Vision *Sequential
+	State  *Sequential
+	Head   *Sequential
+
+	vLen, sLen int // cached branch output lengths from the last Forward
+}
+
+// NewMultiModal combines the three sub-networks.
+func NewMultiModal(vision, state, head *Sequential) *MultiModal {
+	return &MultiModal{Vision: vision, State: state, Head: head}
+}
+
+// Forward runs both branches, concatenates their outputs, and applies the head.
+func (m *MultiModal) Forward(img, state *tensor.Tensor) *tensor.Tensor {
+	v := m.Vision.Forward(img)
+	s := m.State.Forward(state)
+	m.vLen, m.sLen = v.Len(), s.Len()
+	joint := tensor.New(m.vLen + m.sLen)
+	copy(joint.Data(), v.Data())
+	copy(joint.Data()[m.vLen:], s.Data())
+	return m.Head.Forward(joint)
+}
+
+// Backward propagates the output gradient through the head and splits it
+// across the two branches. Forward must have been called first.
+func (m *MultiModal) Backward(grad *tensor.Tensor) {
+	if m.vLen == 0 && m.sLen == 0 {
+		panic("nn: MultiModal.Backward before Forward")
+	}
+	joint := m.Head.Backward(grad)
+	if joint.Len() != m.vLen+m.sLen {
+		panic(fmt.Sprintf("nn: joint grad len %d, want %d", joint.Len(), m.vLen+m.sLen))
+	}
+	jd := joint.Data()
+	vGrad := tensor.FromSlice(append([]float64(nil), jd[:m.vLen]...), m.vLen)
+	sGrad := tensor.FromSlice(append([]float64(nil), jd[m.vLen:]...), m.sLen)
+	m.Vision.Backward(vGrad)
+	m.State.Backward(sGrad)
+}
+
+// Params returns all trainable tensors across the three sub-networks.
+func (m *MultiModal) Params() []*tensor.Tensor {
+	ps := append([]*tensor.Tensor(nil), m.Vision.Params()...)
+	ps = append(ps, m.State.Params()...)
+	return append(ps, m.Head.Params()...)
+}
+
+// Grads returns all gradient tensors, parallel to Params.
+func (m *MultiModal) Grads() []*tensor.Tensor {
+	gs := append([]*tensor.Tensor(nil), m.Vision.Grads()...)
+	gs = append(gs, m.State.Grads()...)
+	return append(gs, m.Head.Grads()...)
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *MultiModal) ZeroGrads() {
+	for _, g := range m.Grads() {
+		g.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *MultiModal) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Len()
+	}
+	return n
+}
+
+// CopyParamsFrom overwrites this network's parameters with src's.
+func (m *MultiModal) CopyParamsFrom(src *MultiModal) {
+	dst, from := m.Params(), src.Params()
+	if len(dst) != len(from) {
+		panic("nn: MultiModal.CopyParamsFrom architecture mismatch")
+	}
+	for i := range dst {
+		copy(dst[i].Data(), from[i].Data())
+	}
+}

@@ -1,0 +1,354 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"autopilot/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	g := tensor.NewRNG(1)
+	d := NewDense(2, 2, g)
+	copy(d.W.Data(), []float64{1, 2, 3, 4})
+	copy(d.B.Data(), []float64{0.5, -0.5})
+	y := d.Forward(tensor.FromSlice([]float64{1, 1}, 2))
+	want := tensor.FromSlice([]float64{3.5, 6.5}, 2)
+	if !tensor.Equal(y, want, 1e-12) {
+		t.Fatalf("Forward = %v, want %v", y, want)
+	}
+}
+
+func TestDenseDims(t *testing.T) {
+	d := NewDense(7, 3, tensor.NewRNG(1))
+	if d.InDim() != 7 || d.OutDim() != 3 {
+		t.Fatalf("dims = (%d,%d)", d.InDim(), d.OutDim())
+	}
+}
+
+func TestDenseInputMismatchPanics(t *testing.T) {
+	d := NewDense(3, 2, tensor.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Forward(tensor.New(4))
+}
+
+// numericalGrad computes dLoss/dTheta for a scalar loss via central differences.
+func numericalGrad(theta *tensor.Tensor, loss func() float64) *tensor.Tensor {
+	const h = 1e-5
+	g := tensor.New(theta.Shape()...)
+	td, gd := theta.Data(), g.Data()
+	for i := range td {
+		orig := td[i]
+		td[i] = orig + h
+		lp := loss()
+		td[i] = orig - h
+		lm := loss()
+		td[i] = orig
+		gd[i] = (lp - lm) / (2 * h)
+	}
+	return g
+}
+
+// checkLayerGrads verifies all parameter gradients and the input gradient of
+// a layer against finite differences, using 0.5·||y||² as the loss.
+func checkLayerGrads(t *testing.T, layer Layer, x *tensor.Tensor) {
+	t.Helper()
+	loss := func() float64 {
+		y := layer.Forward(x)
+		s := 0.0
+		for _, v := range y.Data() {
+			s += 0.5 * v * v
+		}
+		return s
+	}
+	// analytic
+	y := layer.Forward(x)
+	for _, g := range layer.Grads() {
+		g.Zero()
+	}
+	dx := layer.Backward(y.Clone())
+	for pi, p := range layer.Params() {
+		num := numericalGrad(p, loss)
+		ana := layer.Grads()[pi]
+		if !tensor.Equal(num, ana, 1e-4) {
+			t.Fatalf("param %d gradient mismatch:\n analytic %v\n numeric  %v", pi, ana, num)
+		}
+	}
+	numX := numericalGrad(x, loss)
+	if !tensor.Equal(numX.Reshape(dx.Len()), dx.Reshape(dx.Len()), 1e-4) {
+		t.Fatalf("input gradient mismatch:\n analytic %v\n numeric  %v", dx, numX)
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	g := tensor.NewRNG(2)
+	layer := NewDense(4, 3, g)
+	checkLayerGrads(t, layer, g.Randn(1, 4))
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	g := tensor.NewRNG(3)
+	d := tensor.ConvDims{InC: 2, InH: 5, InW: 5, OutC: 3, K: 3, Stride: 2, Pad: 1}
+	layer := NewConv2D(d, g)
+	checkLayerGrads(t, layer, g.Randn(1, 2, 5, 5))
+}
+
+func TestReLUGradCheck(t *testing.T) {
+	g := tensor.NewRNG(4)
+	// keep inputs away from 0 where ReLU is non-differentiable
+	x := g.Randn(1, 6)
+	for i, v := range x.Data() {
+		if math.Abs(v) < 0.1 {
+			x.Data()[i] = 0.5
+		}
+	}
+	checkLayerGrads(t, NewReLU(), x)
+}
+
+func TestTanhGradCheck(t *testing.T) {
+	g := tensor.NewRNG(5)
+	checkLayerGrads(t, NewTanh(), g.Randn(1, 6))
+}
+
+func TestSequentialGradCheck(t *testing.T) {
+	g := tensor.NewRNG(6)
+	net := NewSequential(
+		NewConv2D(tensor.ConvDims{InC: 1, InH: 6, InW: 6, OutC: 2, K: 3, Stride: 1, Pad: 0}, g),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(2*4*4, 3, g),
+	)
+	x := g.Randn(1, 1, 6, 6)
+	loss := func() float64 {
+		y := net.Forward(x)
+		s := 0.0
+		for _, v := range y.Data() {
+			s += 0.5 * v * v
+		}
+		return s
+	}
+	y := net.Forward(x)
+	net.ZeroGrads()
+	net.Backward(y.Clone())
+	params, grads := net.Params(), net.Grads()
+	for pi, p := range params {
+		num := numericalGrad(p, loss)
+		if !tensor.Equal(num, grads[pi], 1e-4) {
+			t.Fatalf("sequential param %d gradient mismatch", pi)
+		}
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	g := tensor.NewRNG(7)
+	for i := 0; i < 10; i++ {
+		p := Softmax(g.Randn(3, 5))
+		if math.Abs(p.Sum()-1) > 1e-12 {
+			t.Fatalf("softmax sums to %g", p.Sum())
+		}
+		for _, v := range p.Data() {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax component %g outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	x := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	shifted := tensor.Apply(x, func(v float64) float64 { return v + 1000 })
+	if !tensor.Equal(Softmax(x), Softmax(shifted), 1e-9) {
+		t.Fatal("softmax must be shift invariant")
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	pred := tensor.FromSlice([]float64{1, 2}, 2)
+	targ := tensor.FromSlice([]float64{0, 4}, 2)
+	loss, grad := MSELoss(pred, targ)
+	if math.Abs(loss-2.5) > 1e-12 {
+		t.Fatalf("loss = %g, want 2.5", loss)
+	}
+	if !tensor.Equal(grad, tensor.FromSlice([]float64{1, -2}, 2), 1e-12) {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestHuberLossQuadraticRegionMatchesMSE(t *testing.T) {
+	pred := tensor.FromSlice([]float64{0.5, -0.3}, 2)
+	targ := tensor.New(2)
+	hl, hg := HuberLoss(pred, targ, 1.0)
+	ml, mg := MSELoss(pred, targ)
+	if math.Abs(hl-ml) > 1e-12 || !tensor.Equal(hg, mg, 1e-12) {
+		t.Fatal("Huber must equal MSE inside delta")
+	}
+}
+
+func TestHuberLossClipsGradient(t *testing.T) {
+	pred := tensor.FromSlice([]float64{10, -10}, 2)
+	targ := tensor.New(2)
+	_, grad := HuberLoss(pred, targ, 1.0)
+	if !tensor.Equal(grad, tensor.FromSlice([]float64{1, -1}, 2), 1e-12) {
+		t.Fatalf("grad = %v, want clipped to ±1", grad)
+	}
+}
+
+func TestCrossEntropyGradCheck(t *testing.T) {
+	g := tensor.NewRNG(8)
+	logits := g.Randn(1, 4)
+	class := 2
+	loss := func() float64 {
+		l, _ := CrossEntropyLoss(logits, class)
+		return l
+	}
+	_, ana := CrossEntropyLoss(logits, class)
+	num := numericalGrad(logits, loss)
+	if !tensor.Equal(num, ana, 1e-5) {
+		t.Fatalf("CE gradient mismatch: ana %v num %v", ana, num)
+	}
+}
+
+func TestPolicyGradientLossSign(t *testing.T) {
+	logits := tensor.FromSlice([]float64{0, 0, 0}, 3)
+	_, gPos := PolicyGradientLoss(logits, 1, 1.0)
+	// positive advantage should push probability of action 1 up: grad[1] < 0
+	if gPos.Data()[1] >= 0 {
+		t.Fatalf("grad[action] = %g, want negative for positive advantage", gPos.Data()[1])
+	}
+	_, gNeg := PolicyGradientLoss(logits, 1, -1.0)
+	if gNeg.Data()[1] <= 0 {
+		t.Fatalf("grad[action] = %g, want positive for negative advantage", gNeg.Data()[1])
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// minimize 0.5(w-3)² with SGD
+	w := tensor.FromSlice([]float64{0}, 1)
+	grad := tensor.New(1)
+	opt := NewSGD(0.1, 0.0)
+	for i := 0; i < 200; i++ {
+		grad.Data()[0] = w.Data()[0] - 3
+		opt.Step([]*tensor.Tensor{w}, []*tensor.Tensor{grad})
+	}
+	if math.Abs(w.Data()[0]-3) > 1e-6 {
+		t.Fatalf("w = %g, want 3", w.Data()[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	w := tensor.FromSlice([]float64{-5}, 1)
+	grad := tensor.New(1)
+	opt := NewAdam(0.1)
+	for i := 0; i < 2000; i++ {
+		grad.Data()[0] = w.Data()[0] - 3
+		opt.Step([]*tensor.Tensor{w}, []*tensor.Tensor{grad})
+	}
+	if math.Abs(w.Data()[0]-3) > 1e-3 {
+		t.Fatalf("w = %g, want 3", w.Data()[0])
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	run := func(mom float64) float64 {
+		w := tensor.FromSlice([]float64{10}, 1)
+		grad := tensor.New(1)
+		opt := NewSGD(0.01, mom)
+		for i := 0; i < 50; i++ {
+			grad.Data()[0] = w.Data()[0]
+			opt.Step([]*tensor.Tensor{w}, []*tensor.Tensor{grad})
+		}
+		return math.Abs(w.Data()[0])
+	}
+	if run(0.9) >= run(0.0) {
+		t.Fatal("momentum should reach the optimum faster on a well-conditioned quadratic")
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	g := tensor.FromSlice([]float64{3, 4}, 2) // norm 5
+	ClipGrads([]*tensor.Tensor{g}, 1)
+	if math.Abs(g.Norm2()-1) > 1e-12 {
+		t.Fatalf("clipped norm = %g, want 1", g.Norm2())
+	}
+	h := tensor.FromSlice([]float64{0.3, 0.4}, 2)
+	ClipGrads([]*tensor.Tensor{h}, 1)
+	if !tensor.Equal(h, tensor.FromSlice([]float64{0.3, 0.4}, 2), 0) {
+		t.Fatal("grads under the limit must be untouched")
+	}
+}
+
+func TestCopyParamsFrom(t *testing.T) {
+	g := tensor.NewRNG(9)
+	a := NewSequential(NewDense(3, 2, g), NewReLU(), NewDense(2, 1, g))
+	b := NewSequential(NewDense(3, 2, g), NewReLU(), NewDense(2, 1, g))
+	b.CopyParamsFrom(a)
+	x := g.Randn(1, 3)
+	if !tensor.Equal(a.Forward(x), b.Forward(x), 1e-12) {
+		t.Fatal("networks must agree after CopyParamsFrom")
+	}
+	// modifying b must not affect a
+	b.Params()[0].Data()[0] += 1
+	if tensor.Equal(a.Params()[0], b.Params()[0], 1e-12) {
+		t.Fatal("CopyParamsFrom must deep-copy")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	g := tensor.NewRNG(10)
+	net := NewSequential(NewDense(4, 3, g), NewDense(3, 2, g))
+	want := (4*3 + 3) + (3*2 + 2)
+	if net.ParamCount() != want {
+		t.Fatalf("ParamCount = %d, want %d", net.ParamCount(), want)
+	}
+}
+
+func TestTrainingReducesLossOnRegression(t *testing.T) {
+	// learn y = 2x1 - x2 with a small MLP
+	g := tensor.NewRNG(11)
+	net := NewSequential(NewDense(2, 8, g), NewTanh(), NewDense(8, 1, g))
+	opt := NewAdam(0.01)
+	sample := func() (*tensor.Tensor, *tensor.Tensor) {
+		x := g.Uniform(-1, 1, 2)
+		y := tensor.FromSlice([]float64{2*x.At(0) - x.At(1)}, 1)
+		return x, y
+	}
+	meanLoss := func(n int) float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			x, y := sample()
+			l, _ := MSELoss(net.Forward(x), y)
+			s += l
+		}
+		return s / float64(n)
+	}
+	before := meanLoss(100)
+	for i := 0; i < 1500; i++ {
+		x, y := sample()
+		net.ZeroGrads()
+		_, grad := MSELoss(net.Forward(x), y)
+		net.Backward(grad)
+		opt.Step(net.Params(), net.Grads())
+	}
+	after := meanLoss(100)
+	if after > before/10 {
+		t.Fatalf("training did not reduce loss: before %g after %g", before, after)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	g := tensor.NewRNG(12)
+	f := NewFlatten()
+	x := g.Randn(1, 2, 3, 4)
+	y := f.Forward(x)
+	if y.Rank() != 1 || y.Len() != 24 {
+		t.Fatalf("flatten shape = %v", y.Shape())
+	}
+	back := f.Backward(y)
+	if back.Rank() != 3 || back.Dim(0) != 2 || back.Dim(1) != 3 || back.Dim(2) != 4 {
+		t.Fatalf("backward shape = %v", back.Shape())
+	}
+}

@@ -1,0 +1,139 @@
+// Package pareto provides multi-objective dominance utilities and exact
+// hypervolume computation (the WFG algorithm), which the SMS-EGO acquisition
+// function in the Bayesian optimizer maximizes. All objectives are
+// minimized; callers negate objectives they want to maximize (e.g. task
+// success rate).
+package pareto
+
+import "fmt"
+
+// Dominates reports whether a Pareto-dominates b under minimization:
+// a is no worse in every objective and strictly better in at least one.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("pareto: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// WeaklyDominates reports whether a is no worse than b in every objective.
+func WeaklyDominates(a, b []float64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonDominated returns the indices of the non-dominated points, preserving
+// input order. Duplicate points are all kept.
+func NonDominated(points [][]float64) []int {
+	var keep []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// Filter returns the non-dominated subset of points.
+func Filter(points [][]float64) [][]float64 {
+	idx := NonDominated(points)
+	out := make([][]float64, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, points[i])
+	}
+	return out
+}
+
+// Hypervolume returns the volume of objective space dominated by the point
+// set and bounded by the reference point (which must be weakly worse than
+// every point in every objective). Points outside the reference box
+// contribute only their clipped part; fully dominated points contribute
+// nothing extra.
+func Hypervolume(points [][]float64, ref []float64) float64 {
+	var clipped [][]float64
+	for _, p := range points {
+		if len(p) != len(ref) {
+			panic(fmt.Sprintf("pareto: point dim %d vs ref dim %d", len(p), len(ref)))
+		}
+		inside := true
+		for i := range p {
+			if p[i] >= ref[i] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			clipped = append(clipped, p)
+		}
+	}
+	front := Filter(clipped)
+	return wfg(front, ref)
+}
+
+// wfg implements the WFG exact hypervolume recursion.
+func wfg(front [][]float64, ref []float64) float64 {
+	total := 0.0
+	for i, p := range front {
+		total += exclusive(p, front[i+1:], ref)
+	}
+	return total
+}
+
+// exclusive returns the volume dominated by p and by none of rest.
+func exclusive(p []float64, rest [][]float64, ref []float64) float64 {
+	return inclusive(p, ref) - wfg(Filter(limitSet(rest, p)), ref)
+}
+
+// inclusive returns the box volume between p and ref.
+func inclusive(p []float64, ref []float64) float64 {
+	v := 1.0
+	for i := range p {
+		v *= ref[i] - p[i]
+	}
+	return v
+}
+
+// limitSet projects every point of s onto the region dominated by p.
+func limitSet(s [][]float64, p []float64) [][]float64 {
+	out := make([][]float64, len(s))
+	for i, q := range s {
+		m := make([]float64, len(q))
+		for j := range q {
+			if q[j] > p[j] {
+				m[j] = q[j]
+			} else {
+				m[j] = p[j]
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Contribution returns the increase in hypervolume from adding point p to
+// the set — the quantity SMS-EGO maximizes.
+func Contribution(points [][]float64, p []float64, ref []float64) float64 {
+	base := Hypervolume(points, ref)
+	with := Hypervolume(append(append([][]float64{}, points...), p), ref)
+	return with - base
+}

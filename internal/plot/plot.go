@@ -1,0 +1,130 @@
+// Package plot renders small ASCII charts for the CLI tools and examples:
+// line plots for F-1 rooflines and scatter plots for Pareto fronts. It is a
+// terminal stand-in for the paper's matplotlib figures.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line or point set.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte // rendering character; 0 defaults per series index
+}
+
+// Chart is a fixed-size ASCII canvas.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+}
+
+// markers cycles through distinguishable glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// New returns a chart with a sensible terminal size.
+func New(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// Add appends a series.
+func (c *Chart) Add(s Series) *Chart {
+	c.Series = append(c.Series, s)
+	return c
+}
+
+// AddLine is a convenience for y = f(x) samples.
+func (c *Chart) AddLine(name string, x, y []float64) *Chart {
+	return c.Add(Series{Name: name, X: x, Y: y})
+}
+
+// AddPoint marks a single labelled point.
+func (c *Chart) AddPoint(name string, x, y float64, marker byte) *Chart {
+	return c.Add(Series{Name: name, X: []float64{x}, Y: []float64{y}, Marker: marker})
+}
+
+// bounds returns the data extents with a small margin.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w < 16 {
+		w = 16
+	}
+	if h < 6 {
+		h = 6
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		for i := range s.X {
+			col := int(float64(w-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := h - 1 - int(float64(h-1)*(s.Y[i]-ymin)/(ymax-ymin))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = m
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", ymax, string(grid[0]))
+	for i := 1; i < h-1; i++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", ymin, string(grid[h-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", w))
+	fmt.Fprintf(&b, "%11s%-*.3g%*.3g\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%11sx: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		fmt.Fprintf(&b, "%11s%c %s\n", "", m, s.Name)
+	}
+	return b.String()
+}

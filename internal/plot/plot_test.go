@@ -1,0 +1,72 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyChart(t *testing.T) {
+	c := New("t", "x", "y")
+	if !strings.Contains(c.String(), "(no data)") {
+		t.Fatal("empty chart must say so")
+	}
+}
+
+func TestLineAppears(t *testing.T) {
+	c := New("roofline", "Hz", "m/s")
+	c.AddLine("v", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	s := c.String()
+	if !strings.Contains(s, "roofline") || !strings.Contains(s, "*") {
+		t.Fatalf("missing title or marker:\n%s", s)
+	}
+	if !strings.Contains(s, "v") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestPointMarkerUsed(t *testing.T) {
+	c := New("", "", "")
+	c.AddLine("l", []float64{0, 10}, []float64{0, 10})
+	c.AddPoint("p", 5, 5, 'P')
+	if !strings.Contains(c.String(), "P") {
+		t.Fatal("custom marker missing")
+	}
+}
+
+func TestConstantSeriesNoPanic(t *testing.T) {
+	c := New("", "", "")
+	c.AddLine("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	if c.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAxisExtremesPrinted(t *testing.T) {
+	c := New("", "", "")
+	c.AddLine("l", []float64{2, 50}, []float64{1, 9})
+	s := c.String()
+	for _, want := range []string{"2", "50", "1", "9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("axis label %q missing:\n%s", want, s)
+		}
+	}
+}
+
+func TestTinyDimensionsClamped(t *testing.T) {
+	c := New("", "", "")
+	c.Width, c.Height = 1, 1
+	c.AddLine("l", []float64{0, 1}, []float64{0, 1})
+	if c.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := New("", "", "")
+	c.AddLine("a", []float64{0, 1}, []float64{0, 1})
+	c.AddLine("b", []float64{0, 1}, []float64{1, 0})
+	s := c.String()
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatalf("default markers missing:\n%s", s)
+	}
+}

@@ -1,0 +1,240 @@
+// Package policy defines the parameterized end-to-end (E2E) autonomy model
+// template from the paper's Fig. 2a. The template has an image trunk of
+// convolution layers, a state trunk, and a dense head; AutoPilot varies the
+// number of trunk layers and the filter width (paper Table II: layers
+// 2..10, filters {32,48,64}).
+//
+// The package serves two consumers:
+//   - the systolic-array simulator and power models, which need the exact
+//     layer geometry of the deployment-resolution network (Spec / Build);
+//   - the RL trainer, which trains a reduced-resolution version of the same
+//     template on the grid-world simulator (NewTrainable).
+package policy
+
+import (
+	"fmt"
+
+	"autopilot/internal/nn"
+	"autopilot/internal/tensor"
+)
+
+// Table II hyper-parameter ranges.
+var (
+	// LayerChoices are the template depths searched by AutoPilot.
+	LayerChoices = []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// FilterChoices are the filter widths searched by AutoPilot.
+	FilterChoices = []int{32, 48, 64}
+)
+
+// Hyper identifies one E2E model in the template family.
+type Hyper struct {
+	Layers  int // convolution trunk depth, 2..10
+	Filters int // channels per conv layer, one of {32, 48, 64}
+}
+
+// Validate checks that the hyper-parameters are inside the Table II space.
+func (h Hyper) Validate() error {
+	if h.Layers < 2 || h.Layers > 10 {
+		return fmt.Errorf("policy: layers %d outside [2,10]", h.Layers)
+	}
+	switch h.Filters {
+	case 32, 48, 64:
+		return nil
+	default:
+		return fmt.Errorf("policy: filters %d not in {32,48,64}", h.Filters)
+	}
+}
+
+// String renders the hyper-parameters compactly, e.g. "L7F48".
+func (h Hyper) String() string { return fmt.Sprintf("L%dF%d", h.Layers, h.Filters) }
+
+// AllHypers enumerates the full Table II model space in deterministic order.
+func AllHypers() []Hyper {
+	var hs []Hyper
+	for _, l := range LayerChoices {
+		for _, f := range FilterChoices {
+			hs = append(hs, Hyper{Layers: l, Filters: f})
+		}
+	}
+	return hs
+}
+
+// LayerKind discriminates the two layer types that reach the accelerator.
+type LayerKind int
+
+// Layer kinds.
+const (
+	KindConv LayerKind = iota
+	KindDense
+)
+
+// LayerSpec describes one accelerator-visible layer of the E2E model.
+type LayerSpec struct {
+	Name string
+	Kind LayerKind
+
+	Conv tensor.ConvDims // valid when Kind == KindConv
+
+	// valid when Kind == KindDense
+	In, Out int
+}
+
+// Params returns the number of weights + biases in the layer.
+func (l LayerSpec) Params() int64 {
+	switch l.Kind {
+	case KindConv:
+		return int64(l.Conv.OutC)*int64(l.Conv.InC)*int64(l.Conv.K)*int64(l.Conv.K) + int64(l.Conv.OutC)
+	default:
+		return int64(l.In)*int64(l.Out) + int64(l.Out)
+	}
+}
+
+// MACs returns multiply-accumulates for one inference of the layer.
+func (l LayerSpec) MACs() int64 {
+	switch l.Kind {
+	case KindConv:
+		return l.Conv.MACs()
+	default:
+		return int64(l.In) * int64(l.Out)
+	}
+}
+
+// TemplateConfig fixes the parts of the template that are not searched:
+// sensor resolution, state-vector width, action count and head widths.
+type TemplateConfig struct {
+	InputH, InputW, InputC int // sensor frame fed to the vision trunk
+	StateDim               int // IMU/goal vector width
+	Hidden1, Hidden2       int // dense head widths
+	Actions                int // discrete action-space size
+}
+
+// DefaultTemplate is the deployment-resolution template: 84×84 RGB frames
+// (downsampled from the OV9755 sensor), the Air Learning 25-action space,
+// and head widths chosen so the model family spans roughly 1M–60M
+// parameters — matching the paper's observation that its E2E models are
+// 109×–121× larger than DroNet (~320k params).
+func DefaultTemplate() TemplateConfig {
+	return TemplateConfig{
+		InputH: 84, InputW: 84, InputC: 3,
+		StateDim: 6,
+		Hidden1:  2048, Hidden2: 256,
+		Actions: 25,
+	}
+}
+
+// Network is one fully specified E2E model: the ordered accelerator-visible
+// layers plus bookkeeping.
+type Network struct {
+	Hyper    Hyper
+	Template TemplateConfig
+	Specs    []LayerSpec
+}
+
+// Build expands the template for the given hyper-parameters into concrete
+// layer geometry. The trunk uses a stride-2 5×5 stem, one more stride-2 3×3
+// layer, and stride-1 3×3 layers for the remaining depth; the head is
+// Flatten → Hidden1 → Hidden2 → Actions. The state trunk is a single tiny
+// dense layer; it is included in the spec (the accelerator runs it too)
+// but contributes negligibly to cycles and energy.
+func Build(h Hyper, cfg TemplateConfig) (*Network, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InputH <= 0 || cfg.InputW <= 0 || cfg.InputC <= 0 || cfg.Actions <= 0 {
+		return nil, fmt.Errorf("policy: invalid template config %+v", cfg)
+	}
+	n := &Network{Hyper: h, Template: cfg}
+	c, hh, ww := cfg.InputC, cfg.InputH, cfg.InputW
+	for i := 0; i < h.Layers; i++ {
+		k, stride, pad := 3, 1, 1
+		if i == 0 {
+			k, stride, pad = 5, 2, 2
+		} else if i == 1 {
+			stride = 2
+		}
+		d := tensor.ConvDims{InC: c, InH: hh, InW: ww, OutC: h.Filters, K: k, Stride: stride, Pad: pad}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("policy: trunk layer %d: %w", i, err)
+		}
+		n.Specs = append(n.Specs, LayerSpec{Name: fmt.Sprintf("conv%d", i+1), Kind: KindConv, Conv: d})
+		c, hh, ww = d.OutC, d.OutH(), d.OutW()
+	}
+	flat := c * hh * ww
+	n.Specs = append(n.Specs,
+		LayerSpec{Name: "state_fc", Kind: KindDense, In: cfg.StateDim, Out: 32},
+		LayerSpec{Name: "fc1", Kind: KindDense, In: flat + 32, Out: cfg.Hidden1},
+		LayerSpec{Name: "fc2", Kind: KindDense, In: cfg.Hidden1, Out: cfg.Hidden2},
+		LayerSpec{Name: "out", Kind: KindDense, In: cfg.Hidden2, Out: cfg.Actions},
+	)
+	return n, nil
+}
+
+// Params returns the total trainable parameter count of the network.
+func (n *Network) Params() int64 {
+	var p int64
+	for _, l := range n.Specs {
+		p += l.Params()
+	}
+	return p
+}
+
+// MACs returns the multiply-accumulate count of one inference.
+func (n *Network) MACs() int64 {
+	var m int64
+	for _, l := range n.Specs {
+		m += l.MACs()
+	}
+	return m
+}
+
+// TrainableConfig shrinks the template for laptop-scale RL training on the
+// grid-world simulator while keeping the same two-branch structure.
+type TrainableConfig struct {
+	InputH, InputW int // single-channel observation image
+	StateDim       int
+	Actions        int
+	Hidden         int
+}
+
+// DefaultTrainable matches the grid-world observation space.
+func DefaultTrainable() TrainableConfig {
+	return TrainableConfig{InputH: 11, InputW: 11, StateDim: 4, Actions: 8, Hidden: 64}
+}
+
+// NewTrainable builds a reduced-resolution trainable instance of the
+// template: h.Layers is mapped to trunk depth (capped so the observation
+// stays non-empty) and h.Filters scales channel width down by 8×.
+func NewTrainable(h Hyper, cfg TrainableConfig, g *tensor.RNG) (*nn.MultiModal, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	filters := h.Filters / 8 // 4, 6 or 8 channels
+	depth := h.Layers
+	if depth > 3 {
+		depth = 3 // deeper trunks repeat stride-1 layers; cap for the 11×11 input
+	}
+	var layers []nn.Layer
+	c, hh, ww := 1, cfg.InputH, cfg.InputW
+	for i := 0; i < depth; i++ {
+		stride := 1
+		if i == 0 {
+			stride = 2
+		}
+		d := tensor.ConvDims{InC: c, InH: hh, InW: ww, OutC: filters, K: 3, Stride: stride, Pad: 1}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("policy: trainable trunk layer %d: %w", i, err)
+		}
+		layers = append(layers, nn.NewConv2D(d, g), nn.NewReLU())
+		c, hh, ww = d.OutC, d.OutH(), d.OutW()
+	}
+	layers = append(layers, nn.NewFlatten())
+	vision := nn.NewSequential(layers...)
+
+	state := nn.NewSequential(nn.NewDense(cfg.StateDim, 16, g), nn.NewReLU())
+	head := nn.NewSequential(
+		nn.NewDense(c*hh*ww+16, cfg.Hidden, g),
+		nn.NewReLU(),
+		nn.NewDense(cfg.Hidden, cfg.Actions, g),
+	)
+	return nn.NewMultiModal(vision, state, head), nil
+}

@@ -1,0 +1,195 @@
+package policy
+
+import (
+	"testing"
+
+	"autopilot/internal/tensor"
+)
+
+func TestHyperValidate(t *testing.T) {
+	good := []Hyper{{2, 32}, {10, 64}, {5, 48}}
+	for _, h := range good {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", h, err)
+		}
+	}
+	bad := []Hyper{{1, 32}, {11, 32}, {5, 33}, {0, 0}}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("%v: expected error", h)
+		}
+	}
+}
+
+func TestAllHypersCoversTableII(t *testing.T) {
+	hs := AllHypers()
+	if len(hs) != 9*3 {
+		t.Fatalf("len = %d, want 27", len(hs))
+	}
+	seen := map[Hyper]bool{}
+	for _, h := range hs {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%v invalid: %v", h, err)
+		}
+		if seen[h] {
+			t.Fatalf("duplicate %v", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHyperString(t *testing.T) {
+	if got := (Hyper{7, 48}).String(); got != "L7F48" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestBuildLayerGeometry(t *testing.T) {
+	n, err := Build(Hyper{5, 32}, DefaultTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 convs + state_fc + fc1 + fc2 + out
+	if len(n.Specs) != 9 {
+		t.Fatalf("len(Specs) = %d, want 9", len(n.Specs))
+	}
+	c0 := n.Specs[0]
+	if c0.Kind != KindConv || c0.Conv.K != 5 || c0.Conv.Stride != 2 {
+		t.Fatalf("stem = %+v", c0)
+	}
+	// resolution: 84 -> 42 (stem) -> 21 (conv2) -> 21 for the rest
+	last := n.Specs[4]
+	if last.Conv.OutH() != 21 || last.Conv.OutW() != 21 {
+		t.Fatalf("trunk output %dx%d, want 21x21", last.Conv.OutH(), last.Conv.OutW())
+	}
+	fc1 := n.Specs[6]
+	if fc1.Name != "fc1" || fc1.In != 21*21*32+32 {
+		t.Fatalf("fc1 = %+v, want In = %d", fc1, 21*21*32+32)
+	}
+	if out := n.Specs[8]; out.Out != 25 {
+		t.Fatalf("out layer = %+v", out)
+	}
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	if _, err := Build(Hyper{1, 32}, DefaultTemplate()); err == nil {
+		t.Fatal("expected error for bad hyper")
+	}
+	if _, err := Build(Hyper{5, 32}, TemplateConfig{}); err == nil {
+		t.Fatal("expected error for empty template")
+	}
+}
+
+func TestParamsMonotoneInDepthAndWidth(t *testing.T) {
+	cfg := DefaultTemplate()
+	p := func(h Hyper) int64 {
+		n, err := Build(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.Params()
+	}
+	if !(p(Hyper{3, 32}) < p(Hyper{7, 32})) {
+		t.Error("params must grow with depth")
+	}
+	if !(p(Hyper{5, 32}) < p(Hyper{5, 48}) && p(Hyper{5, 48}) < p(Hyper{5, 64})) {
+		t.Error("params must grow with width")
+	}
+}
+
+func TestParamScaleMatchesPaperDroNetComparison(t *testing.T) {
+	// Paper §V-A: AutoPilot E2E models are 109×–121× larger than DroNet
+	// (~320k params). The selected models should land within a factor ~2 of
+	// 35M params; the family overall spans roughly 1M–60M.
+	cfg := DefaultTemplate()
+	const droNet = 320e3
+	n, err := Build(Hyper{7, 48}, cfg) // dense-obstacle winner
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(n.Params()) / droNet
+	if ratio < 50 || ratio > 250 {
+		t.Fatalf("selected model is %.0fx DroNet, want within [50,250]x (params=%d)", ratio, n.Params())
+	}
+}
+
+func TestMACsPositiveAndDominatedByKnownLayers(t *testing.T) {
+	n, err := Build(Hyper{4, 64}, DefaultTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range n.Specs {
+		if l.MACs() <= 0 {
+			t.Fatalf("layer %s has nonpositive MACs", l.Name)
+		}
+		sum += l.MACs()
+	}
+	if n.MACs() != sum {
+		t.Fatalf("MACs = %d, want %d", n.MACs(), sum)
+	}
+}
+
+func TestLayerSpecParamAndMACFormulas(t *testing.T) {
+	d := LayerSpec{Kind: KindDense, In: 10, Out: 4}
+	if d.Params() != 44 {
+		t.Errorf("dense params = %d, want 44", d.Params())
+	}
+	if d.MACs() != 40 {
+		t.Errorf("dense MACs = %d, want 40", d.MACs())
+	}
+	c := LayerSpec{Kind: KindConv, Conv: tensor.ConvDims{InC: 2, InH: 8, InW: 8, OutC: 3, K: 3, Stride: 1, Pad: 1}}
+	if c.Params() != int64(3*2*9+3) {
+		t.Errorf("conv params = %d", c.Params())
+	}
+	if c.MACs() != c.Conv.MACs() {
+		t.Errorf("conv MACs mismatch")
+	}
+}
+
+func TestNewTrainableForwardShapes(t *testing.T) {
+	g := tensor.NewRNG(1)
+	cfg := DefaultTrainable()
+	for _, h := range []Hyper{{2, 32}, {5, 48}, {10, 64}} {
+		m, err := NewTrainable(h, cfg, g)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		img := g.Randn(1, 1, cfg.InputH, cfg.InputW)
+		st := g.Randn(1, cfg.StateDim)
+		out := m.Forward(img, st)
+		if out.Len() != cfg.Actions {
+			t.Fatalf("%v: out len %d, want %d", h, out.Len(), cfg.Actions)
+		}
+	}
+}
+
+func TestNewTrainableRejectsBadHyper(t *testing.T) {
+	if _, err := NewTrainable(Hyper{0, 32}, DefaultTrainable(), tensor.NewRNG(1)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTrainableBackwardRuns(t *testing.T) {
+	g := tensor.NewRNG(2)
+	cfg := DefaultTrainable()
+	m, err := NewTrainable(Hyper{4, 32}, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := g.Randn(1, 1, cfg.InputH, cfg.InputW)
+	st := g.Randn(1, cfg.StateDim)
+	out := m.Forward(img, st)
+	m.ZeroGrads()
+	m.Backward(out.Clone())
+	nonzero := false
+	for _, gr := range m.Grads() {
+		if gr.Norm2() > 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("backward produced all-zero gradients")
+	}
+}

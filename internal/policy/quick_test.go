@@ -1,0 +1,54 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBuildInvariantsOverFamily property-checks every member of the Table II
+// family: valid geometry end to end, positive parameter/MAC counts, and
+// consistent layer chaining (each conv's input matches the previous output).
+func TestBuildInvariantsOverFamily(t *testing.T) {
+	cfg := DefaultTemplate()
+	hypers := AllHypers()
+	i := 0
+	f := func(seed uint8) bool {
+		h := hypers[(int(seed)+i)%len(hypers)]
+		i++
+		n, err := Build(h, cfg)
+		if err != nil {
+			return false
+		}
+		if n.Params() <= 0 || n.MACs() <= 0 {
+			return false
+		}
+		prevC, prevH, prevW := cfg.InputC, cfg.InputH, cfg.InputW
+		for _, l := range n.Specs {
+			if l.Kind != KindConv {
+				continue
+			}
+			d := l.Conv
+			if d.InC != prevC || d.InH != prevH || d.InW != prevW {
+				return false
+			}
+			if d.Validate() != nil {
+				return false
+			}
+			prevC, prevH, prevW = d.OutC, d.OutH(), d.OutW()
+		}
+		// the first dense layer must consume the flattened trunk plus the
+		// state embedding
+		for i, l := range n.Specs {
+			if l.Name == "fc1" {
+				stateOut := n.Specs[i-1].Out
+				if l.In != prevC*prevH*prevW+stateOut {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 27}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package power estimates DSSoC power the way the paper does (§III-B): the
+// accelerator's dynamic energy comes from per-access SRAM energy (CACTI-like
+// capacity scaling), DRAM transfer energy (Micron-style pJ/byte plus
+// interface power), and per-MAC PE energy; static power comes from PE-array
+// and SRAM leakage. Fixed SoC components (ULP MCU, camera sensor, MIPI
+// interface) are added per Table III. Constants are for a 28 nm node and are
+// calibrated against the paper's anchor designs (see DESIGN.md §4);
+// technology-node scaling is provided for the fine-tuning stage.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/systolic"
+)
+
+// Fixed SoC component powers (paper Table III).
+const (
+	MCUPowerW    = 0.00038 // ARMv8-M Cortex-M33 @ 100 MHz, 28 nm
+	SensorPowerW = 0.100   // OV9755 RGB camera
+	MIPIPowerW   = 0.022   // MIPI CSI camera interface
+)
+
+// FixedComponentsW is the total always-on power of the non-accelerator SoC
+// components.
+const FixedComponentsW = MCUPowerW + SensorPowerW + MIPIPowerW
+
+// Model holds the 28 nm energy/leakage coefficients.
+type Model struct {
+	MACEnergyPJ     float64 // energy per 8-bit MAC
+	PEStaticW       float64 // leakage + clock power per PE
+	SRAMLeakWPerKB  float64 // scratchpad leakage per KB
+	SRAMEnergyBase  float64 // pJ/byte floor for tiny arrays
+	SRAMEnergySlope float64 // pJ/byte growth with sqrt(capacity KB)
+	DRAMEnergyPJB   float64 // DRAM transfer energy per byte
+	DRAMStaticW     float64 // DRAM device + PHY background power
+	DRAMPerGBps2W   float64 // interface power per (GB/s)² provisioned — wide PHYs cost superlinearly
+}
+
+// Default returns the calibrated 28 nm model.
+func Default() Model {
+	return Model{
+		MACEnergyPJ:     0.4,
+		PEStaticW:       12e-6,
+		SRAMLeakWPerKB:  0.12e-3,
+		SRAMEnergyBase:  0.3,
+		SRAMEnergySlope: 0.035,
+		DRAMEnergyPJB:   100,
+		DRAMStaticW:     0.250,
+		DRAMPerGBps2W:   0.028,
+	}
+}
+
+// SRAMEnergyPerBytePJ returns the per-byte access energy for a scratchpad of
+// the given capacity, following CACTI's sqrt-capacity trend (a 32 KB array
+// costs ~0.5 pJ/B, a 4 MB array ~2.5 pJ/B).
+func (m Model) SRAMEnergyPerBytePJ(capacityKB int) float64 {
+	if capacityKB <= 0 {
+		return m.SRAMEnergyBase
+	}
+	return m.SRAMEnergyBase + m.SRAMEnergySlope*math.Sqrt(float64(capacityKB))
+}
+
+// Breakdown itemizes accelerator power in watts.
+type Breakdown struct {
+	PEDynamic   float64
+	PEStatic    float64
+	SRAMDynamic float64
+	SRAMStatic  float64
+	DRAMDynamic float64
+	DRAMStatic  float64
+}
+
+// Total returns the summed accelerator power.
+func (b Breakdown) Total() float64 {
+	return b.PEDynamic + b.PEStatic + b.SRAMDynamic + b.SRAMStatic + b.DRAMDynamic + b.DRAMStatic
+}
+
+// String renders the breakdown for reports.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("PE %.3f+%.3fW SRAM %.3f+%.3fW DRAM %.3f+%.3fW = %.3fW",
+		b.PEDynamic, b.PEStatic, b.SRAMDynamic, b.SRAMStatic, b.DRAMDynamic, b.DRAMStatic, b.Total())
+}
+
+// Accelerator converts a systolic simulation report into a power breakdown
+// at the report's achieved frame rate.
+func (m Model) Accelerator(rep *systolic.Report) Breakdown {
+	cfg := rep.Config
+	fps := rep.FPS
+	var macs, sramBytesWeighted, dramBytes float64
+	// weight SRAM accesses by the per-bank energy they hit
+	eIf := m.SRAMEnergyPerBytePJ(cfg.IfmapKB)
+	eF := m.SRAMEnergyPerBytePJ(cfg.FilterKB)
+	eOf := m.SRAMEnergyPerBytePJ(cfg.OfmapKB)
+	for _, l := range rep.Layers {
+		macs += float64(l.MACs)
+		// reads split between ifmap and filter banks; writes hit ofmap
+		sramBytesWeighted += float64(l.SRAMReads)/2*(eIf+eF) + float64(l.SRAMWrites)*eOf
+		dramBytes += float64(l.DRAMReads + l.DRAMWrites)
+	}
+	return Breakdown{
+		PEDynamic:   macs * m.MACEnergyPJ * 1e-12 * fps,
+		PEStatic:    float64(cfg.PEs()) * m.PEStaticW,
+		SRAMDynamic: sramBytesWeighted * 1e-12 * fps,
+		SRAMStatic:  float64(cfg.IfmapKB+cfg.FilterKB+cfg.OfmapKB) * m.SRAMLeakWPerKB,
+		DRAMDynamic: dramBytes * m.DRAMEnergyPJB * 1e-12 * fps,
+		DRAMStatic:  m.DRAMStaticW + m.DRAMPerGBps2W*cfg.BandwidthGBps*cfg.BandwidthGBps,
+	}
+}
+
+// SoC returns total SoC power: accelerator plus the fixed Table III
+// components.
+func (m Model) SoC(rep *systolic.Report) float64 {
+	return m.Accelerator(rep).Total() + FixedComponentsW
+}
+
+// NodeScale holds dynamic-energy and leakage multipliers relative to 28 nm.
+type NodeScale struct {
+	Dynamic float64
+	Static  float64
+}
+
+// nodeScales approximates published CMOS scaling trends; leakage improves
+// more slowly than dynamic energy at FinFET nodes.
+var nodeScales = map[int]NodeScale{
+	40: {Dynamic: 1.7, Static: 1.5},
+	28: {Dynamic: 1.0, Static: 1.0},
+	16: {Dynamic: 0.55, Static: 0.65},
+	7:  {Dynamic: 0.30, Static: 0.45},
+}
+
+// Nodes lists the supported technology nodes in nm, largest first.
+func Nodes() []int { return []int{40, 28, 16, 7} }
+
+// AtNode returns the model rescaled to a different technology node, for the
+// architectural fine-tuning stage. It returns an error for unsupported nodes.
+func (m Model) AtNode(nm int) (Model, error) {
+	s, ok := nodeScales[nm]
+	if !ok {
+		return Model{}, fmt.Errorf("power: unsupported node %dnm (have %v)", nm, Nodes())
+	}
+	out := m
+	out.MACEnergyPJ *= s.Dynamic
+	out.SRAMEnergyBase *= s.Dynamic
+	out.SRAMEnergySlope *= s.Dynamic
+	out.PEStaticW *= s.Static
+	out.SRAMLeakWPerKB *= s.Static
+	// DRAM is off-chip: unaffected by the logic node.
+	return out, nil
+}

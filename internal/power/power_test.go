@@ -1,0 +1,194 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"autopilot/internal/policy"
+	"autopilot/internal/systolic"
+)
+
+func simulate(t *testing.T, c systolic.Config) *systolic.Report {
+	t.Helper()
+	n, err := policy.Build(policy.Hyper{Layers: 7, Filters: 48}, policy.DefaultTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := systolic.Simulate(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func midConfig() systolic.Config {
+	return systolic.Config{
+		Rows: 128, Cols: 128,
+		IfmapKB: 256, FilterKB: 256, OfmapKB: 256,
+		Dataflow: systolic.OutputStationary, FreqMHz: 500, BandwidthGBps: 2,
+	}
+}
+
+func TestFixedComponentsMatchTableIII(t *testing.T) {
+	if MCUPowerW != 0.00038 {
+		t.Errorf("MCU = %g", MCUPowerW)
+	}
+	if SensorPowerW != 0.1 {
+		t.Errorf("sensor = %g", SensorPowerW)
+	}
+	if MIPIPowerW != 0.022 {
+		t.Errorf("MIPI = %g", MIPIPowerW)
+	}
+	want := 0.00038 + 0.1 + 0.022
+	if math.Abs(FixedComponentsW-want) > 1e-12 {
+		t.Errorf("fixed total = %g, want %g", FixedComponentsW, want)
+	}
+}
+
+func TestSRAMEnergyGrowsWithCapacity(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, kb := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		e := m.SRAMEnergyPerBytePJ(kb)
+		if e <= prev {
+			t.Fatalf("%d KB: energy %g not increasing", kb, e)
+		}
+		prev = e
+	}
+	// CACTI-like anchor points
+	if e := m.SRAMEnergyPerBytePJ(32); e < 0.3 || e > 0.8 {
+		t.Errorf("32KB energy = %g pJ/B, want ~0.5", e)
+	}
+	if e := m.SRAMEnergyPerBytePJ(4096); e < 1.8 || e > 3.2 {
+		t.Errorf("4MB energy = %g pJ/B, want ~2.5", e)
+	}
+}
+
+func TestSRAMEnergyDegenerateCapacity(t *testing.T) {
+	m := Default()
+	if m.SRAMEnergyPerBytePJ(0) != m.SRAMEnergyBase {
+		t.Fatal("zero capacity should return the base energy")
+	}
+}
+
+func TestBreakdownTotalSumsComponents(t *testing.T) {
+	b := Breakdown{PEDynamic: 1, PEStatic: 2, SRAMDynamic: 3, SRAMStatic: 4, DRAMDynamic: 5, DRAMStatic: 6}
+	if b.Total() != 21 {
+		t.Fatalf("Total = %g", b.Total())
+	}
+	if b.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestAcceleratorPowerPositiveComponents(t *testing.T) {
+	m := Default()
+	b := m.Accelerator(simulate(t, midConfig()))
+	if b.PEDynamic <= 0 || b.PEStatic <= 0 || b.SRAMDynamic <= 0 ||
+		b.SRAMStatic <= 0 || b.DRAMDynamic <= 0 || b.DRAMStatic <= 0 {
+		t.Fatalf("non-positive component: %+v", b)
+	}
+}
+
+func TestBiggerArrayMoreStaticPower(t *testing.T) {
+	m := Default()
+	small := midConfig()
+	small.Rows, small.Cols = 16, 16
+	big := midConfig()
+	big.Rows, big.Cols = 512, 512
+	bs := m.Accelerator(simulate(t, small))
+	bb := m.Accelerator(simulate(t, big))
+	if bb.PEStatic <= bs.PEStatic {
+		t.Fatalf("PE static small %g >= big %g", bs.PEStatic, bb.PEStatic)
+	}
+}
+
+func TestMoreSRAMMoreLeakage(t *testing.T) {
+	m := Default()
+	small := midConfig()
+	big := midConfig()
+	big.IfmapKB, big.FilterKB, big.OfmapKB = 4096, 4096, 4096
+	bs := m.Accelerator(simulate(t, small))
+	bb := m.Accelerator(simulate(t, big))
+	if bb.SRAMStatic <= bs.SRAMStatic {
+		t.Fatal("SRAM leakage must grow with capacity")
+	}
+}
+
+func TestSoCAddsFixedComponents(t *testing.T) {
+	m := Default()
+	rep := simulate(t, midConfig())
+	soc := m.SoC(rep)
+	accel := m.Accelerator(rep).Total()
+	if math.Abs(soc-accel-FixedComponentsW) > 1e-12 {
+		t.Fatalf("SoC = %g, accel = %g", soc, accel)
+	}
+}
+
+func TestPowerInPaperOperatingRange(t *testing.T) {
+	// Table III: the E2E NPU spans ~0.7 W to ~8.24 W across the design space.
+	m := Default()
+	lo := systolic.Config{Rows: 8, Cols: 8, IfmapKB: 32, FilterKB: 32, OfmapKB: 32,
+		Dataflow: systolic.OutputStationary, FreqMHz: 500, BandwidthGBps: 0.8}
+	hi := systolic.Config{Rows: 512, Cols: 512, IfmapKB: 4096, FilterKB: 4096, OfmapKB: 4096,
+		Dataflow: systolic.OutputStationary, FreqMHz: 500, BandwidthGBps: 12}
+	pl := m.SoC(simulate(t, lo))
+	ph := m.SoC(simulate(t, hi))
+	if pl > 1.0 {
+		t.Errorf("low-end SoC power %.2f W, want under ~1 W", pl)
+	}
+	if ph < 4 || ph > 14 {
+		t.Errorf("high-end SoC power %.2f W, want in [4,14] W", ph)
+	}
+	if ph <= pl {
+		t.Error("high-end design must burn more than low-end")
+	}
+}
+
+func TestAtNodeScaling(t *testing.T) {
+	m := Default()
+	m16, err := m.AtNode(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m16.MACEnergyPJ >= m.MACEnergyPJ || m16.PEStaticW >= m.PEStaticW {
+		t.Fatal("16nm must be more efficient than 28nm")
+	}
+	if m16.DRAMEnergyPJB != m.DRAMEnergyPJB {
+		t.Fatal("DRAM energy must not scale with the logic node")
+	}
+	m40, err := m.AtNode(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m40.MACEnergyPJ <= m.MACEnergyPJ {
+		t.Fatal("40nm must be less efficient than 28nm")
+	}
+	if _, err := m.AtNode(5); err == nil {
+		t.Fatal("expected error for unsupported node")
+	}
+}
+
+func TestAtNode28Identity(t *testing.T) {
+	m := Default()
+	m28, err := m.AtNode(28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m28 != m {
+		t.Fatalf("28nm scaling must be identity: %+v vs %+v", m28, m)
+	}
+}
+
+func TestNodesList(t *testing.T) {
+	ns := Nodes()
+	if len(ns) != 4 || ns[0] != 40 || ns[3] != 7 {
+		t.Fatalf("Nodes = %v", ns)
+	}
+	m := Default()
+	for _, n := range ns {
+		if _, err := m.AtNode(n); err != nil {
+			t.Errorf("node %d: %v", n, err)
+		}
+	}
+}

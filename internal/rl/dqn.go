@@ -1,0 +1,184 @@
+package rl
+
+import (
+	"math"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/nn"
+	"autopilot/internal/tensor"
+)
+
+// DQNConfig holds the DQN hyper-parameters.
+type DQNConfig struct {
+	Gamma         float64 // discount factor
+	LR            float64 // Adam learning rate
+	EpsStart      float64 // initial exploration rate
+	EpsEnd        float64 // final exploration rate
+	EpsDecaySteps int     // env steps over which epsilon anneals linearly
+	BufferSize    int     // replay capacity
+	BatchSize     int     // transitions per update
+	TargetSync    int     // env steps between target-network syncs
+	LearnStart    int     // env steps before updates begin
+	UpdateEvery   int     // env steps between gradient updates
+	MaxGradNorm   float64 // gradient clipping threshold
+	Double        bool    // Double DQN: online net selects, target net evaluates
+}
+
+// DefaultDQNConfig returns settings tuned for the grid-world navigation task.
+func DefaultDQNConfig() DQNConfig {
+	return DQNConfig{
+		Gamma:         0.97,
+		LR:            1e-3,
+		EpsStart:      1.0,
+		EpsEnd:        0.05,
+		EpsDecaySteps: 4000,
+		BufferSize:    5000,
+		BatchSize:     16,
+		TargetSync:    250,
+		LearnStart:    200,
+		UpdateEvery:   2,
+		MaxGradNorm:   5,
+	}
+}
+
+// DQN is a Deep Q-Network agent over the multi-modal policy template.
+type DQN struct {
+	Online *nn.MultiModal
+	Target *nn.MultiModal
+
+	cfg    DQNConfig
+	opt    *nn.Adam
+	buffer *ReplayBuffer
+	rng    *tensor.RNG
+	steps  int
+}
+
+// NewDQN wraps an online/target network pair. The target is immediately
+// synchronized to the online network.
+func NewDQN(online, target *nn.MultiModal, cfg DQNConfig, seed int64) *DQN {
+	target.CopyParamsFrom(online)
+	return &DQN{
+		Online: online,
+		Target: target,
+		cfg:    cfg,
+		opt:    nn.NewAdam(cfg.LR),
+		buffer: NewReplayBuffer(cfg.BufferSize),
+		rng:    tensor.NewRNG(seed),
+	}
+}
+
+// Epsilon returns the current exploration rate.
+func (d *DQN) Epsilon() float64 {
+	frac := float64(d.steps) / float64(d.cfg.EpsDecaySteps)
+	if frac > 1 {
+		frac = 1
+	}
+	return d.cfg.EpsStart + frac*(d.cfg.EpsEnd-d.cfg.EpsStart)
+}
+
+// Act selects an epsilon-greedy action.
+func (d *DQN) Act(obs airlearning.Observation) int {
+	if d.rng.Float64() < d.Epsilon() {
+		return d.rng.Intn(airlearning.NumActions)
+	}
+	return d.Greedy(obs)
+}
+
+// Greedy returns the argmax-Q action.
+func (d *DQN) Greedy(obs airlearning.Observation) int {
+	return d.Online.Forward(obs.Image, obs.State).ArgMax()
+}
+
+// Policy returns the greedy policy for evaluation.
+func (d *DQN) Policy() airlearning.Policy {
+	return airlearning.PolicyFunc(func(obs airlearning.Observation) int { return d.Greedy(obs) })
+}
+
+// observe records a transition and runs updates on schedule.
+func (d *DQN) observe(t Transition) {
+	d.buffer.Add(t)
+	d.steps++
+	if d.steps >= d.cfg.LearnStart && d.steps%d.cfg.UpdateEvery == 0 {
+		d.update()
+	}
+	if d.steps%d.cfg.TargetSync == 0 {
+		d.Target.CopyParamsFrom(d.Online)
+	}
+}
+
+// update performs one minibatch Q-learning step.
+func (d *DQN) update() {
+	batch := d.buffer.Sample(d.rng, d.cfg.BatchSize)
+	d.Online.ZeroGrads()
+	for _, t := range batch {
+		target := t.Reward
+		if !t.Done {
+			tq := d.Target.Forward(t.Next.Image, t.Next.State)
+			if d.cfg.Double {
+				// Double DQN: decouple action selection (online) from value
+				// estimation (target) to curb maximization bias.
+				a := d.Online.Forward(t.Next.Image, t.Next.State).ArgMax()
+				target += d.cfg.Gamma * tq.Data()[a]
+			} else {
+				best, _ := tq.Max()
+				target += d.cfg.Gamma * best
+			}
+		}
+		q := d.Online.Forward(t.Obs.Image, t.Obs.State)
+		// gradient only on the taken action, Huber-style
+		grad := tensor.New(q.Len())
+		diff := q.Data()[t.Action] - target
+		grad.Data()[t.Action] = clamp(diff, -1, 1) / float64(len(batch))
+		d.Online.Backward(grad)
+	}
+	nn.ClipGrads(d.Online.Grads(), d.cfg.MaxGradNorm)
+	d.opt.Step(d.Online.Params(), d.Online.Grads())
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	Episodes    int
+	Steps       int
+	MeanReturn  float64 // mean return over the last 20% of episodes
+	SuccessRate float64 // success over the last 20% of episodes
+}
+
+// Train runs the agent for the given number of episodes and returns stats.
+func (d *DQN) Train(env *airlearning.Env, episodes int) TrainStats {
+	var stats TrainStats
+	tail := episodes / 5
+	if tail == 0 {
+		tail = 1
+	}
+	var tailReturn float64
+	var tailWins int
+	for ep := 0; ep < episodes; ep++ {
+		obs := env.Reset()
+		ret := 0.0
+		for {
+			a := d.Act(obs)
+			next, r, done := env.Step(a)
+			d.observe(Transition{Obs: obs, Action: a, Reward: r, Next: next, Done: done})
+			ret += r
+			obs = next
+			stats.Steps++
+			if done {
+				break
+			}
+		}
+		if ep >= episodes-tail {
+			tailReturn += ret
+			if env.OutcomeNow() == airlearning.Success {
+				tailWins++
+			}
+		}
+	}
+	stats.Episodes = episodes
+	stats.MeanReturn = tailReturn / float64(tail)
+	stats.SuccessRate = float64(tailWins) / float64(tail)
+	return stats
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

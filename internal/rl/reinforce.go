@@ -1,0 +1,135 @@
+package rl
+
+import (
+	"math"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/nn"
+	"autopilot/internal/tensor"
+)
+
+// ReinforceConfig holds REINFORCE hyper-parameters.
+type ReinforceConfig struct {
+	Gamma       float64
+	LR          float64
+	Baseline    float64 // EMA smoothing for the return baseline
+	MaxGradNorm float64
+}
+
+// DefaultReinforceConfig returns settings tuned for the grid-world task.
+func DefaultReinforceConfig() ReinforceConfig {
+	return ReinforceConfig{Gamma: 0.97, LR: 5e-4, Baseline: 0.9, MaxGradNorm: 5}
+}
+
+// Reinforce is a Monte-Carlo policy-gradient agent with an exponential
+// moving-average return baseline.
+type Reinforce struct {
+	Model *nn.MultiModal
+
+	cfg      ReinforceConfig
+	opt      *nn.Adam
+	rng      *tensor.RNG
+	baseline float64
+	primed   bool
+}
+
+// NewReinforce wraps a policy network.
+func NewReinforce(model *nn.MultiModal, cfg ReinforceConfig, seed int64) *Reinforce {
+	return &Reinforce{Model: model, cfg: cfg, opt: nn.NewAdam(cfg.LR), rng: tensor.NewRNG(seed)}
+}
+
+// sampleAction draws from the softmax policy.
+func (r *Reinforce) sampleAction(obs airlearning.Observation) int {
+	p := nn.Softmax(r.Model.Forward(obs.Image, obs.State))
+	u := r.rng.Float64()
+	acc := 0.0
+	for i, v := range p.Data() {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return p.Len() - 1
+}
+
+// Policy returns the stochastic policy for evaluation.
+func (r *Reinforce) Policy() airlearning.Policy {
+	return airlearning.PolicyFunc(func(obs airlearning.Observation) int { return r.sampleAction(obs) })
+}
+
+// GreedyPolicy returns the argmax policy for evaluation.
+func (r *Reinforce) GreedyPolicy() airlearning.Policy {
+	return airlearning.PolicyFunc(func(obs airlearning.Observation) int {
+		return r.Model.Forward(obs.Image, obs.State).ArgMax()
+	})
+}
+
+// TrainEpisode rolls out one episode and applies the policy-gradient update.
+// It returns the undiscounted episode return.
+func (r *Reinforce) TrainEpisode(env *airlearning.Env) float64 {
+	type step struct {
+		obs    airlearning.Observation
+		action int
+		reward float64
+	}
+	var traj []step
+	obs := env.Reset()
+	ret := 0.0
+	for {
+		a := r.sampleAction(obs)
+		next, rew, done := env.Step(a)
+		traj = append(traj, step{obs, a, rew})
+		ret += rew
+		obs = next
+		if done {
+			break
+		}
+	}
+	// discounted returns-to-go
+	G := make([]float64, len(traj))
+	g := 0.0
+	for i := len(traj) - 1; i >= 0; i-- {
+		g = traj[i].reward + r.cfg.Gamma*g
+		G[i] = g
+	}
+	if !r.primed {
+		r.baseline, r.primed = G[0], true
+	} else {
+		r.baseline = r.cfg.Baseline*r.baseline + (1-r.cfg.Baseline)*G[0]
+	}
+	r.Model.ZeroGrads()
+	scale := 1.0 / float64(len(traj))
+	for i, s := range traj {
+		logits := r.Model.Forward(s.obs.Image, s.obs.State)
+		adv := G[i] - r.baseline*math.Pow(r.cfg.Gamma, float64(i))
+		_, grad := nn.PolicyGradientLoss(logits, s.action, adv*scale)
+		r.Model.Backward(grad)
+	}
+	nn.ClipGrads(r.Model.Grads(), r.cfg.MaxGradNorm)
+	r.opt.Step(r.Model.Params(), r.Model.Grads())
+	return ret
+}
+
+// Train runs the agent for the given number of episodes.
+func (r *Reinforce) Train(env *airlearning.Env, episodes int) TrainStats {
+	var stats TrainStats
+	tail := episodes / 5
+	if tail == 0 {
+		tail = 1
+	}
+	var tailReturn float64
+	var tailWins int
+	for ep := 0; ep < episodes; ep++ {
+		ret := r.TrainEpisode(env)
+		if ep >= episodes-tail {
+			tailReturn += ret
+			if env.OutcomeNow() == airlearning.Success {
+				tailWins++
+			}
+		}
+	}
+	stats.Episodes = episodes
+	stats.MeanReturn = tailReturn / float64(tail)
+	stats.SuccessRate = float64(tailWins) / float64(tail)
+	return stats
+}

@@ -1,0 +1,233 @@
+package rl
+
+import (
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+	"autopilot/internal/tensor"
+)
+
+func TestReplayBufferBasics(t *testing.T) {
+	b := NewReplayBuffer(3)
+	if b.Len() != 0 {
+		t.Fatalf("empty Len = %d", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(Transition{Action: i})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", b.Len())
+	}
+	// after wrap, actions 2,3,4 remain
+	g := tensor.NewRNG(1)
+	seen := map[int]bool{}
+	for _, tr := range b.Sample(g, 100) {
+		seen[tr.Action] = true
+	}
+	for a := range seen {
+		if a < 2 {
+			t.Fatalf("evicted transition %d still sampled", a)
+		}
+	}
+}
+
+func TestReplayBufferEmptySample(t *testing.T) {
+	b := NewReplayBuffer(2)
+	if got := b.Sample(tensor.NewRNG(1), 4); got != nil {
+		t.Fatalf("Sample on empty = %v, want nil", got)
+	}
+}
+
+func TestReplayBufferZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReplayBuffer(0)
+}
+
+func TestEpsilonDecay(t *testing.T) {
+	g := tensor.NewRNG(1)
+	online, err := policy.NewTrainable(policy.Hyper{Layers: 2, Filters: 32}, policy.DefaultTrainable(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := policy.NewTrainable(policy.Hyper{Layers: 2, Filters: 32}, policy.DefaultTrainable(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDQNConfig()
+	cfg.EpsDecaySteps = 100
+	d := NewDQN(online, target, cfg, 1)
+	if d.Epsilon() != cfg.EpsStart {
+		t.Fatalf("initial epsilon = %g", d.Epsilon())
+	}
+	d.steps = 50
+	mid := d.Epsilon()
+	if mid >= cfg.EpsStart || mid <= cfg.EpsEnd {
+		t.Fatalf("mid epsilon = %g, want strictly between end and start", mid)
+	}
+	d.steps = 1000
+	if diff := d.Epsilon() - cfg.EpsEnd; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("final epsilon = %g, want %g", d.Epsilon(), cfg.EpsEnd)
+	}
+}
+
+func TestDQNTargetSyncOnConstruction(t *testing.T) {
+	g := tensor.NewRNG(2)
+	h := policy.Hyper{Layers: 3, Filters: 32}
+	online, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	target, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	d := NewDQN(online, target, DefaultDQNConfig(), 1)
+	env := airlearning.NewEnv(airlearning.LowObstacle, 1)
+	obs := env.Reset()
+	a := d.Online.Forward(obs.Image, obs.State)
+	b := d.Target.Forward(obs.Image, obs.State)
+	if !tensor.Equal(a, b, 1e-12) {
+		t.Fatal("target must equal online after construction")
+	}
+}
+
+func TestDQNTrainSmoke(t *testing.T) {
+	g := tensor.NewRNG(3)
+	h := policy.Hyper{Layers: 2, Filters: 32}
+	online, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	target, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	cfg := DefaultDQNConfig()
+	cfg.BatchSize = 4
+	cfg.UpdateEvery = 8
+	d := NewDQN(online, target, cfg, 3)
+	env := airlearning.NewEnv(airlearning.LowObstacle, 3)
+	stats := d.Train(env, 10)
+	if stats.Episodes != 10 || stats.Steps <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestReinforceTrainEpisodeUpdatesParams(t *testing.T) {
+	g := tensor.NewRNG(4)
+	h := policy.Hyper{Layers: 2, Filters: 32}
+	model, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	before := model.Params()[0].Clone()
+	agent := NewReinforce(model, DefaultReinforceConfig(), 4)
+	env := airlearning.NewEnv(airlearning.LowObstacle, 4)
+	agent.TrainEpisode(env)
+	if tensor.Equal(before, model.Params()[0], 0) {
+		t.Fatal("training episode did not change parameters")
+	}
+}
+
+func TestReinforcePolicySamplesValidActions(t *testing.T) {
+	g := tensor.NewRNG(5)
+	model, _ := policy.NewTrainable(policy.Hyper{Layers: 2, Filters: 32}, policy.DefaultTrainable(), g)
+	agent := NewReinforce(model, DefaultReinforceConfig(), 5)
+	env := airlearning.NewEnv(airlearning.LowObstacle, 5)
+	obs := env.Reset()
+	for i := 0; i < 50; i++ {
+		a := agent.Policy().Act(obs)
+		if a < 0 || a >= airlearning.NumActions {
+			t.Fatalf("sampled action %d out of range", a)
+		}
+	}
+}
+
+func TestDQNLearnsOnNavigationTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run; skipped with -short")
+	}
+	// A small arena keeps the task learnable in a few hundred episodes.
+	cfg := airlearning.LowObstacle.Config()
+	cfg.ArenaW, cfg.ArenaH = 13, 13
+	cfg.RandomMax = 2
+	cfg.MaxSteps = 50
+	env := airlearning.NewEnvWithConfig(airlearning.LowObstacle, cfg, 6)
+
+	g := tensor.NewRNG(6)
+	h := policy.Hyper{Layers: 2, Filters: 32}
+	online, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	target, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+	dcfg := DefaultDQNConfig()
+	dcfg.EpsDecaySteps = 2500
+	agent := NewDQN(online, target, dcfg, 6)
+
+	evalEnv := airlearning.NewEnvWithConfig(airlearning.LowObstacle, cfg, 1006)
+	before := airlearning.SuccessRate(evalEnv, agent.Policy(), 30)
+	agent.Train(env, 250)
+	after := airlearning.SuccessRate(evalEnv, agent.Policy(), 30)
+	if after <= before && after < 0.4 {
+		t.Fatalf("DQN did not learn: success before %.2f, after %.2f", before, after)
+	}
+}
+
+func TestTrainPolicyProducesValidRecord(t *testing.T) {
+	cfg := TrainConfig{Algorithm: AlgDQN, Episodes: 5, EvalEpisodes: 5, Seed: 7}
+	rec, pol, err := TrainPolicy(policy.Hyper{Layers: 3, Filters: 32}, airlearning.MediumObstacle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol == nil {
+		t.Fatal("nil policy")
+	}
+	if rec.Params <= 0 || rec.TrainSteps <= 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.SuccessRate < 0 || rec.SuccessRate > 1 {
+		t.Fatalf("success rate %g outside [0,1]", rec.SuccessRate)
+	}
+}
+
+func TestTrainPolicyReinforce(t *testing.T) {
+	cfg := TrainConfig{Algorithm: AlgReinforce, Episodes: 3, EvalEpisodes: 3, Seed: 8}
+	rec, _, err := TrainPolicy(policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Scenario != airlearning.LowObstacle {
+		t.Fatalf("record scenario = %v", rec.Scenario)
+	}
+}
+
+func TestTrainPolicyRejectsBadConfig(t *testing.T) {
+	if _, _, err := TrainPolicy(policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, TrainConfig{}); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+	bad := TrainConfig{Algorithm: Algorithm(99), Episodes: 1, EvalEpisodes: 1}
+	if _, _, err := TrainPolicy(policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, bad); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if AlgDQN.String() != "dqn" || AlgReinforce.String() != "reinforce" {
+		t.Fatal("bad algorithm names")
+	}
+}
+
+func TestDoubleDQNTrainsAndDiffersFromVanilla(t *testing.T) {
+	run := func(double bool) float64 {
+		g := tensor.NewRNG(21)
+		h := policy.Hyper{Layers: 2, Filters: 32}
+		online, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+		target, _ := policy.NewTrainable(h, policy.DefaultTrainable(), g)
+		cfg := DefaultDQNConfig()
+		cfg.Double = double
+		cfg.BatchSize, cfg.UpdateEvery = 4, 2
+		cfg.LearnStart = 4
+		cfg.TargetSync = 20
+		agent := NewDQN(online, target, cfg, 21)
+		env := airlearning.NewEnv(airlearning.LowObstacle, 21)
+		agent.Train(env, 20)
+		// fingerprint the resulting parameters
+		sum := 0.0
+		for _, p := range agent.Online.Params() {
+			sum += p.Sum()
+		}
+		return sum
+	}
+	vanilla, double := run(false), run(true)
+	if vanilla == double {
+		t.Fatal("Double DQN must produce different updates than vanilla DQN")
+	}
+}

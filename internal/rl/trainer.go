@@ -1,0 +1,99 @@
+package rl
+
+import (
+	"fmt"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+	"autopilot/internal/tensor"
+)
+
+// Algorithm selects the RL method for Phase 1 training.
+type Algorithm int
+
+// Supported training algorithms.
+const (
+	AlgDQN Algorithm = iota
+	AlgReinforce
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgDQN:
+		return "dqn"
+	case AlgReinforce:
+		return "reinforce"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// TrainConfig parameterizes one Phase-1 training run.
+type TrainConfig struct {
+	Algorithm    Algorithm
+	Episodes     int
+	EvalEpisodes int
+	Seed         int64
+}
+
+// DefaultTrainConfig returns a laptop-scale training budget.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Algorithm: AlgDQN, Episodes: 300, EvalEpisodes: 50, Seed: 1}
+}
+
+// TrainPolicy trains one E2E model variant on a scenario and returns the
+// validated database record plus the greedy policy — the unit of work Phase 1
+// launches for each template point.
+func TrainPolicy(h policy.Hyper, s airlearning.Scenario, cfg TrainConfig) (airlearning.Record, airlearning.Policy, error) {
+	if cfg.Episodes <= 0 || cfg.EvalEpisodes <= 0 {
+		return airlearning.Record{}, nil, fmt.Errorf("rl: non-positive training budget %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	tcfg := policy.DefaultTrainable()
+	env := airlearning.NewEnv(s, cfg.Seed)
+
+	var pol airlearning.Policy
+	var steps int
+	switch cfg.Algorithm {
+	case AlgDQN:
+		online, err := policy.NewTrainable(h, tcfg, rng)
+		if err != nil {
+			return airlearning.Record{}, nil, err
+		}
+		target, err := policy.NewTrainable(h, tcfg, rng)
+		if err != nil {
+			return airlearning.Record{}, nil, err
+		}
+		agent := NewDQN(online, target, DefaultDQNConfig(), cfg.Seed)
+		stats := agent.Train(env, cfg.Episodes)
+		steps = stats.Steps
+		pol = agent.Policy()
+	case AlgReinforce:
+		model, err := policy.NewTrainable(h, tcfg, rng)
+		if err != nil {
+			return airlearning.Record{}, nil, err
+		}
+		agent := NewReinforce(model, DefaultReinforceConfig(), cfg.Seed)
+		agent.Train(env, cfg.Episodes)
+		steps = cfg.Episodes
+		pol = agent.GreedyPolicy()
+	default:
+		return airlearning.Record{}, nil, fmt.Errorf("rl: unknown algorithm %v", cfg.Algorithm)
+	}
+
+	evalEnv := airlearning.NewEnv(s, cfg.Seed+1000)
+	rate := airlearning.SuccessRate(evalEnv, pol, cfg.EvalEpisodes)
+	params := int64(0)
+	if n, err := policy.Build(h, policy.DefaultTemplate()); err == nil {
+		params = n.Params()
+	}
+	rec := airlearning.Record{
+		Hyper:       h,
+		Scenario:    s,
+		SuccessRate: rate,
+		Params:      params,
+		TrainSteps:  steps,
+	}
+	return rec, pol, nil
+}

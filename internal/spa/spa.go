@@ -1,0 +1,287 @@
+// Package spa implements the Sense-Plan-Act autonomy paradigm the paper
+// contrasts with E2E learning (§II) and describes as the first extension of
+// the AutoPilot methodology (§VII, "UAV with SPA Autonomy Algorithms"): an
+// occupancy-grid mapper fed by a simulated range sensor, an A* motion
+// planner over the map, and a waypoint-following controller. The pipeline
+// runs as a drop-in airlearning.Policy, and every stage carries an
+// operation-count model so a compute budget translates into an SPA action
+// throughput for the F-1 back end — mirroring how MAVBench-style stacks
+// would replace Air Learning in Phase 1 and SLAM/planning accelerator
+// templates would replace the systolic array in Phase 2.
+package spa
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"autopilot/internal/airlearning"
+)
+
+// Stage identifies one SPA pipeline stage.
+type Stage int
+
+// SPA pipeline stages.
+const (
+	Sense Stage = iota
+	Plan
+	Act
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case Sense:
+		return "sense"
+	case Plan:
+		return "plan"
+	case Act:
+		return "act"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// OccupancyGrid is the mapper's belief over arena cells.
+type OccupancyGrid struct {
+	W, H    int
+	cells   []float64 // occupancy probability estimate
+	visited []bool
+}
+
+// NewOccupancyGrid returns an unknown map with the pessimistic prior that
+// unvisited space may be occupied with probability 0.5.
+func NewOccupancyGrid(w, h int) *OccupancyGrid {
+	g := &OccupancyGrid{W: w, H: h, cells: make([]float64, w*h), visited: make([]bool, w*h)}
+	for i := range g.cells {
+		g.cells[i] = 0.5
+	}
+	return g
+}
+
+func (g *OccupancyGrid) idx(p airlearning.Point) int { return p.Y*g.W + p.X }
+
+// InBounds reports whether the cell lies inside the grid.
+func (g *OccupancyGrid) InBounds(p airlearning.Point) bool {
+	return p.X >= 0 && p.X < g.W && p.Y >= 0 && p.Y < g.H
+}
+
+// Observe fuses one cell observation (occupied or free) into the map.
+func (g *OccupancyGrid) Observe(p airlearning.Point, occupied bool) {
+	if !g.InBounds(p) {
+		return
+	}
+	i := g.idx(p)
+	g.visited[i] = true
+	if occupied {
+		g.cells[i] = 1
+	} else {
+		g.cells[i] = 0
+	}
+}
+
+// Occupied reports whether the planner should treat the cell as blocked:
+// known-occupied cells are blocked; unknown cells are traversable (optimistic
+// planning, standard for exploration).
+func (g *OccupancyGrid) Occupied(p airlearning.Point) bool {
+	if !g.InBounds(p) {
+		return true
+	}
+	i := g.idx(p)
+	return g.visited[i] && g.cells[i] > 0.5
+}
+
+// KnownFraction returns the explored fraction of the arena.
+func (g *OccupancyGrid) KnownFraction() float64 {
+	n := 0
+	for _, v := range g.visited {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(g.visited))
+}
+
+// dirs8 are the 8-connected moves matching the airlearning action space.
+var dirs8 = [8]airlearning.Point{
+	{X: 0, Y: -1}, {X: 1, Y: -1}, {X: 1, Y: 0}, {X: 1, Y: 1},
+	{X: 0, Y: 1}, {X: -1, Y: 1}, {X: -1, Y: 0}, {X: -1, Y: -1},
+}
+
+// AStar plans a shortest path on the occupancy grid from start to goal using
+// octile-distance heuristics. It returns the path including both endpoints,
+// the number of nodes expanded (the planner's work metric), and false if no
+// path exists.
+func AStar(grid *OccupancyGrid, start, goal airlearning.Point) (path []airlearning.Point, expanded int, ok bool) {
+	if grid.Occupied(start) || grid.Occupied(goal) {
+		return nil, 0, false
+	}
+	type node struct {
+		p airlearning.Point
+		f float64
+	}
+	h := func(p airlearning.Point) float64 {
+		dx := math.Abs(float64(p.X - goal.X))
+		dy := math.Abs(float64(p.Y - goal.Y))
+		return math.Max(dx, dy) + (math.Sqrt2-1)*math.Min(dx, dy)
+	}
+	dist := map[airlearning.Point]float64{start: 0}
+	prev := map[airlearning.Point]airlearning.Point{}
+	pq := &nodeHeap{}
+	heap.Push(pq, heapNode{p: start, f: h(start)})
+	closed := map[airlearning.Point]bool{}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(heapNode)
+		if closed[cur.p] {
+			continue
+		}
+		closed[cur.p] = true
+		expanded++
+		if cur.p == goal {
+			p := goal
+			for {
+				path = append([]airlearning.Point{p}, path...)
+				if p == start {
+					return path, expanded, true
+				}
+				p = prev[p]
+			}
+		}
+		for _, d := range dirs8 {
+			next := airlearning.Point{X: cur.p.X + d.X, Y: cur.p.Y + d.Y}
+			if grid.Occupied(next) || closed[next] {
+				continue
+			}
+			step := 1.0
+			if d.X != 0 && d.Y != 0 {
+				step = math.Sqrt2
+			}
+			nd := dist[cur.p] + step
+			if old, seen := dist[next]; !seen || nd < old {
+				dist[next] = nd
+				prev[next] = cur.p
+				heap.Push(pq, heapNode{p: next, f: nd + h(next)})
+			}
+		}
+	}
+	return nil, expanded, false
+}
+
+type heapNode struct {
+	p airlearning.Point
+	f float64
+}
+
+type nodeHeap []heapNode
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Pipeline is the SPA policy with per-stage work accounting.
+type Pipeline struct {
+	env  *airlearning.Env
+	grid *OccupancyGrid
+
+	// work counters, accumulated over the episode
+	SenseOps, PlanOps, ActOps int64
+	Replans                   int
+
+	path []airlearning.Point
+}
+
+// NewPipeline builds an SPA policy for an environment. The mapper starts
+// blank and is filled from the egocentric observations as the UAV flies.
+func NewPipeline(env *airlearning.Env) *Pipeline {
+	cfg := env.Config()
+	return &Pipeline{env: env, grid: NewOccupancyGrid(cfg.ArenaW, cfg.ArenaH)}
+}
+
+// Grid exposes the mapper state.
+func (pl *Pipeline) Grid() *OccupancyGrid { return pl.grid }
+
+// Act implements airlearning.Policy: sense (fuse the observation window into
+// the map), plan (A*, replanned when the current path is invalidated), act
+// (emit the move along the path).
+func (pl *Pipeline) Act(obs airlearning.Observation) int {
+	pos := pl.env.Pos()
+	// --- Sense: fuse the egocentric window into the occupancy grid.
+	half := airlearning.ObsWindow / 2
+	for dy := -half; dy <= half; dy++ {
+		for dx := -half; dx <= half; dx++ {
+			p := airlearning.Point{X: pos.X + dx, Y: pos.Y + dy}
+			if !pl.grid.InBounds(p) {
+				continue
+			}
+			pl.grid.Observe(p, obs.Image.At(0, dy+half, dx+half) > 0.5)
+			pl.SenseOps += 4 // fuse: read, compare, write, mark
+		}
+	}
+	// --- Plan: replan when off-path, path empty, or path now blocked.
+	if !pl.pathValid(pos) {
+		path, expanded, ok := AStar(pl.grid, pos, pl.env.Goal())
+		pl.PlanOps += int64(expanded) * 24 // per-expansion cost: heap + 8 neighbors
+		pl.Replans++
+		if !ok {
+			pl.path = nil
+		} else {
+			pl.path = path
+		}
+	}
+	// --- Act: follow the path.
+	pl.ActOps += 8
+	if len(pl.path) < 2 {
+		return 0 // trapped; any move ends the episode or times out
+	}
+	step := airlearning.Point{X: pl.path[1].X - pos.X, Y: pl.path[1].Y - pos.Y}
+	pl.path = pl.path[1:]
+	for i, d := range dirs8 {
+		if d == step {
+			return i
+		}
+	}
+	return 0
+}
+
+// pathValid reports whether the current path still starts at pos and is
+// collision-free on the updated map.
+func (pl *Pipeline) pathValid(pos airlearning.Point) bool {
+	if len(pl.path) < 2 || pl.path[0] != pos {
+		return false
+	}
+	for _, p := range pl.path[1:] {
+		if pl.grid.Occupied(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalOps returns the pipeline's accumulated work.
+func (pl *Pipeline) TotalOps() int64 { return pl.SenseOps + pl.PlanOps + pl.ActOps }
+
+// OpsPerDecision returns the mean per-decision work over `decisions` steps.
+func (pl *Pipeline) OpsPerDecision(decisions int) float64 {
+	if decisions <= 0 {
+		return 0
+	}
+	return float64(pl.TotalOps()) / float64(decisions)
+}
+
+// ThroughputHz converts a per-decision operation count into an SPA action
+// throughput on a processor with the given sustained ops/s — the quantity
+// Phase 3's F-1 model consumes when the autonomy stack is SPA instead of E2E.
+func ThroughputHz(opsPerDecision, sustainedOpsPerSec float64) float64 {
+	if opsPerDecision <= 0 || sustainedOpsPerSec <= 0 {
+		return 0
+	}
+	return sustainedOpsPerSec / opsPerDecision
+}

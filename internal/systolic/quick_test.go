@@ -1,0 +1,70 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autopilot/internal/policy"
+	"autopilot/internal/tensor"
+)
+
+// TestSimulateInvariantsOnRandomConfigs property-checks the simulator over
+// random (model, hardware) points from the Table II space.
+func TestSimulateInvariantsOnRandomConfigs(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	layers := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	filters := []int{32, 48, 64}
+	pes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	srams := []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
+	flows := []Dataflow{OutputStationary, WeightStationary, InputStationary}
+	nets := map[policy.Hyper]*policy.Network{}
+
+	f := func(seed uint16) bool {
+		_ = seed
+		h := policy.Hyper{Layers: layers[rng.Intn(len(layers))], Filters: filters[rng.Intn(len(filters))]}
+		net, ok := nets[h]
+		if !ok {
+			var err error
+			net, err = policy.Build(h, policy.DefaultTemplate())
+			if err != nil {
+				return false
+			}
+			nets[h] = net
+		}
+		c := Config{
+			Rows: pes[rng.Intn(len(pes))], Cols: pes[rng.Intn(len(pes))],
+			IfmapKB: srams[rng.Intn(len(srams))], FilterKB: srams[rng.Intn(len(srams))],
+			OfmapKB:  srams[rng.Intn(len(srams))],
+			Dataflow: flows[rng.Intn(len(flows))],
+			FreqMHz:  100 + rng.Float64()*900, BandwidthGBps: 0.5 + rng.Float64()*16,
+		}
+		rep, err := Simulate(net, c)
+		if err != nil {
+			return false
+		}
+		if rep.FPS <= 0 || rep.RuntimeSec <= 0 {
+			return false
+		}
+		if rep.Utilization <= 0 || rep.Utilization > 1 {
+			return false
+		}
+		ideal := net.MACs() / int64(c.PEs())
+		if rep.ComputeCycles < ideal {
+			return false
+		}
+		var cycles int64
+		for _, l := range rep.Layers {
+			if l.Cycles < l.ComputeCycles || l.Cycles < l.DRAMCycles {
+				return false
+			}
+			if l.SRAMReads <= 0 || l.DRAMReads < 0 || l.DRAMWrites <= 0 {
+				return false
+			}
+			cycles += l.Cycles
+		}
+		return cycles == rep.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

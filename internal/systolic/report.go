@@ -1,0 +1,106 @@
+package systolic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"autopilot/internal/policy"
+)
+
+// SimulateBestDataflow evaluates every dataflow per layer and assembles a
+// report where each layer uses its fastest mapping — the per-layer mapping
+// freedom real compilers for systolic accelerators exploit, and the upper
+// bound the fixed-dataflow ablation compares against.
+func SimulateBestDataflow(n *policy.Network, c Config) (*Report, map[string]Dataflow, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	flows := []Dataflow{OutputStationary, WeightStationary, InputStationary}
+	reports := make([]*Report, len(flows))
+	for i, df := range flows {
+		cfg := c
+		cfg.Dataflow = df
+		rep, err := Simulate(n, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports[i] = rep
+	}
+	best := &Report{Config: c}
+	choice := make(map[string]Dataflow, len(n.Specs))
+	var utilWeighted float64
+	for li := range n.Specs {
+		sel := 0
+		for i := 1; i < len(flows); i++ {
+			if reports[i].Layers[li].Cycles < reports[sel].Layers[li].Cycles {
+				sel = i
+			}
+		}
+		lr := reports[sel].Layers[li]
+		choice[lr.Name] = flows[sel]
+		best.Layers = append(best.Layers, lr)
+		best.Cycles += lr.Cycles
+		best.ComputeCycles += lr.ComputeCycles
+		best.DRAMCycles += lr.DRAMCycles
+		best.SRAMReads += lr.SRAMReads
+		best.SRAMWrites += lr.SRAMWrites
+		best.DRAMReads += lr.DRAMReads
+		best.DRAMWrites += lr.DRAMWrites
+		utilWeighted += lr.Utilization * float64(lr.MACs)
+	}
+	best.RuntimeSec = float64(best.Cycles) / (c.FreqMHz * 1e6)
+	best.FPS = 1 / best.RuntimeSec
+	best.Utilization = utilWeighted / float64(n.MACs())
+	return best, choice, nil
+}
+
+// WriteCSV emits the per-layer simulation results as CSV — the trace format
+// downstream power/analysis tooling consumes (SCALE-Sim's report style).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"layer", "macs", "compute_cycles", "dram_cycles", "cycles",
+		"utilization", "sram_reads", "sram_writes", "dram_reads", "dram_writes",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("systolic: write csv header: %w", err)
+	}
+	itoa := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, l := range r.Layers {
+		rec := []string{
+			l.Name, itoa(l.MACs), itoa(l.ComputeCycles), itoa(l.DRAMCycles), itoa(l.Cycles),
+			strconv.FormatFloat(l.Utilization, 'f', 4, 64),
+			itoa(l.SRAMReads), itoa(l.SRAMWrites), itoa(l.DRAMReads), itoa(l.DRAMWrites),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("systolic: write csv row: %w", err)
+		}
+	}
+	total := []string{
+		"total", itoa(sumMACs(r)), itoa(r.ComputeCycles), itoa(r.DRAMCycles), itoa(r.Cycles),
+		strconv.FormatFloat(r.Utilization, 'f', 4, 64),
+		itoa(r.SRAMReads), itoa(r.SRAMWrites), itoa(r.DRAMReads), itoa(r.DRAMWrites),
+	}
+	if err := cw.Write(total); err != nil {
+		return fmt.Errorf("systolic: write csv total: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sumMACs(r *Report) int64 {
+	var s int64
+	for _, l := range r.Layers {
+		s += l.MACs
+	}
+	return s
+}
+
+// Summary renders a one-line human-readable digest of the report.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s: %.1f FPS (%.2f ms), util %.1f%%, DRAM %.1f MB/frame",
+		r.Config, r.FPS, r.RuntimeSec*1e3, 100*r.Utilization,
+		float64(r.DRAMReads+r.DRAMWrites)/1e6)
+}

@@ -1,0 +1,102 @@
+package systolic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autopilot/internal/policy"
+)
+
+func TestSimulateBestDataflowNeverWorse(t *testing.T) {
+	n := buildNet(t, policy.Hyper{Layers: 6, Filters: 48})
+	c := testConfig()
+	c.BandwidthGBps = 64 // compute-bound so dataflows differ
+	best, choice, err := SimulateBestDataflow(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice) != len(n.Specs) {
+		t.Fatalf("choice covers %d layers, want %d", len(choice), len(n.Specs))
+	}
+	for _, df := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+		cfg := c
+		cfg.Dataflow = df
+		rep, err := Simulate(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Cycles > rep.Cycles {
+			t.Fatalf("best-dataflow cycles %d worse than fixed %v (%d)", best.Cycles, df, rep.Cycles)
+		}
+	}
+	if best.FPS <= 0 || best.Utilization <= 0 {
+		t.Fatalf("degenerate best report %+v", best)
+	}
+}
+
+func TestSimulateBestDataflowMixesMappings(t *testing.T) {
+	// the E2E stack has both conv GEMMs (large N) and dense GEMMs (N=1);
+	// with a compute-bound budget their best mappings should differ
+	n := buildNet(t, policy.Hyper{Layers: 6, Filters: 48})
+	c := testConfig()
+	c.BandwidthGBps = 64
+	_, choice, err := SimulateBestDataflow(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Dataflow]bool{}
+	for _, df := range choice {
+		seen[df] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all layers chose the same dataflow %v; expected a mix", choice)
+	}
+}
+
+func TestSimulateBestDataflowBadConfig(t *testing.T) {
+	n := buildNet(t, policy.Hyper{Layers: 2, Filters: 32})
+	if _, _, err := SimulateBestDataflow(n, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	n := buildNet(t, policy.Hyper{Layers: 3, Filters: 32})
+	rep, err := Simulate(n, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + one row per layer + total
+	if len(lines) != 1+len(n.Specs)+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), 2+len(n.Specs))
+	}
+	if !strings.HasPrefix(lines[0], "layer,macs,") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "total,") {
+		t.Fatalf("missing total row: %q", lines[len(lines)-1])
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != 10 {
+			t.Fatalf("row has wrong column count: %q", l)
+		}
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	n := buildNet(t, policy.Hyper{Layers: 2, Filters: 32})
+	rep, err := Simulate(n, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	if !strings.Contains(s, "FPS") || !strings.Contains(s, "MB/frame") {
+		t.Fatalf("summary = %q", s)
+	}
+}

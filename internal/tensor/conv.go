@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes the geometry of a 2-D convolution with square kernels.
+type ConvDims struct {
+	InC, InH, InW int // input channels, height, width
+	OutC          int // output channels (number of filters)
+	K             int // kernel size (K×K)
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the convolution geometry.
+func (d ConvDims) OutH() int { return (d.InH+2*d.Pad-d.K)/d.Stride + 1 }
+
+// OutW returns the output width for the convolution geometry.
+func (d ConvDims) OutW() int { return (d.InW+2*d.Pad-d.K)/d.Stride + 1 }
+
+// Validate reports whether the geometry produces a non-empty output.
+func (d ConvDims) Validate() error {
+	if d.InC <= 0 || d.InH <= 0 || d.InW <= 0 || d.OutC <= 0 || d.K <= 0 || d.Stride <= 0 || d.Pad < 0 {
+		return fmt.Errorf("tensor: invalid conv dims %+v", d)
+	}
+	if d.OutH() <= 0 || d.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv dims %+v produce empty output %dx%d", d, d.OutH(), d.OutW())
+	}
+	return nil
+}
+
+// MACs returns the number of multiply-accumulate operations for one inference
+// of the convolution. This is what the systolic-array simulator and the
+// policy complexity analysis consume.
+func (d ConvDims) MACs() int64 {
+	return int64(d.OutC) * int64(d.OutH()) * int64(d.OutW()) * int64(d.InC) * int64(d.K) * int64(d.K)
+}
+
+// Im2col unrolls input (InC×InH×InW, flattened row-major) into a matrix of
+// shape (InC*K*K) × (OutH*OutW) so convolution becomes a matrix product
+// weights(OutC × InC*K*K) · cols.
+func Im2col(in *Tensor, d ConvDims) *Tensor {
+	if in.Len() != d.InC*d.InH*d.InW {
+		panic(fmt.Sprintf("tensor: Im2col input len %d, want %d", in.Len(), d.InC*d.InH*d.InW))
+	}
+	oh, ow := d.OutH(), d.OutW()
+	rows := d.InC * d.K * d.K
+	cols := oh * ow
+	out := New(rows, cols)
+	for c := 0; c < d.InC; c++ {
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				row := (c*d.K+ky)*d.K + kx
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix < 0 || ix >= d.InW {
+							continue
+						}
+						out.data[row*cols+oy*ow+ox] = in.data[(c*d.InH+iy)*d.InW+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2im scatters a (InC*K*K) × (OutH*OutW) gradient matrix back onto the
+// input layout, accumulating overlapping contributions. It is the adjoint of
+// Im2col and is used by the convolution backward pass.
+func Col2im(cols *Tensor, d ConvDims) *Tensor {
+	oh, ow := d.OutH(), d.OutW()
+	rows := d.InC * d.K * d.K
+	ncols := oh * ow
+	if cols.Len() != rows*ncols {
+		panic(fmt.Sprintf("tensor: Col2im input len %d, want %d", cols.Len(), rows*ncols))
+	}
+	out := New(d.InC, d.InH, d.InW)
+	for c := 0; c < d.InC; c++ {
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				row := (c*d.K+ky)*d.K + kx
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix < 0 || ix >= d.InW {
+							continue
+						}
+						out.data[(c*d.InH+iy)*d.InW+ix] += cols.data[row*ncols+oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package tensor
+
+import "math/rand"
+
+// RNG is a deterministic random source for reproducible experiments.
+// It wraps math/rand with convenience constructors for tensors.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG with the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Randn returns a tensor with i.i.d. N(0, std²) entries.
+func (g *RNG) Randn(std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = g.r.NormFloat64() * std
+	}
+	return t
+}
+
+// Uniform returns a tensor with i.i.d. U[lo, hi) entries.
+func (g *RNG) Uniform(lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*g.r.Float64()
+	}
+	return t
+}

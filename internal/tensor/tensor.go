@@ -1,0 +1,313 @@
+// Package tensor provides the minimal dense float64 tensor math used by the
+// neural-network and reinforcement-learning substrates. It is deliberately
+// small: shapes, element access, matrix multiplication, and the im2col
+// transform needed for 2-D convolutions. Everything is deterministic given a
+// seeded RNG so experiments are reproducible.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense, row-major float64 tensor.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// A tensor with no dimensions is a scalar holding one element.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); callers must not alias it unless they intend to.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v requires %d elements, got %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage in row-major order.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape covering the same elements.
+// The underlying data is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+func (t *Tensor) index(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.index(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.index(idx)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace adds o element-wise into t.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	mustSameLen(t, o, "AddInPlace")
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace subtracts o element-wise from t.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	mustSameLen(t, o, "SubInPlace")
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+}
+
+// ScaleInPlace multiplies every element by a.
+func (t *Tensor) ScaleInPlace(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AxpyInPlace computes t += a*o element-wise.
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) {
+	mustSameLen(t, o, "AxpyInPlace")
+	for i, v := range o.data {
+		t.data[i] += a * v
+	}
+}
+
+// Add returns t + o element-wise.
+func Add(t, o *Tensor) *Tensor {
+	mustSameLen(t, o, "Add")
+	r := t.Clone()
+	r.AddInPlace(o)
+	return r
+}
+
+// Sub returns t - o element-wise.
+func Sub(t, o *Tensor) *Tensor {
+	mustSameLen(t, o, "Sub")
+	r := t.Clone()
+	r.SubInPlace(o)
+	return r
+}
+
+// Mul returns the element-wise (Hadamard) product of t and o.
+func Mul(t, o *Tensor) *Tensor {
+	mustSameLen(t, o, "Mul")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] *= v
+	}
+	return r
+}
+
+// Scale returns a*t.
+func Scale(a float64, t *Tensor) *Tensor {
+	r := t.Clone()
+	r.ScaleInPlace(a)
+	return r
+}
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	r := New(t.shape...)
+	for i, v := range t.data {
+		r.data[i] = f(v)
+	}
+	return r
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element and its flat index.
+func (t *Tensor) Max() (float64, int) {
+	best, arg := math.Inf(-1), -1
+	for i, v := range t.data {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// Dot returns the inner product of two equal-length tensors.
+func Dot(a, b *Tensor) float64 {
+	mustSameLen(a, b, "Dot")
+	s := 0.0
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MatMul returns the matrix product of a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	// ikj loop order: streams through b rows, cache friendly.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	_, i := t.Max()
+	return i
+}
+
+// Equal reports whether two tensors have identical shape and elements within tol.
+func Equal(a, b *Tensor, tol float64) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g ... %g]", t.data[0], t.data[1], t.data[len(t.data)-1])
+	}
+	return b.String()
+}
+
+func mustSameLen(a, b *Tensor, op string) {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: %s length mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSliceAndAtSet(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %g, want 6", got)
+	}
+	x.Set(9, 0, 1)
+	if got := x.At(0, 1); got != 9 {
+		t.Fatalf("At(0,1) = %g, want 9", got)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Set(7, 2)
+	if x.At(1, 0) != 7 {
+		t.Fatal("reshape must share underlying data")
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Reshape(3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("clone must not share data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := Add(a, b); !Equal(got, FromSlice([]float64{5, 7, 9}, 3), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, FromSlice([]float64{3, 3, 3}, 3), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !Equal(got, FromSlice([]float64{4, 10, 18}, 3), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Scale(2, a); !Equal(got, FromSlice([]float64{2, 4, 6}, 3), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+}
+
+func TestAxpyInPlace(t *testing.T) {
+	a := FromSlice([]float64{1, 1}, 2)
+	b := FromSlice([]float64{2, 3}, 2)
+	a.AxpyInPlace(0.5, b)
+	if !Equal(a, FromSlice([]float64{2, 2.5}, 2), 1e-12) {
+		t.Fatalf("Axpy = %v", a)
+	}
+}
+
+func TestSumMaxArgMax(t *testing.T) {
+	a := FromSlice([]float64{3, -1, 7, 2}, 4)
+	if a.Sum() != 11 {
+		t.Errorf("Sum = %g", a.Sum())
+	}
+	v, i := a.Max()
+	if v != 7 || i != 2 {
+		t.Errorf("Max = %g at %d", v, i)
+	}
+	if a.ArgMax() != 2 {
+		t.Errorf("ArgMax = %d", a.ArgMax())
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	if math.Abs(a.Norm2()-5) > 1e-12 {
+		t.Fatalf("Norm2 = %g, want 5", a.Norm2())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := Transpose(a)
+	want := FromSlice([]float64{1, 4, 2, 5, 3, 6}, 3, 2)
+	if !Equal(got, want, 0) {
+		t.Fatalf("Transpose = %v", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := NewRNG(1)
+	f := func(seed uint8) bool {
+		m, n := 1+int(seed%7), 1+int(seed/7%9)
+		a := g.Randn(1, m, n)
+		return Equal(Transpose(Transpose(a)), a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	g := NewRNG(2)
+	f := func(seed uint8) bool {
+		n := 1 + int(seed%8)
+		a := g.Randn(1, n, n)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(1, i, i)
+		}
+		return Equal(MatMul(a, id), a, 1e-9) && Equal(MatMul(id, a), a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	g := NewRNG(3)
+	f := func(seed uint8) bool {
+		m, k, n := 1+int(seed%4), 1+int(seed/4%4), 1+int(seed/16%4)
+		a := g.Randn(1, m, k)
+		b := g.Randn(1, k, n)
+		c := g.Randn(1, k, n)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromSlice([]float64{1, -2}, 2)
+	got := Apply(a, math.Abs)
+	if !Equal(got, FromSlice([]float64{1, 2}, 2), 0) {
+		t.Fatalf("Apply = %v", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Randn(1, 5)
+	b := NewRNG(42).Randn(1, 5)
+	if !Equal(a, b, 0) {
+		t.Fatal("same seed must produce identical tensors")
+	}
+	c := NewRNG(43).Randn(1, 5)
+	if Equal(a, c, 0) {
+		t.Fatal("different seeds should produce different tensors")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	u := NewRNG(7).Uniform(-2, 3, 1000)
+	for _, v := range u.Data() {
+		if v < -2 || v >= 3 {
+			t.Fatalf("uniform sample %g out of [-2,3)", v)
+		}
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	a := New(3)
+	a.Fill(2.5)
+	if a.Sum() != 7.5 {
+		t.Fatalf("Fill: sum = %g", a.Sum())
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatalf("Zero: sum = %g", a.Sum())
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if Equal(New(2, 3), New(3, 2), 1) {
+		t.Fatal("different shapes must not compare equal")
+	}
+	if Equal(New(2), New(2, 1), 1) {
+		t.Fatal("different ranks must not compare equal")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	if s := FromSlice([]float64{1, 2}, 2).String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if s := New(100).String(); s == "" {
+		t.Fatal("empty String() for large tensor")
+	}
+}

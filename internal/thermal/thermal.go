@@ -1,0 +1,60 @@
+// Package thermal implements the paper's compute-weight model (§III-C): the
+// onboard computer weighs motherboard + heatsink, where the heatsink volume
+// is sized from the SoC's TDP with a natural-convection heat-sink calculator
+// and converted to grams via the density of aluminum and a fin fill factor.
+//
+// Constants are calibrated to the paper's anchors: a 0.7 W SoC needs ~24 g
+// of compute payload and an 8.24 W SoC ~65 g.
+package thermal
+
+import "fmt"
+
+// Params are the heat-sink sizing parameters.
+type Params struct {
+	DeltaTC            float64 // allowed temperature rise above ambient, °C
+	VolResistanceCm3CW float64 // volumetric thermal resistance of a natural-convection sink, cm³·°C/W
+	DensityGPerCm3     float64 // heatsink material density (aluminum)
+	FillFactor         float64 // fraction of heatsink volume that is metal (fins + base)
+	MotherboardG       float64 // PCB + electrical components (paper: 20 g, Ras-Pi/Coral class)
+}
+
+// Default returns the calibrated natural-convection aluminum parameters.
+func Default() Params {
+	return Params{
+		DeltaTC:            40,
+		VolResistanceCm3CW: 500,
+		DensityGPerCm3:     2.70,
+		FillFactor:         0.162,
+		MotherboardG:       20,
+	}
+}
+
+// Validate checks physical plausibility.
+func (p Params) Validate() error {
+	if p.DeltaTC <= 0 || p.VolResistanceCm3CW <= 0 || p.DensityGPerCm3 <= 0 ||
+		p.FillFactor <= 0 || p.FillFactor > 1 || p.MotherboardG < 0 {
+		return fmt.Errorf("thermal: implausible params %+v", p)
+	}
+	return nil
+}
+
+// HeatsinkVolumeCm3 returns the required heatsink volume for a TDP: the sink
+// must provide thermal resistance DeltaT/TDP, and a natural-convection sink
+// of volume V provides roughly VolResistance/V.
+func (p Params) HeatsinkVolumeCm3(tdpW float64) float64 {
+	if tdpW <= 0 {
+		return 0
+	}
+	return p.VolResistanceCm3CW * tdpW / p.DeltaTC
+}
+
+// HeatsinkGrams returns the heatsink mass for a TDP.
+func (p Params) HeatsinkGrams(tdpW float64) float64 {
+	return p.HeatsinkVolumeCm3(tdpW) * p.DensityGPerCm3 * p.FillFactor
+}
+
+// ComputeWeightGrams returns the full compute-payload mass: motherboard plus
+// TDP-sized heatsink.
+func (p Params) ComputeWeightGrams(tdpW float64) float64 {
+	return p.MotherboardG + p.HeatsinkGrams(tdpW)
+}

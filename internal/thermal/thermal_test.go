@@ -1,0 +1,82 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{},
+		{DeltaTC: -1, VolResistanceCm3CW: 500, DensityGPerCm3: 2.7, FillFactor: 0.2},
+		{DeltaTC: 40, VolResistanceCm3CW: 500, DensityGPerCm3: 2.7, FillFactor: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPaperAnchorAP(t *testing.T) {
+	// paper §V-B2: AP is 0.7 W and 24 g of compute payload
+	w := Default().ComputeWeightGrams(0.7)
+	if math.Abs(w-24) > 1.5 {
+		t.Fatalf("0.7W payload = %.1f g, want ~24 g", w)
+	}
+}
+
+func TestPaperAnchorHT(t *testing.T) {
+	// paper §V-B2: HT is 8.24 W and 65 g of compute payload
+	w := Default().ComputeWeightGrams(8.24)
+	if math.Abs(w-65) > 3 {
+		t.Fatalf("8.24W payload = %.1f g, want ~65 g", w)
+	}
+}
+
+func TestWeightMonotoneInTDP(t *testing.T) {
+	p := Default()
+	prev := -1.0
+	for _, tdp := range []float64{0, 0.1, 0.5, 1, 2, 4, 8, 16} {
+		w := p.ComputeWeightGrams(tdp)
+		if w <= prev {
+			t.Fatalf("weight not increasing at %g W", tdp)
+		}
+		prev = w
+	}
+}
+
+func TestZeroTDPNoHeatsink(t *testing.T) {
+	p := Default()
+	if p.HeatsinkGrams(0) != 0 {
+		t.Fatal("zero TDP must need no heatsink")
+	}
+	if p.ComputeWeightGrams(0) != p.MotherboardG {
+		t.Fatal("zero TDP payload must be just the motherboard")
+	}
+	if p.HeatsinkGrams(-1) != 0 {
+		t.Fatal("negative TDP must be treated as zero")
+	}
+}
+
+func TestHeatsinkLinearInTDP(t *testing.T) {
+	p := Default()
+	a, b := p.HeatsinkGrams(1), p.HeatsinkGrams(2)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Fatalf("heatsink mass not linear: %g, %g", a, b)
+	}
+}
+
+func TestVolumeMatchesResistanceModel(t *testing.T) {
+	p := Default()
+	// 2 W at ΔT 40 °C needs R = 20 °C/W → V = 500/20 = 25 cm³
+	if v := p.HeatsinkVolumeCm3(2); math.Abs(v-25) > 1e-9 {
+		t.Fatalf("volume = %g cm³, want 25", v)
+	}
+}

@@ -1,0 +1,73 @@
+// Package tuning implements AutoPilot's architectural fine-tuning stage
+// (paper §III-C): when no Phase-2 design lands on the F-1 knee point, the
+// selected design is nudged toward it with frequency scaling and
+// technology-node scaling. The package generates tuned variants; the core
+// orchestrator evaluates them for mission performance and keeps the best.
+package tuning
+
+import (
+	"fmt"
+
+	"autopilot/internal/dse"
+	"autopilot/internal/power"
+)
+
+// Variant is one fine-tuned version of a design point.
+type Variant struct {
+	Design    dse.DesignPoint
+	NodeNM    int     // technology node for the power model
+	FreqScale float64 // multiplier applied to the base clock
+}
+
+// Describe renders the variant's tuning knobs.
+func (v Variant) Describe() string {
+	return fmt.Sprintf("%dnm %.2gx clock", v.NodeNM, v.FreqScale)
+}
+
+// Options bounds the tuning search.
+type Options struct {
+	FreqScales []float64 // clock multipliers to try
+	Nodes      []int     // technology nodes to try
+}
+
+// DefaultOptions covers halving to doubling the clock across the supported
+// nodes.
+func DefaultOptions() Options {
+	return Options{
+		FreqScales: []float64{0.5, 0.75, 1.0, 1.25, 1.5, 2.0},
+		Nodes:      power.Nodes(),
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if len(o.FreqScales) == 0 || len(o.Nodes) == 0 {
+		return fmt.Errorf("tuning: empty options")
+	}
+	for _, s := range o.FreqScales {
+		if s <= 0 {
+			return fmt.Errorf("tuning: non-positive frequency scale %g", s)
+		}
+	}
+	return nil
+}
+
+// Variants expands a design into every (node, clock) combination, including
+// the untouched baseline (28 nm, 1.0×) first.
+func Variants(d dse.DesignPoint, o Options) ([]Variant, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	out := []Variant{{Design: d, NodeNM: 28, FreqScale: 1.0}}
+	for _, node := range o.Nodes {
+		for _, s := range o.FreqScales {
+			if node == 28 && s == 1.0 {
+				continue
+			}
+			v := Variant{Design: d, NodeNM: node, FreqScale: s}
+			v.Design.HW.FreqMHz = d.HW.FreqMHz * s
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

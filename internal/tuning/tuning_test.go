@@ -1,0 +1,106 @@
+package tuning
+
+import (
+	"testing"
+
+	"autopilot/internal/dse"
+)
+
+func baseDesign() dse.DesignPoint {
+	s := dse.DefaultSpace()
+	return s.Sample(3, 1)[2]
+}
+
+func TestDefaultOptionsValid(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadOptions(t *testing.T) {
+	if err := (Options{}).Validate(); err == nil {
+		t.Error("empty options must fail")
+	}
+	if err := (Options{FreqScales: []float64{0}, Nodes: []int{28}}).Validate(); err == nil {
+		t.Error("zero scale must fail")
+	}
+}
+
+func TestVariantsIncludeBaselineFirst(t *testing.T) {
+	d := baseDesign()
+	vs, err := Variants(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].NodeNM != 28 || vs[0].FreqScale != 1.0 {
+		t.Fatalf("first variant = %+v, want untouched baseline", vs[0])
+	}
+	if vs[0].Design.HW.FreqMHz != d.HW.FreqMHz {
+		t.Fatal("baseline clock must be untouched")
+	}
+}
+
+func TestVariantsCoverGrid(t *testing.T) {
+	d := baseDesign()
+	o := DefaultOptions()
+	vs, err := Variants(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// full grid minus the duplicate (28nm, 1.0) plus the explicit baseline
+	want := len(o.Nodes)*len(o.FreqScales) - 1 + 1
+	if len(vs) != want {
+		t.Fatalf("variants = %d, want %d", len(vs), want)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Describe()] {
+			t.Fatalf("duplicate variant %s", v.Describe())
+		}
+		seen[v.Describe()] = true
+	}
+}
+
+func TestVariantsScaleClock(t *testing.T) {
+	d := baseDesign()
+	vs, err := Variants(d, Options{FreqScales: []float64{2.0}, Nodes: []int{16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range vs {
+		if v.NodeNM == 16 && v.FreqScale == 2.0 {
+			found = true
+			if v.Design.HW.FreqMHz != 2*d.HW.FreqMHz {
+				t.Fatalf("clock = %g, want %g", v.Design.HW.FreqMHz, 2*d.HW.FreqMHz)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("requested variant missing")
+	}
+}
+
+func TestVariantsDoNotMutateInput(t *testing.T) {
+	d := baseDesign()
+	orig := d.HW.FreqMHz
+	if _, err := Variants(d, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if d.HW.FreqMHz != orig {
+		t.Fatal("input design mutated")
+	}
+}
+
+func TestVariantsErrorOnBadOptions(t *testing.T) {
+	if _, err := Variants(baseDesign(), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	v := Variant{NodeNM: 16, FreqScale: 1.5}
+	if v.Describe() == "" {
+		t.Fatal("empty Describe")
+	}
+}

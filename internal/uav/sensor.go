@@ -1,0 +1,59 @@
+package uav
+
+import "fmt"
+
+// Sensor is an onboard camera (paper Table III: the OV9755 RGB sensor with
+// its 30–90 FPS operating modes). Sensors are fixed components of the DSSoC
+// spec; AutoPilot selects a mode, not a sensor.
+type Sensor struct {
+	Name    string
+	PowerW  float64
+	WeightG float64
+	Modes   []SensorMode
+}
+
+// SensorMode is one (resolution, frame-rate) operating point.
+type SensorMode struct {
+	Width, Height int
+	FPS           float64
+}
+
+// OV9755 is the paper's camera: 720p HD at 30/60 FPS and a reduced-field
+// 90 FPS mode, 100 mW, 6.24 mm × 3.84 mm module.
+func OV9755() Sensor {
+	return Sensor{
+		Name: "OV9755", PowerW: 0.100, WeightG: 1.0,
+		Modes: []SensorMode{
+			{Width: 1280, Height: 720, FPS: 30},
+			{Width: 1280, Height: 720, FPS: 60},
+			{Width: 640, Height: 480, FPS: 90},
+		},
+	}
+}
+
+// ModeAt returns the sensor mode with the given frame rate.
+func (s Sensor) ModeAt(fps float64) (SensorMode, error) {
+	for _, m := range s.Modes {
+		if m.FPS == fps {
+			return m, nil
+		}
+	}
+	return SensorMode{}, fmt.Errorf("uav: %s has no %g FPS mode", s.Name, fps)
+}
+
+// MaxFPS returns the fastest mode's frame rate.
+func (s Sensor) MaxFPS() float64 {
+	best := 0.0
+	for _, m := range s.Modes {
+		if m.FPS > best {
+			best = m.FPS
+		}
+	}
+	return best
+}
+
+// PixelRate returns pixels per second in a mode, the quantity the MIPI
+// interface must sustain.
+func (m SensorMode) PixelRate() float64 {
+	return float64(m.Width) * float64(m.Height) * m.FPS
+}

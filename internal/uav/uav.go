@@ -1,0 +1,157 @@
+// Package uav defines the base UAV platforms from the paper's Table IV
+// (AscTec Pelican mini-UAV, DJI Spark micro-UAV, and the Zhang et al. nano
+// quadrotor), their physics parameters (battery, thrust, rotor geometry),
+// the onboard sensors, and the baseline compute platforms the paper compares
+// against (Jetson TX2, Xavier NX, PULP-DroNet, Intel NCS).
+package uav
+
+import "fmt"
+
+// Class is the UAV size category.
+type Class int
+
+// UAV classes (paper Table IV).
+const (
+	Mini Class = iota
+	Micro
+	Nano
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Mini:
+		return "mini"
+	case Micro:
+		return "micro"
+	case Nano:
+		return "nano"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Gravity is standard gravitational acceleration (m/s²).
+const Gravity = 9.81
+
+// Platform is one base UAV system (frame + rotors + battery + flight
+// controller), fixed per Table IV; only the autonomy components (compute,
+// algorithm) are co-designed.
+type Platform struct {
+	Name  string
+	Class Class
+
+	BatteryCapacitymAh float64
+	BatteryVoltage     float64
+	BaseWeightG        float64 // frame, rotors, battery, flight controller
+
+	MaxThrustN      float64 // total motor thrust at full throttle
+	RotorDiscAreaM2 float64 // summed propeller disc area (for hover power)
+	OtherPowerW     float64 // ESC, radio, and other electronics
+
+	ControllerHz float64   // PID inner loop rate (Table IV: 100 kHz commanded, 1 kHz closed loop)
+	SensorFPS    []float64 // available RGB sensor frame rates
+}
+
+// BatteryJ returns the battery energy in joules.
+func (p Platform) BatteryJ() float64 {
+	return p.BatteryCapacitymAh / 1000 * p.BatteryVoltage * 3600
+}
+
+// TotalMassKg returns the all-up mass with a compute payload in grams.
+func (p Platform) TotalMassKg(payloadG float64) float64 {
+	return (p.BaseWeightG + payloadG) / 1000
+}
+
+// MaxAccelMS2 returns the maximum lateral acceleration with the payload,
+// from the thrust-to-weight ratio: a = g·(T/(m·g) − 1). Zero means the
+// platform cannot carry the payload.
+func (p Platform) MaxAccelMS2(payloadG float64) float64 {
+	m := p.TotalMassKg(payloadG)
+	a := Gravity * (p.MaxThrustN/(m*Gravity) - 1)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// CanLift reports whether the platform can hover with the payload with at
+// least 15% thrust margin for control authority.
+func (p Platform) CanLift(payloadG float64) bool {
+	return p.MaxThrustN >= 1.15*p.TotalMassKg(payloadG)*Gravity
+}
+
+// MaxSensorFPS returns the fastest available sensor mode.
+func (p Platform) MaxSensorFPS() float64 {
+	best := 0.0
+	for _, f := range p.SensorFPS {
+		if f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// Validate checks the platform definition.
+func (p Platform) Validate() error {
+	if p.BatteryCapacitymAh <= 0 || p.BatteryVoltage <= 0 || p.BaseWeightG <= 0 ||
+		p.MaxThrustN <= 0 || p.RotorDiscAreaM2 <= 0 || len(p.SensorFPS) == 0 {
+		return fmt.Errorf("uav: implausible platform %+v", p)
+	}
+	if !p.CanLift(0) {
+		return fmt.Errorf("uav: %s cannot lift its own base weight", p.Name)
+	}
+	return nil
+}
+
+// AscTecPelican is the mini-UAV (Table IV): 6250 mAh, 1650 g base weight.
+func AscTecPelican() Platform {
+	return Platform{
+		Name: "AscTec Pelican", Class: Mini,
+		BatteryCapacitymAh: 6250, BatteryVoltage: 11.1,
+		BaseWeightG: 1650,
+		MaxThrustN:  32.4, RotorDiscAreaM2: 0.203,
+		OtherPowerW:  2.0,
+		ControllerHz: 1000, SensorFPS: []float64{30, 60},
+	}
+}
+
+// DJISpark is the micro-UAV (Table IV): 1480 mAh, 300 g base weight.
+func DJISpark() Platform {
+	return Platform{
+		Name: "DJI Spark", Class: Micro,
+		BatteryCapacitymAh: 1480, BatteryVoltage: 11.4,
+		BaseWeightG: 300,
+		MaxThrustN:  7.05, RotorDiscAreaM2: 0.0182,
+		OtherPowerW:  0.8,
+		ControllerHz: 1000, SensorFPS: []float64{30, 60},
+	}
+}
+
+// ZhangNano is the nano-UAV from Zhang et al. (Table IV): 500 mAh, 50 g base
+// weight, high thrust-to-weight (the agile platform of Fig. 11).
+func ZhangNano() Platform {
+	return Platform{
+		Name: "Zhang et al. nano", Class: Nano,
+		BatteryCapacitymAh: 500, BatteryVoltage: 3.7,
+		BaseWeightG: 50,
+		MaxThrustN:  2.9, RotorDiscAreaM2: 0.00665,
+		OtherPowerW:  0.15,
+		ControllerHz: 1000, SensorFPS: []float64{30, 60},
+	}
+}
+
+// Platforms returns the three Table IV UAVs in mini/micro/nano order.
+func Platforms() []Platform {
+	return []Platform{AscTecPelican(), DJISpark(), ZhangNano()}
+}
+
+// ByClass returns the Table IV platform of the given class.
+func ByClass(c Class) (Platform, error) {
+	for _, p := range Platforms() {
+		if p.Class == c {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("uav: no platform for class %v", c)
+}
