@@ -1,8 +1,9 @@
 // Package autopilot's benchmark harness regenerates every table and figure
 // in the paper's evaluation section (run with `go test -bench=. -benchmem`)
 // and adds ablation benchmarks for the design choices called out in
-// DESIGN.md §5 (SMS-EGO vs random search, dataflow choice, architectural
-// fine-tuning) plus micro-benchmarks of the hot substrates.
+// DESIGN.md §6 (SMS-EGO vs random search, dataflow choice, architectural
+// fine-tuning, evaluation worker count) plus micro-benchmarks of the hot
+// substrates.
 //
 // Figure/table benchmarks report domain metrics through b.ReportMetric
 // (missions, hypervolume, FPS) so regressions in the *results*, not just the
@@ -10,6 +11,7 @@
 package autopilot
 
 import (
+	"context"
 	"testing"
 
 	"autopilot/internal/airlearning"
@@ -128,7 +130,7 @@ func BenchmarkFullPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		spec := core.DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
 		spec.Phase2 = benchConfig().Phase2
-		rep, err := core.Run(spec)
+		rep, err := core.Run(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +153,7 @@ func BenchmarkAblationBOvsRandom(b *testing.B) {
 		for i, d := range cands {
 			feats[i] = space.Features(d)
 		}
-		ev := dse.NewEvaluator(space, db, airlearning.DenseObstacle, power.Default())
+		ev := dse.NewEvaluator(db, airlearning.DenseObstacle, power.Default(), dse.WithTemplate(space.Template))
 		return bayesopt.Problem{
 			Candidates: feats,
 			Evaluate: func(i int) []float64 {
@@ -221,6 +223,36 @@ func BenchmarkAblationOptimizers(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationWorkers measures Phase-2 wall-clock scaling across
+// evaluation worker counts; the determinism tests guarantee the results
+// themselves are identical, so only the runtime should move.
+func BenchmarkAblationWorkers(b *testing.B) {
+	db := airlearning.NewDatabase()
+	airlearning.PopulateSurrogate(db)
+	cfg := benchConfig().Phase2
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "workers=all"
+		if workers > 0 {
+			name = "workers=" + string(rune('0'+workers))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := dse.Execute(context.Background(), dse.Request{
+					Space:    dse.DefaultSpace(),
+					DB:       db,
+					Scenario: airlearning.DenseObstacle,
+					Power:    power.Default(),
+					Config:   cfg,
+					Workers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDataflow compares the three systolic mappings on the
 // dense-obstacle policy, reporting achieved FPS.
 func BenchmarkAblationDataflow(b *testing.B) {
@@ -254,18 +286,18 @@ func BenchmarkAblationDataflow(b *testing.B) {
 func BenchmarkAblationTuning(b *testing.B) {
 	spec := core.DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
 	spec.Phase2 = benchConfig().Phase2
-	db, err := core.Phase1(spec)
+	db, err := core.Phase1(context.Background(), spec)
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Phase2(spec, db)
+	res, err := core.Phase2(context.Background(), spec, db)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("with-tuning", func(b *testing.B) {
 		var missions float64
 		for i := 0; i < b.N; i++ {
-			rep, err := core.Phase3(spec, res)
+			rep, err := core.Phase3(context.Background(), spec, res)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -280,7 +312,7 @@ func BenchmarkAblationTuning(b *testing.B) {
 		frozen.Tuning.Nodes = []int{28}
 		var missions float64
 		for i := 0; i < b.N; i++ {
-			rep, err := core.Phase3(frozen, res)
+			rep, err := core.Phase3(context.Background(), frozen, res)
 			if err != nil {
 				b.Fatal(err)
 			}

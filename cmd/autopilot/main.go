@@ -6,13 +6,19 @@
 // Usage:
 //
 //	autopilot -uav nano -scenario dense [-sensor-fps 60] [-pool 2048]
-//	          [-bo-iters 72] [-seed 1] [-train] [-json]
+//	          [-bo-iters 72] [-seed 1] [-workers 0] [-train] [-json]
+//
+// The Phase-1 training sweep and Phase-2 evaluations fan out over -workers
+// goroutines (0 = all CPUs); results are bitwise deterministic for a given
+// seed regardless of the worker count. Ctrl-C cancels a long run cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"autopilot/internal/airlearning"
@@ -71,10 +77,14 @@ func main() {
 	pool := flag.Int("pool", 2048, "Phase-2 candidate pool size")
 	boIters := flag.Int("bo-iters", 72, "Phase-2 Bayesian-optimization iterations")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "evaluation/training worker pool size (0 = all CPUs)")
 	train := flag.Bool("train", false, "Phase 1: actually train policies with RL instead of the surrogate (slow)")
 	episodes := flag.Int("episodes", 150, "RL episodes per policy with -train")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	plat, err := parseUAV(*uavName)
 	if err != nil {
@@ -93,6 +103,7 @@ func main() {
 	spec.Phase2.BO.Iterations = *boIters
 	spec.Phase2.Seed = *seed
 	spec.Phase2.BO.Seed = *seed
+	spec.Workers = *workers
 	if *train {
 		spec.Phase1Mode = core.Phase1Train
 		spec.TrainCfg.Episodes = *episodes
@@ -102,7 +113,7 @@ func main() {
 		}
 	}
 
-	rep, err := core.Run(spec)
+	rep, err := core.Run(ctx, spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autopilot:", err)
 		os.Exit(1)
@@ -127,8 +138,14 @@ func main() {
 	describe("HE", rep.HE)
 	fmt.Println()
 	fmt.Println("Baselines on this UAV:")
-	for _, b := range uav.Baselines() {
-		sel := core.EvaluateBaseline(spec, rep.Database, b)
+	baselines := uav.Baselines()
+	sels, err := core.EvaluateBaselines(ctx, spec, rep.Database, baselines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilot:", err)
+		os.Exit(1)
+	}
+	for i, b := range baselines {
+		sel := sels[i]
 		gain := core.MissionGain(rep.Selected, sel)
 		if sel.Missions() > 0 {
 			fmt.Printf("  %-12s %6.2f missions  (AutoPilot gain %.2fx)\n", b.Name, sel.Missions(), gain)

@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	dse -scenario dense [-pool 2048] [-iters 72] [-seed 1] [-db policies.json]
+//	dse -scenario dense [-pool 2048] [-iters 72] [-seed 1] [-workers 0]
+//	    [-db policies.json]
+//
+// Evaluations fan out over -workers goroutines (0 = all CPUs); the result is
+// bitwise deterministic for a given seed regardless of the worker count.
+// Ctrl-C cancels the sweep cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"autopilot/internal/airlearning"
@@ -24,8 +31,12 @@ func main() {
 	pool := flag.Int("pool", 2048, "candidate pool size")
 	iters := flag.Int("iters", 72, "Bayesian-optimization iterations")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	dbPath := flag.String("db", "", "Air Learning database file (default: built-in surrogate)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var scen airlearning.Scenario
 	switch strings.ToLower(*scenName) {
@@ -62,7 +73,14 @@ func main() {
 	fmt.Printf("design space: %d joint points; exploring %d candidates with %d+%d evaluations\n",
 		space.Size(), cfg.CandidatePool, cfg.BO.InitSamples, cfg.BO.Iterations)
 
-	res, err := dse.Run(space, db, scen, power.Default(), cfg)
+	res, err := dse.Execute(ctx, dse.Request{
+		Space:    space,
+		DB:       db,
+		Scenario: scen,
+		Power:    power.Default(),
+		Config:   cfg,
+		Workers:  *workers,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(1)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	for _, plat := range []uav.Platform{uav.DJISpark(), uav.ZhangNano()} {
 		spec := core.DefaultSpec(plat, airlearning.DenseObstacle)
 		spec.SensorFPS = 60
-		rep, err := core.Run(spec)
+		rep, err := core.Run(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}

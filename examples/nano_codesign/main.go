@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec := core.DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
 
 	// ---- Phase 1: train and validate E2E policies -------------------------
@@ -39,7 +41,7 @@ func main() {
 	fmt.Printf("  trained %s: %.0f%% success after %d env steps\n",
 		rec.Hyper, 100*rec.SuccessRate, rec.TrainSteps)
 
-	db, err := core.Phase1(spec) // full family via the calibrated surrogate
+	db, err := core.Phase1(ctx, spec) // full family via the calibrated surrogate
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 
 	// ---- Phase 2: multi-objective HW-SW co-design -------------------------
 	fmt.Println("Phase 2: domain-agnostic multi-objective DSE (SMS-EGO Bayesian optimization)")
-	res, err := core.Phase2(spec, db)
+	res, err := core.Phase2(ctx, spec, db)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func main() {
 
 	// ---- Phase 3: domain-specific back end --------------------------------
 	fmt.Println("Phase 3: full-system UAV co-design with the F-1 model")
-	rep, err := core.Phase3(spec, res)
+	rep, err := core.Phase3(ctx, spec, res)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	// 2. Run the three-phase pipeline: train/validate E2E policies (Phase 1),
 	//    Bayesian-optimize the model+accelerator space (Phase 2), and select
 	//    the mission-optimal design with the F-1 model (Phase 3).
-	report, err := core.Run(spec)
+	report, err := core.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

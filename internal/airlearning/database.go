@@ -77,7 +77,10 @@ func (d *Database) All() []Record {
 }
 
 // Best returns the highest-success record for a scenario, which Phase 3
-// filters on before mapping designs to the F-1 model.
+// filters on before mapping designs to the F-1 model. Iteration runs over
+// the ID-sorted record list and replaces the incumbent only on strictly
+// higher success, so ties break toward the lexicographically smallest ID —
+// the result is stable however concurrently the database was populated.
 func (d *Database) Best(s Scenario) (Record, bool) {
 	var best Record
 	found := false

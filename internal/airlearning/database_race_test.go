@@ -1,0 +1,88 @@
+package airlearning
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"autopilot/internal/policy"
+)
+
+// TestDatabaseConcurrentAccess hammers the database from many goroutines —
+// writers inserting records, readers issuing Get/Best/All/Len — so
+// `go test -race` proves the RWMutex covers every path the parallel
+// evaluation engine exercises.
+func TestDatabaseConcurrentAccess(t *testing.T) {
+	db := NewDatabase()
+	hypers := policy.AllHypers()
+	const writers, readers, rounds = 4, 4, 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				h := hypers[(w*rounds+r)%len(hypers)]
+				for _, s := range Scenarios {
+					db.Put(Record{
+						Hyper:       h,
+						Scenario:    s,
+						SuccessRate: float64((w+r)%100) / 100,
+					})
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				h := hypers[(g*rounds+r)%len(hypers)]
+				db.Get(h, DenseObstacle)
+				db.Best(Scenarios[r%len(Scenarios)])
+				db.All()
+				db.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if db.Len() == 0 {
+		t.Fatal("no records survived the hammering")
+	}
+	// All must stay sorted by ID whatever the interleaving was.
+	recs := db.All()
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].ID > recs[i].ID {
+			t.Fatalf("All() not sorted: %q before %q", recs[i-1].ID, recs[i].ID)
+		}
+	}
+}
+
+// TestBestDeterministicTieBreak pins the documented tie rule: among records
+// with equal success, Best returns the lexicographically smallest ID
+// regardless of insertion order.
+func TestBestDeterministicTieBreak(t *testing.T) {
+	mk := func(order []policy.Hyper) Record {
+		db := NewDatabase()
+		for _, h := range order {
+			db.Put(Record{Hyper: h, Scenario: LowObstacle, SuccessRate: 0.5})
+		}
+		best, ok := db.Best(LowObstacle)
+		if !ok {
+			t.Fatal("no best record")
+		}
+		return best
+	}
+	a := mk([]policy.Hyper{{Layers: 2, Filters: 32}, {Layers: 9, Filters: 64}, {Layers: 4, Filters: 48}})
+	b := mk([]policy.Hyper{{Layers: 9, Filters: 64}, {Layers: 4, Filters: 48}, {Layers: 2, Filters: 32}})
+	if a.ID != b.ID {
+		t.Fatalf("tie-break depends on insertion order: %q vs %q", a.ID, b.ID)
+	}
+	want := Key(policy.Hyper{Layers: 2, Filters: 32}, LowObstacle)
+	if a.ID != fmt.Sprint(want) {
+		t.Fatalf("Best = %q, want smallest ID %q", a.ID, want)
+	}
+}

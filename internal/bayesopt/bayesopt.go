@@ -8,6 +8,7 @@
 package bayesopt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,6 +24,13 @@ type Problem struct {
 	// Evaluate returns the objective vector (minimization) of candidate i.
 	// It is called at most once per candidate.
 	Evaluate func(i int) []float64
+	// EvaluateBatch, when non-nil, scores a batch of candidates and returns
+	// one objective vector per index, in index-slice order. The optimizer
+	// uses it for the initial random samples — whose identities don't depend
+	// on each other — so a caller can score them concurrently without the
+	// optimizer knowing about goroutines. Results are recorded in
+	// submission order, so traces stay identical to the sequential path.
+	EvaluateBatch func(indices []int) [][]float64
 	// NumObjectives is the length of every objective vector.
 	NumObjectives int
 	// Ref is the hypervolume reference point; every reachable objective
@@ -126,7 +134,18 @@ func (p Problem) validate() error {
 
 // Optimize runs SMS-EGO Bayesian optimization and returns the evaluated
 // designs, the final Pareto front and the hypervolume trace.
+//
+// Deprecated: use OptimizeContext, which supports cancellation. Optimize is
+// equivalent to OptimizeContext(context.Background(), p, cfg).
 func Optimize(p Problem, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), p, cfg)
+}
+
+// OptimizeContext runs SMS-EGO Bayesian optimization and returns the
+// evaluated designs, the final Pareto front and the hypervolume trace. The
+// context is checked before every evaluation; on cancellation the optimizer
+// stops and returns an error wrapping ctx.Err().
+func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -144,8 +163,7 @@ func Optimize(p Problem, cfg Config) (*Result, error) {
 	var objs [][]float64 // objective vectors of evaluated points
 	var feats [][]float64
 
-	record := func(i int) {
-		y := p.Evaluate(i)
+	record := func(i int, y []float64) {
 		if len(y) != p.NumObjectives {
 			panic(fmt.Sprintf("bayesopt: evaluator returned %d objectives, want %d", len(y), p.NumObjectives))
 		}
@@ -156,18 +174,43 @@ func Optimize(p Problem, cfg Config) (*Result, error) {
 		res.HypervolumeTrace = append(res.HypervolumeTrace, pareto.Hypervolume(objs, p.Ref))
 	}
 
-	// Phase A: random initialization.
+	// Phase A: random initialization. The initial indices are fixed up front
+	// by the seeded permutation, so when the caller supplies EvaluateBatch
+	// they can all be scored in one concurrent batch; recording stays in
+	// permutation order either way, keeping the hypervolume trace and the
+	// downstream model fits bit-identical to the sequential path.
 	perm := rng.Perm(len(p.Candidates))
-	for _, i := range perm {
-		if len(res.Evaluations) >= cfg.InitSamples || len(res.Evaluations) >= total {
-			break
+	nInit := cfg.InitSamples
+	if nInit > total {
+		nInit = total
+	}
+	init := perm[:nInit]
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bayesopt: cancelled: %w", err)
+	}
+	if p.EvaluateBatch != nil {
+		ys := p.EvaluateBatch(init)
+		if len(ys) != len(init) {
+			return nil, fmt.Errorf("bayesopt: batch evaluator returned %d vectors, want %d", len(ys), len(init))
 		}
-		record(i)
+		for j, i := range init {
+			record(i, ys[j])
+		}
+	} else {
+		for _, i := range init {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("bayesopt: cancelled: %w", err)
+			}
+			record(i, p.Evaluate(i))
+		}
 	}
 
 	// Phase B: model-guided SMS-EGO iterations.
 	kernel := gp.SE{Variance: 1, LengthScale: cfg.LengthScale}
 	for len(res.Evaluations) < total {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("bayesopt: cancelled: %w", err)
+		}
 		models, scales, err := fitModels(feats, objs, p.NumObjectives, kernel, cfg.Noise)
 		if err != nil {
 			return nil, err
@@ -194,7 +237,7 @@ func Optimize(p Problem, cfg Config) (*Result, error) {
 				best, bestScore = ci, score
 			}
 		}
-		record(best)
+		record(best, p.Evaluate(best))
 	}
 
 	// Final Pareto front over everything evaluated.

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,6 +19,7 @@ import (
 	"autopilot/internal/f1"
 	"autopilot/internal/mission"
 	"autopilot/internal/policy"
+	"autopilot/internal/pool"
 	"autopilot/internal/power"
 	"autopilot/internal/rl"
 	"autopilot/internal/systolic"
@@ -63,6 +65,14 @@ type Spec struct {
 	Phase2 dse.Config
 
 	Tuning tuning.Options
+
+	// Workers bounds the evaluation worker pool shared by the Phase-1
+	// training sweep, the Phase-2 search, and the baseline evaluations;
+	// <= 0 selects runtime.NumCPU(). Results are bitwise deterministic
+	// regardless of the worker count: per-policy training seeds derive from
+	// the hyper-parameter identity, and parallel evaluations are
+	// re-assembled in submission order.
+	Workers int
 }
 
 // DefaultSpec returns a complete specification for a platform and scenario
@@ -140,20 +150,22 @@ type Report struct {
 	Candidates []Selection
 }
 
-// Run executes the full three-phase pipeline.
-func Run(spec Spec) (*Report, error) {
+// Run executes the full three-phase pipeline. Long sweeps are cancellable:
+// when ctx is cancelled the active phase drains its worker pool and Run
+// returns an error wrapping ctx.Err().
+func Run(ctx context.Context, spec Spec) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	db, err := Phase1(spec)
+	db, err := Phase1(ctx, spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
-	res, err := Phase2(spec, db)
+	res, err := Phase2(ctx, spec, db)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
-	rep, err := Phase3(spec, res)
+	rep, err := Phase3(ctx, spec, res)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 3: %w", err)
 	}
@@ -161,11 +173,33 @@ func Run(spec Spec) (*Report, error) {
 	return rep, nil
 }
 
-// Phase1 produces the validated-policy database for the scenario.
-func Phase1(spec Spec) (*airlearning.Database, error) {
+// trainSeed derives the per-policy training seed from the hyper-parameter
+// identity, never from sweep position, so the Phase-1 results are identical
+// whichever worker (or submission order) trains a policy. For the full
+// Table II family the derived seeds coincide with the historical sequential
+// assignment (base, base+1, ...), keeping surrogate-calibration runs
+// reproducible across versions.
+func trainSeed(base int64, h policy.Hyper) int64 {
+	filterIdx := 0
+	for i, f := range policy.FilterChoices {
+		if f == h.Filters {
+			filterIdx = i
+			break
+		}
+	}
+	return base + int64((h.Layers-2)*len(policy.FilterChoices)+filterIdx)
+}
+
+// Phase1 produces the validated-policy database for the scenario. In
+// Phase1Train mode the per-model training runs fan out over the spec's
+// worker pool.
+func Phase1(ctx context.Context, spec Spec) (*airlearning.Database, error) {
 	db := airlearning.NewDatabase()
 	switch spec.Phase1Mode {
 	case Phase1Surrogate:
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: cancelled: %w", err)
+		}
 		airlearning.PopulateSurrogate(db)
 		return db, nil
 	case Phase1Train:
@@ -173,13 +207,17 @@ func Phase1(spec Spec) (*airlearning.Database, error) {
 		if hypers == nil {
 			hypers = policy.AllHypers()
 		}
-		for i, h := range hypers {
-			cfg := spec.TrainCfg
-			cfg.Seed += int64(i)
-			rec, _, err := rl.TrainPolicy(h, spec.Scenario, cfg)
-			if err != nil {
-				return nil, err
-			}
+		recs, err := pool.Map(ctx, spec.Workers, hypers,
+			func(_ context.Context, h policy.Hyper) (airlearning.Record, error) {
+				cfg := spec.TrainCfg
+				cfg.Seed = trainSeed(spec.TrainCfg.Seed, h)
+				rec, _, err := rl.TrainPolicy(h, spec.Scenario, cfg)
+				return rec, err
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
 			db.Put(rec)
 		}
 		return db, nil
@@ -189,8 +227,15 @@ func Phase1(spec Spec) (*airlearning.Database, error) {
 }
 
 // Phase2 runs the multi-objective DSE against the database.
-func Phase2(spec Spec, db *airlearning.Database) (*dse.Result, error) {
-	return dse.Run(spec.Space, db, spec.Scenario, spec.PowerModel, spec.Phase2)
+func Phase2(ctx context.Context, spec Spec, db *airlearning.Database) (*dse.Result, error) {
+	return dse.Execute(ctx, dse.Request{
+		Space:    spec.Space,
+		DB:       db,
+		Scenario: spec.Scenario,
+		Power:    spec.PowerModel,
+		Config:   spec.Phase2,
+		Workers:  spec.Workers,
+	})
 }
 
 // sensorFPS resolves the spec's sensor rate.
@@ -229,7 +274,9 @@ func EvaluateOnPlatform(spec Spec, e dse.Evaluated, model f1.Model) Selection {
 
 // Phase3 is the domain-specific back end: filter top-success designs, map
 // them to the F-1 model, fine-tune, and select the mission-optimal design.
-func Phase3(spec Spec, res *dse.Result) (*Report, error) {
+// The per-candidate full-system evaluations fan out over the spec's worker
+// pool and are re-assembled in candidate order before selection.
+func Phase3(ctx context.Context, spec Spec, res *dse.Result) (*Report, error) {
 	model := f1.ForScenario(spec.Scenario)
 	rep := &Report{Spec: spec, Phase2: res, F1: model}
 
@@ -237,9 +284,14 @@ func Phase3(spec Spec, res *dse.Result) (*Report, error) {
 	if len(top) == 0 {
 		return nil, fmt.Errorf("core: phase 2 produced no designs")
 	}
+	sels, err := pool.Map(ctx, spec.Workers, top, func(_ context.Context, i int) (Selection, error) {
+		return EvaluateOnPlatform(spec, res.Evaluated[i], model), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	best := Selection{}
-	for _, i := range top {
-		sel := EvaluateOnPlatform(spec, res.Evaluated[i], model)
+	for _, sel := range sels {
 		rep.Candidates = append(rep.Candidates, sel)
 		if preferable(sel, best) {
 			best = sel
@@ -355,6 +407,15 @@ func EvaluateBaseline(spec Spec, db *airlearning.Database, b uav.ComputeBaseline
 	}
 	sel.Profile = prof
 	return sel
+}
+
+// EvaluateBaselines scores every baseline board concurrently on the spec's
+// worker pool, returning selections in the same order as the input slice.
+func EvaluateBaselines(ctx context.Context, spec Spec, db *airlearning.Database, baselines []uav.ComputeBaseline) ([]Selection, error) {
+	return pool.Map(ctx, spec.Workers, baselines,
+		func(_ context.Context, b uav.ComputeBaseline) (Selection, error) {
+			return EvaluateBaseline(spec, db, b), nil
+		})
 }
 
 // MissionGain returns how many times more missions `a` achieves than `b`,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -27,7 +28,7 @@ func fastSpec(p uav.Platform, s airlearning.Scenario) Spec {
 
 func runNanoDense(t *testing.T) *Report {
 	t.Helper()
-	rep, err := Run(fastSpec(uav.ZhangNano(), airlearning.DenseObstacle))
+	rep, err := Run(context.Background(), fastSpec(uav.ZhangNano(), airlearning.DenseObstacle))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSpecValidate(t *testing.T) {
 
 func TestPhase1Surrogate(t *testing.T) {
 	spec := DefaultSpec(uav.ZhangNano(), airlearning.DenseObstacle)
-	db, err := Phase1(spec)
+	db, err := Phase1(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestPhase1Train(t *testing.T) {
 	spec.Phase1Mode = Phase1Train
 	spec.TrainHypers = []policy.Hyper{{Layers: 2, Filters: 32}}
 	spec.TrainCfg = rl.TrainConfig{Algorithm: rl.AlgDQN, Episodes: 3, EvalEpisodes: 3, Seed: 1}
-	db, err := Phase1(spec)
+	db, err := Phase1(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestPhase1Train(t *testing.T) {
 func TestPhase1UnknownMode(t *testing.T) {
 	spec := DefaultSpec(uav.ZhangNano(), airlearning.LowObstacle)
 	spec.Phase1Mode = Phase1Mode(99)
-	if _, err := Phase1(spec); err == nil {
+	if _, err := Phase1(context.Background(), spec); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -184,7 +185,7 @@ func TestEvaluateOnPlatformUnliftable(t *testing.T) {
 
 func TestEvaluateBaselinePULP(t *testing.T) {
 	spec := fastSpec(uav.ZhangNano(), airlearning.DenseObstacle)
-	db, err := Phase1(spec)
+	db, err := Phase1(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestEvaluateBaselinePULP(t *testing.T) {
 
 func TestEvaluateBaselineTX2CrushesNano(t *testing.T) {
 	spec := fastSpec(uav.ZhangNano(), airlearning.DenseObstacle)
-	db, _ := Phase1(spec)
+	db, _ := Phase1(context.Background(), spec)
 	tx2 := EvaluateBaseline(spec, db, uav.JetsonTX2())
 	pulp := EvaluateBaseline(spec, db, uav.PULPDroNet())
 	if tx2.Liftable && tx2.Missions() >= pulp.Missions() {
@@ -251,13 +252,13 @@ func TestMissionGainGuards(t *testing.T) {
 func TestRunRejectsInvalidSpec(t *testing.T) {
 	spec := fastSpec(uav.ZhangNano(), airlearning.DenseObstacle)
 	spec.Mission.DistanceM = -1
-	if _, err := Run(spec); err == nil {
+	if _, err := Run(context.Background(), spec); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestMiniUAVPipeline(t *testing.T) {
-	rep, err := Run(fastSpec(uav.AscTecPelican(), airlearning.MediumObstacle))
+	rep, err := Run(context.Background(), fastSpec(uav.AscTecPelican(), airlearning.MediumObstacle))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestMiniUAVPipeline(t *testing.T) {
 func TestSensorFPSOverride(t *testing.T) {
 	spec := fastSpec(uav.ZhangNano(), airlearning.DenseObstacle)
 	spec.SensorFPS = 30
-	rep, err := Run(spec)
+	rep, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,11 +320,11 @@ func TestReportSummaryAndWriters(t *testing.T) {
 }
 
 func TestPipelineDeterministicForSeed(t *testing.T) {
-	a, err := Run(fastSpec(uav.DJISpark(), airlearning.LowObstacle))
+	a, err := Run(context.Background(), fastSpec(uav.DJISpark(), airlearning.LowObstacle))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(fastSpec(uav.DJISpark(), airlearning.LowObstacle))
+	b, err := Run(context.Background(), fastSpec(uav.DJISpark(), airlearning.LowObstacle))
 	if err != nil {
 		t.Fatal(err)
 	}

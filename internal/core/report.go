@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -84,8 +85,11 @@ func (r *Report) Summary() ReportSummary {
 	}
 	if r.Database != nil {
 		out.Policies = r.Database.Len()
-		for _, b := range uav.Baselines() {
-			sel := EvaluateBaseline(r.Spec, r.Database, b)
+		baselines := uav.Baselines()
+		// EvaluateBaselines never returns an error with an uncancelled ctx.
+		sels, _ := EvaluateBaselines(context.Background(), r.Spec, r.Database, baselines)
+		for i, b := range baselines {
+			sel := sels[i]
 			out.Baselines = append(out.Baselines, BaselineSummary{
 				Name:     b.Name,
 				Missions: sel.Missions(),

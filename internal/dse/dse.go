@@ -10,13 +10,17 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
 	"autopilot/internal/pareto"
 	"autopilot/internal/policy"
+	"autopilot/internal/pool"
 	"autopilot/internal/power"
 	"autopilot/internal/systolic"
 	"autopilot/internal/tensor"
@@ -195,31 +199,134 @@ func (e Evaluated) EfficiencyFPSW() float64 {
 	return e.FPS / e.SoCPowerW
 }
 
-// Evaluator scores design points, caching built networks per model.
+// Evaluator scores design points. It is safe for concurrent use: built
+// networks are shared per model, and evaluations are memoized in a
+// mutex-guarded cache keyed by DesignPoint, so BO re-visits and probe-sweep
+// overlaps never re-simulate the same design.
 type Evaluator struct {
-	space Space
-	db    *airlearning.Database
-	scen  airlearning.Scenario
-	model power.Model
+	db       *airlearning.Database
+	scen     airlearning.Scenario
+	model    power.Model
+	tmpl     policy.TemplateConfig
+	workers  int
+	cacheCap int
+
+	netMu sync.Mutex
 	nets  map[policy.Hyper]*policy.Network
+
+	cacheMu sync.RWMutex
+	cache   map[DesignPoint]Evaluated
+
+	hits, misses atomic.Int64
 }
 
-// NewEvaluator builds an evaluator over a success-rate database for one
-// deployment scenario.
-func NewEvaluator(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model) *Evaluator {
-	return &Evaluator{space: space, db: db, scen: scen, model: pm, nets: map[policy.Hyper]*policy.Network{}}
+// Option configures an Evaluator.
+type Option func(*Evaluator)
+
+// WithWorkers bounds the EvaluateAll worker pool; n <= 0 selects
+// runtime.NumCPU().
+func WithWorkers(n int) Option {
+	return func(ev *Evaluator) { ev.workers = n }
 }
 
-// Evaluate scores one design point.
+// WithCache bounds the memoization cache to at most size entries; 0 means
+// unbounded, negative disables caching entirely.
+func WithCache(size int) Option {
+	return func(ev *Evaluator) { ev.cacheCap = size }
+}
+
+// WithTemplate sets the E2E model template networks are built from. The
+// default is policy.DefaultTemplate().
+func WithTemplate(t policy.TemplateConfig) Option {
+	return func(ev *Evaluator) { ev.tmpl = t }
+}
+
+// NewEvaluator builds a concurrency-safe evaluator over a success-rate
+// database for one deployment scenario:
+//
+//	ev := dse.NewEvaluator(db, scen, pm, dse.WithWorkers(8), dse.WithCache(1<<16))
+func NewEvaluator(db *airlearning.Database, scen airlearning.Scenario, pm power.Model, opts ...Option) *Evaluator {
+	ev := &Evaluator{
+		db: db, scen: scen, model: pm,
+		tmpl:  policy.DefaultTemplate(),
+		nets:  map[policy.Hyper]*policy.Network{},
+		cache: map[DesignPoint]Evaluated{},
+	}
+	for _, opt := range opts {
+		opt(ev)
+	}
+	return ev
+}
+
+// NewSpaceEvaluator builds an evaluator using a space's model template.
+//
+// Deprecated: use NewEvaluator with WithTemplate(space.Template).
+func NewSpaceEvaluator(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model) *Evaluator {
+	return NewEvaluator(db, scen, pm, WithTemplate(space.Template))
+}
+
+// Workers returns the resolved worker-pool size.
+func (ev *Evaluator) Workers() int { return pool.Workers(ev.workers) }
+
+// CacheStats reports memoization cache hits and misses so far.
+func (ev *Evaluator) CacheStats() (hits, misses int64) {
+	return ev.hits.Load(), ev.misses.Load()
+}
+
+// network returns the shared deployment network for a model, building it on
+// first use.
+func (ev *Evaluator) network(h policy.Hyper) (*policy.Network, error) {
+	ev.netMu.Lock()
+	defer ev.netMu.Unlock()
+	if net, ok := ev.nets[h]; ok {
+		return net, nil
+	}
+	net, err := policy.Build(h, ev.tmpl)
+	if err != nil {
+		return nil, fmt.Errorf("dse: build %v: %w", h, err)
+	}
+	ev.nets[h] = net
+	return net, nil
+}
+
+// cached looks a design up in the memoization cache.
+func (ev *Evaluator) cached(d DesignPoint) (Evaluated, bool) {
+	if ev.cacheCap < 0 {
+		return Evaluated{}, false
+	}
+	ev.cacheMu.RLock()
+	e, ok := ev.cache[d]
+	ev.cacheMu.RUnlock()
+	if ok {
+		ev.hits.Add(1)
+	} else {
+		ev.misses.Add(1)
+	}
+	return e, ok
+}
+
+// store inserts an evaluation unless the cache is disabled or full.
+func (ev *Evaluator) store(d DesignPoint, e Evaluated) {
+	if ev.cacheCap < 0 {
+		return
+	}
+	ev.cacheMu.Lock()
+	if ev.cacheCap == 0 || len(ev.cache) < ev.cacheCap {
+		ev.cache[d] = e
+	}
+	ev.cacheMu.Unlock()
+}
+
+// Evaluate scores one design point, consulting the memoization cache first.
+// Evaluation is a pure function of the design, so cached and fresh results
+// are bit-identical regardless of which goroutine computed them.
 func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
-	net, ok := ev.nets[d.Hyper]
-	if !ok {
-		var err error
-		net, err = policy.Build(d.Hyper, ev.space.Template)
-		if err != nil {
-			return Evaluated{}, fmt.Errorf("dse: build %v: %w", d.Hyper, err)
-		}
-		ev.nets[d.Hyper] = net
+	if e, ok := ev.cached(d); ok {
+		return e, nil
+	}
+	net, err := ev.network(d.Hyper)
+	if err != nil {
+		return Evaluated{}, err
 	}
 	rep, err := systolic.Simulate(net, d.HW)
 	if err != nil {
@@ -230,7 +337,7 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 		success = rec.SuccessRate
 	}
 	bd := ev.model.Accelerator(rep)
-	return Evaluated{
+	e := Evaluated{
 		Design:      d,
 		SuccessRate: success,
 		FPS:         rep.FPS,
@@ -238,7 +345,18 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 		SoCPowerW:   bd.Total() + power.FixedComponentsW,
 		AccelPowerW: bd.Total(),
 		Breakdown:   bd,
-	}, nil
+	}
+	ev.store(d, e)
+	return e, nil
+}
+
+// EvaluateAll scores a batch of design points on the evaluator's bounded
+// worker pool and returns them in submission order. Cancellation drains the
+// pool and returns an error wrapping ctx.Err().
+func (ev *Evaluator) EvaluateAll(ctx context.Context, ds []DesignPoint) ([]Evaluated, error) {
+	return pool.Map(ctx, ev.workers, ds, func(_ context.Context, d DesignPoint) (Evaluated, error) {
+		return ev.Evaluate(d)
+	})
 }
 
 // Config controls a Phase-2 run.
@@ -316,71 +434,37 @@ func (r *Result) TopSuccess(eps float64) []int {
 
 // Run executes Phase 2: sample the space, explore it with SMS-EGO, and label
 // the conventional-DSE picks.
+//
+// Deprecated: use Execute with a Request, which adds context cancellation
+// and worker-pool control. Run is equivalent to
+// Execute(context.Background(), Request{Space: space, DB: db, ...}).
 func Run(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.CandidatePool < 2 {
-		return nil, fmt.Errorf("dse: candidate pool %d too small", cfg.CandidatePool)
-	}
-	cands := space.Sample(cfg.CandidatePool, cfg.Seed)
-	ev := NewEvaluator(space, db, scen, pm)
-
-	feats := make([][]float64, len(cands))
-	for i, d := range cands {
-		feats[i] = space.Features(d)
-	}
-	results := make(map[int]Evaluated, cfg.BO.InitSamples+cfg.BO.Iterations)
-	var evalErr error
-	problem := bayesopt.Problem{
-		Candidates: feats,
-		Evaluate: func(i int) []float64 {
-			e, err := ev.Evaluate(cands[i])
-			if err != nil && evalErr == nil {
-				evalErr = err
-			}
-			results[i] = e
-			return e.Objectives()
-		},
-		NumObjectives: 3,
-		// ref: success can only improve hypervolume down to -1; power tops
-		// out near the biggest SoC; runtime near the slowest design.
-		Ref: []float64{0, 30, 1},
-	}
-	boRes, err := bayesopt.Optimize(problem, cfg.BO)
-	if err != nil {
-		return nil, err
-	}
-	if evalErr != nil {
-		return nil, evalErr
-	}
-
-	res := &Result{Scenario: scen}
-	for _, e := range boRes.Evaluations {
-		res.Evaluated = append(res.Evaluated, results[e.Index])
-	}
-	return finishResult(res, space, db, scen, ev, cfg)
+	return Execute(context.Background(), Request{
+		Space: space, DB: db, Scenario: scen, Power: pm, Config: cfg,
+	})
 }
 
 // finishResult applies the shared Phase-2 post-processing: probe-corner
-// seeding, Pareto-front extraction, and conventional-DSE labeling.
-func finishResult(res *Result, space Space, db *airlearning.Database, scen airlearning.Scenario, ev *Evaluator, cfg Config) (*Result, error) {
+// seeding (evaluated concurrently on the worker pool, re-assembled in sweep
+// order), Pareto-front extraction, and conventional-DSE labeling.
+func finishResult(ctx context.Context, res *Result, space Space, db *airlearning.Database, scen airlearning.Scenario, ev *Evaluator, cfg Config) (*Result, error) {
 	if cfg.ProbeCorners {
 		if best, ok := db.Best(scen); ok {
 			seen := map[string]bool{}
 			for _, e := range res.Evaluated {
 				seen[e.Design.String()] = true
 			}
+			var probes []DesignPoint
 			for _, d := range space.ProbeDesigns(best.Hyper) {
-				if seen[d.String()] {
-					continue
+				if !seen[d.String()] {
+					probes = append(probes, d)
 				}
-				e, err := ev.Evaluate(d)
-				if err != nil {
-					return nil, err
-				}
-				res.Evaluated = append(res.Evaluated, e)
 			}
+			es, err := ev.EvaluateAll(ctx, probes)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated = append(res.Evaluated, es...)
 		}
 	}
 	objs := make([][]float64, len(res.Evaluated))

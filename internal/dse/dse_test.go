@@ -128,7 +128,7 @@ func TestFeaturesNormalized(t *testing.T) {
 
 func TestEvaluatorScoresDesign(t *testing.T) {
 	s := DefaultSpace()
-	ev := NewEvaluator(s, surrogateDB(), airlearning.DenseObstacle, power.Default())
+	ev := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(), WithTemplate(s.Template))
 	d := s.Sample(5, 1)[3]
 	e, err := ev.Evaluate(d)
 	if err != nil {
@@ -151,7 +151,7 @@ func TestEvaluatorScoresDesign(t *testing.T) {
 
 func TestEvaluatorMissingDBEntryZeroSuccess(t *testing.T) {
 	s := DefaultSpace()
-	ev := NewEvaluator(s, airlearning.NewDatabase(), airlearning.DenseObstacle, power.Default())
+	ev := NewEvaluator(airlearning.NewDatabase(), airlearning.DenseObstacle, power.Default(), WithTemplate(s.Template))
 	e, err := ev.Evaluate(s.Sample(3, 1)[2])
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +265,7 @@ func TestObjectivesRefBoundsHoldOnSamples(t *testing.T) {
 	// the BO reference point in Run assumes power < 20 W and runtime < 1 s
 	// across the space; spot-check a sample
 	s := DefaultSpace()
-	ev := NewEvaluator(s, surrogateDB(), airlearning.DenseObstacle, power.Default())
+	ev := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(), WithTemplate(s.Template))
 	for _, d := range s.Sample(40, 9) {
 		e, err := ev.Evaluate(d)
 		if err != nil {

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 
 	"autopilot/internal/airlearning"
@@ -100,16 +101,24 @@ func (s Space) Enumerate(limit int64) ([]DesignPoint, error) {
 	return out, nil
 }
 
-// RunWith executes Phase 2 with an explicit optimizer. Run is equivalent to
-// RunWith(..., OptBayesian, ...).
+// RunWith executes Phase 2 with an explicit optimizer.
+//
+// Deprecated: use Execute with Request.Optimizer set. RunWith is equivalent
+// to Execute(context.Background(), Request{Optimizer: opt, ...}).
 func RunWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
-	if opt == OptBayesian {
-		return Run(space, db, scen, pm, cfg)
-	}
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	ev := NewEvaluator(space, db, scen, pm)
+	return Execute(context.Background(), Request{
+		Space: space, DB: db, Scenario: scen, Power: pm, Config: cfg, Optimizer: opt,
+	})
+}
+
+// executeAlternate serves Execute for the non-Bayesian optimizers. The
+// evolutionary searchers evaluate sequentially (each step depends on the
+// previous population), but they share the memoized evaluator, and the
+// random searcher — whose sample set is fixed up front — fans out over the
+// worker pool.
+func executeAlternate(ctx context.Context, req Request) (*Result, error) {
+	space, cfg, scen := req.Space, req.Config, req.Scenario
+	ev := req.evaluator()
 	budget := cfg.BO.InitSamples + cfg.BO.Iterations
 
 	var evalErr error
@@ -133,7 +142,7 @@ func RunWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearn
 	}
 
 	var inds []moea.Individual
-	switch opt {
+	switch req.Optimizer {
 	case OptGenetic:
 		gaCfg := moea.DefaultGAConfig()
 		gaCfg.MaxEvals = budget
@@ -163,20 +172,20 @@ func RunWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearn
 		}
 		inds = res.Evaluations
 	case OptRandom:
-		res := &Result{Scenario: scen}
-		for _, d := range space.Sample(budget, cfg.Seed) {
-			e, err := ev.Evaluate(d)
-			if err != nil {
-				return nil, err
-			}
-			res.Evaluated = append(res.Evaluated, e)
+		es, err := ev.EvaluateAll(ctx, space.Sample(budget, cfg.Seed))
+		if err != nil {
+			return nil, err
 		}
-		return finishResult(res, space, db, scen, ev, cfg)
+		res := &Result{Scenario: scen, Evaluated: es}
+		return finishResult(ctx, res, space, req.DB, scen, ev, cfg)
 	default:
-		return nil, fmt.Errorf("dse: unknown optimizer %v", opt)
+		return nil, fmt.Errorf("dse: unknown optimizer %v", req.Optimizer)
 	}
 	if evalErr != nil {
 		return nil, evalErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dse: cancelled: %w", err)
 	}
 
 	res := &Result{Scenario: scen}
@@ -187,5 +196,5 @@ func RunWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearn
 		}
 		res.Evaluated = append(res.Evaluated, evaluated[d.String()])
 	}
-	return finishResult(res, space, db, scen, ev, cfg)
+	return finishResult(ctx, res, space, req.DB, scen, ev, cfg)
 }

@@ -157,7 +157,7 @@ func TestExhaustiveConfirmsBOFindings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev := NewEvaluator(s, surrogateDB(), airlearning.DenseObstacle, power.Default())
+	ev := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(), WithTemplate(s.Template))
 	bestFPS := 0.0
 	for _, d := range pts {
 		e, err := ev.Evaluate(d)

@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/power"
+)
+
+// execute runs Phase 2 for the test space with an explicit worker count.
+func execute(t *testing.T, workers int) *Result {
+	t.Helper()
+	res, err := Execute(context.Background(), Request{
+		Space:    DefaultSpace(),
+		DB:       surrogateDB(),
+		Scenario: airlearning.DenseObstacle,
+		Power:    power.Default(),
+		Config:   smallConfig(),
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExecuteDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The core guarantee of the parallel engine: same seed, workers=1 vs
+	// workers=8 produce identical results — evaluation order, Pareto front,
+	// and conventional picks.
+	seq := execute(t, 1)
+	par := execute(t, 8)
+	if len(seq.Evaluated) != len(par.Evaluated) {
+		t.Fatalf("evaluated counts differ: %d vs %d", len(seq.Evaluated), len(par.Evaluated))
+	}
+	for i := range seq.Evaluated {
+		if seq.Evaluated[i] != par.Evaluated[i] {
+			t.Fatalf("evaluation %d differs:\n%+v\n%+v", i, seq.Evaluated[i], par.Evaluated[i])
+		}
+	}
+	if !reflect.DeepEqual(seq.ParetoIdx, par.ParetoIdx) {
+		t.Fatalf("ParetoIdx differs:\n%v\n%v", seq.ParetoIdx, par.ParetoIdx)
+	}
+	if seq.HT != par.HT || seq.LP != par.LP || seq.HE != par.HE {
+		t.Fatalf("conventional picks differ: %d/%d/%d vs %d/%d/%d",
+			seq.HT, seq.LP, seq.HE, par.HT, par.LP, par.HE)
+	}
+}
+
+func TestExecuteMatchesDeprecatedRun(t *testing.T) {
+	s := DefaultSpace()
+	old, err := Run(s, surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := execute(t, 4)
+	if !reflect.DeepEqual(old.ParetoIdx, res.ParetoIdx) {
+		t.Fatalf("shim and Execute disagree on the front:\n%v\n%v", old.ParetoIdx, res.ParetoIdx)
+	}
+}
+
+func TestExecuteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Execute(ctx, Request{
+		Space:    DefaultSpace(),
+		DB:       surrogateDB(),
+		Scenario: airlearning.DenseObstacle,
+		Power:    power.Default(),
+		Config:   smallConfig(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{Space: DefaultSpace(), DB: surrogateDB(), Config: smallConfig()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.DB = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for nil database")
+	}
+	bad = good
+	bad.Config.CandidatePool = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for tiny pool")
+	}
+	bad = good
+	bad.Space.PERows = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for bad space")
+	}
+}
+
+func TestEvaluatorMemoizesRevisits(t *testing.T) {
+	s := DefaultSpace()
+	ev := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(),
+		WithTemplate(s.Template))
+	d := s.Sample(3, 1)[2]
+	first, err := ev.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ev.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("cached result differs from fresh result")
+	}
+	hits, misses := ev.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestEvaluateAllPreservesOrderAndDedupes(t *testing.T) {
+	s := DefaultSpace()
+	ev := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(),
+		WithTemplate(s.Template), WithWorkers(4))
+	base := s.Sample(8, 5)
+	// duplicate every design so half the evaluations can come from cache
+	ds := append(append([]DesignPoint{}, base...), base...)
+	es, err := ev.EvaluateAll(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != len(ds) {
+		t.Fatalf("len = %d, want %d", len(es), len(ds))
+	}
+	for i := range base {
+		if es[i].Design != ds[i] {
+			t.Fatalf("result %d out of order", i)
+		}
+		if es[i] != es[i+len(base)] {
+			t.Fatalf("duplicate design %d evaluated inconsistently", i)
+		}
+	}
+}
+
+func TestWithCacheBoundsAndDisables(t *testing.T) {
+	s := DefaultSpace()
+	ds := s.Sample(6, 2)
+
+	bounded := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(),
+		WithTemplate(s.Template), WithCache(2))
+	for _, d := range ds {
+		if _, err := bounded.Evaluate(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(bounded.cache) > 2 {
+		t.Fatalf("cache grew to %d entries with cap 2", len(bounded.cache))
+	}
+
+	disabled := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(),
+		WithTemplate(s.Template), WithCache(-1))
+	for i := 0; i < 2; i++ {
+		if _, err := disabled.Evaluate(ds[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _ := disabled.CacheStats(); hits != 0 {
+		t.Fatalf("disabled cache recorded %d hits", hits)
+	}
+}
+
+func TestDefaultWorkersResolved(t *testing.T) {
+	ev := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default())
+	if ev.Workers() < 1 {
+		t.Fatalf("Workers() = %d", ev.Workers())
+	}
+	ev = NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(), WithWorkers(3))
+	if ev.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", ev.Workers())
+	}
+}
+
+func TestExecuteRandomOptimizerParallelDeterministic(t *testing.T) {
+	run := func(workers int) *Result {
+		res, err := Execute(context.Background(), Request{
+			Space:     DefaultSpace(),
+			DB:        surrogateDB(),
+			Scenario:  airlearning.DenseObstacle,
+			Power:     power.Default(),
+			Config:    smallConfig(),
+			Optimizer: OptRandom,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(6)
+	if !reflect.DeepEqual(a.ParetoIdx, b.ParetoIdx) {
+		t.Fatalf("random-search fronts differ across worker counts:\n%v\n%v", a.ParetoIdx, b.ParetoIdx)
+	}
+}

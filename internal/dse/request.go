@@ -1,0 +1,135 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/bayesopt"
+	"autopilot/internal/power"
+)
+
+// Request bundles everything a Phase-2 run needs. It replaces the positional
+// arguments of the deprecated Run/RunWith entry points, so new knobs (worker
+// count, optimizer choice) extend the API without breaking callers.
+type Request struct {
+	// Space is the joint model/accelerator search space (Table II).
+	Space Space
+	// DB is the Phase-1 validated-policy database success rates come from.
+	DB *airlearning.Database
+	// Scenario selects the deployment scenario scored against.
+	Scenario airlearning.Scenario
+	// Power is the technology power model.
+	Power power.Model
+	// Config sets the search budget and seeding policy.
+	Config Config
+	// Optimizer selects the search method; the zero value is OptBayesian.
+	Optimizer Optimizer
+	// Workers bounds the evaluation worker pool; <= 0 means runtime.NumCPU().
+	// Results are bitwise deterministic regardless of the worker count.
+	Workers int
+}
+
+// Validate checks the request.
+func (r Request) Validate() error {
+	if err := r.Space.Validate(); err != nil {
+		return err
+	}
+	if r.DB == nil {
+		return fmt.Errorf("dse: nil database")
+	}
+	if r.Config.CandidatePool < 2 {
+		return fmt.Errorf("dse: candidate pool %d too small", r.Config.CandidatePool)
+	}
+	return nil
+}
+
+// evaluator builds the request's shared concurrent evaluator.
+func (r Request) evaluator() *Evaluator {
+	return NewEvaluator(r.DB, r.Scenario, r.Power,
+		WithTemplate(r.Space.Template), WithWorkers(r.Workers))
+}
+
+// Execute runs Phase 2 for a request: sample the space, explore it with the
+// requested optimizer, and label the conventional-DSE picks. Design
+// evaluations fan out over a bounded worker pool but are re-assembled in
+// submission order before Pareto extraction, so the result is bitwise
+// deterministic for a given seed regardless of Workers. Cancelling the
+// context drains the pool and returns an error wrapping ctx.Err().
+func Execute(ctx context.Context, req Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Optimizer != OptBayesian {
+		return executeAlternate(ctx, req)
+	}
+	cfg := req.Config
+	cands := req.Space.Sample(cfg.CandidatePool, cfg.Seed)
+	ev := req.evaluator()
+
+	feats := make([][]float64, len(cands))
+	for i, d := range cands {
+		feats[i] = req.Space.Features(d)
+	}
+
+	// Evaluation failures cancel the optimizer promptly instead of letting
+	// it keep modeling garbage; the first error is reported afterwards.
+	ectx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(map[int]Evaluated, cfg.BO.InitSamples+cfg.BO.Iterations)
+	var evalErr error
+	fail := func(err error) {
+		if evalErr == nil {
+			evalErr = err
+			cancel()
+		}
+	}
+	problem := bayesopt.Problem{
+		Candidates: feats,
+		// Evaluate serves the sequential model-guided iterations.
+		Evaluate: func(i int) []float64 {
+			e, err := ev.Evaluate(cands[i])
+			if err != nil {
+				fail(err)
+			}
+			results[i] = e
+			return e.Objectives()
+		},
+		// EvaluateBatch scores the initial samples concurrently; the
+		// optimizer records them in submission order.
+		EvaluateBatch: func(indices []int) [][]float64 {
+			ds := make([]DesignPoint, len(indices))
+			for j, i := range indices {
+				ds[j] = cands[i]
+			}
+			es, err := ev.EvaluateAll(ectx, ds)
+			if err != nil {
+				fail(err)
+				es = make([]Evaluated, len(indices))
+			}
+			ys := make([][]float64, len(indices))
+			for j, e := range es {
+				results[indices[j]] = e
+				ys[j] = e.Objectives()
+			}
+			return ys
+		},
+		NumObjectives: 3,
+		// ref: success can only improve hypervolume down to -1; power tops
+		// out near the biggest SoC; runtime near the slowest design.
+		Ref: []float64{0, 30, 1},
+	}
+	boRes, err := bayesopt.OptimizeContext(ectx, problem, cfg.BO)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scenario: req.Scenario}
+	for _, e := range boRes.Evaluations {
+		res.Evaluated = append(res.Evaluated, results[e.Index])
+	}
+	return finishResult(ctx, res, req.Space, req.DB, req.Scenario, ev, cfg)
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -97,7 +98,7 @@ func (s *Suite) report(p uav.Platform, scen airlearning.Scenario) (*core.Report,
 	}
 	spec := core.DefaultSpec(p, scen)
 	spec.Phase2 = s.cfg.Phase2
-	rep, err := core.Run(spec)
+	rep, err := core.Run(context.Background(), spec)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", key, err)
 	}

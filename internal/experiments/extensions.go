@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopilot/internal/airlearning"
@@ -54,7 +55,10 @@ func (s *Suite) ExtOptimizer() (Table, error) {
 	cfg.ProbeCorners = false // isolate the search methods from the seeding
 	ref := []float64{0, 30, 1}
 	for _, opt := range []dse.Optimizer{dse.OptBayesian, dse.OptGenetic, dse.OptAnnealing, dse.OptReinforce, dse.OptRandom} {
-		res, err := dse.RunWith(opt, space, db, airlearning.DenseObstacle, power.Default(), cfg)
+		res, err := dse.Execute(context.Background(), dse.Request{
+			Space: space, DB: db, Scenario: airlearning.DenseObstacle,
+			Power: power.Default(), Config: cfg, Optimizer: opt,
+		})
 		if err != nil {
 			return Table{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopilot/internal/airlearning"
@@ -51,17 +52,15 @@ func (s *Suite) Fig3b() (Table, error) {
 	space := dse.DefaultSpace()
 	db := airlearning.NewDatabase()
 	airlearning.PopulateSurrogate(db)
-	ev := dse.NewEvaluator(space, db, airlearning.DenseObstacle, power.Default())
+	ev := dse.NewEvaluator(db, airlearning.DenseObstacle, power.Default(), dse.WithTemplate(space.Template))
 	h := policy.Hyper{Layers: 7, Filters: 48}
-	var evs []dse.Evaluated
-	var objs [][]float64
-	for _, d := range space.ProbeDesigns(h) {
-		e, err := ev.Evaluate(d)
-		if err != nil {
-			return Table{}, err
-		}
-		evs = append(evs, e)
-		objs = append(objs, []float64{e.RuntimeSec, e.SoCPowerW})
+	evs, err := ev.EvaluateAll(context.Background(), space.ProbeDesigns(h))
+	if err != nil {
+		return Table{}, err
+	}
+	objs := make([][]float64, len(evs))
+	for i, e := range evs {
+		objs[i] = []float64{e.RuntimeSec, e.SoCPowerW}
 	}
 	front := map[int]bool{}
 	for _, i := range pareto.NonDominated(objs) {

@@ -1,0 +1,124 @@
+// Package pool provides the bounded worker pool behind AutoPilot's parallel
+// evaluation engine. Every fan-out in the pipeline — the Phase-1 training
+// sweep, the Phase-2 initial-sample batch, the deterministic probe sweep and
+// the baseline evaluations — funnels through Map, which guarantees:
+//
+//   - bounded concurrency (default runtime.NumCPU());
+//   - results re-assembled in submission order, so downstream consumers
+//     (Pareto extraction, hypervolume traces) see exactly the sequence a
+//     sequential run would have produced;
+//   - prompt drain on context cancellation, returning an error that wraps
+//     ctx.Err().
+//
+// Work functions must be deterministic in their input alone (derive any
+// seeds from item identity, never from goroutine or completion order) for
+// the bitwise-determinism guarantee to hold across worker counts.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Map applies fn to every item on at most `workers` goroutines (<= 0 means
+// runtime.NumCPU()) and returns the outputs in submission order. The first
+// error cancels the remaining work, drains the pool, and is returned; if the
+// context is cancelled first, the returned error wraps ctx.Err().
+func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.Context, I) (O, error)) ([]O, error) {
+	out := make([]O, len(items))
+	if len(items) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pool: cancelled: %w", err)
+		}
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pool: cancelled: %w", err)
+			}
+			o, err := fn(ctx, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = o
+		}
+		return out, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if wctx.Err() != nil {
+					return
+				}
+				o, err := fn(wctx, items[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = o // distinct slot per item: no lock needed
+			}
+		}()
+	}
+	for i := range items {
+		if wctx.Err() != nil {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-wctx.Done():
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pool: cancelled: %w", err)
+	}
+	return out, nil
+}
+
+// ForEach is Map for side-effecting work without a result value.
+func ForEach[I any](ctx context.Context, workers int, items []I, fn func(context.Context, I) error) error {
+	_, err := Map(ctx, workers, items, func(ctx context.Context, item I) (struct{}, error) {
+		return struct{}{}, fn(ctx, item)
+	})
+	return err
+}

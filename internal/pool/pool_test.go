@@ -1,0 +1,117 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		out, err := Map(context.Background(), workers, items, func(_ context.Context, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyInput(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must default to at least one")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestMapFirstErrorWinsAndDrains(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	_, err := Map(context.Background(), 4, items, func(_ context.Context, v int) (int, error) {
+		calls.Add(1)
+		if v == 10 {
+			return 0, fmt.Errorf("item %d: %w", v, boom)
+		}
+		return v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := calls.Load(); n == 500 {
+		t.Error("error did not cancel remaining work")
+	}
+}
+
+func TestMapCancellationWrapsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 64)
+	started := make(chan struct{}, len(items))
+	_, err := Map(ctx, 4, items, func(ctx context.Context, v int) (int, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		cancel()
+		select {
+		case <-ctx.Done():
+		case <-time.After(5 * time.Second):
+			t.Error("worker not cancelled")
+		}
+		return v, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 1, []int{1, 2, 3}, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	items := []int{1, 2, 3, 4, 5}
+	if err := ForEach(context.Background(), 3, items, func(_ context.Context, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 15 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
