@@ -138,7 +138,7 @@ func main() {
 	describe("HE", rep.HE)
 	fmt.Println()
 	fmt.Println("Baselines on this UAV:")
-	baselines := uav.Baselines()
+	baselines := uav.AllBaselines()
 	sels, err := core.EvaluateBaselines(ctx, spec, rep.Database, baselines)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autopilot:", err)

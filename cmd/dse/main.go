@@ -86,6 +86,8 @@ func main() {
 		os.Exit(1)
 	}
 
+	fmt.Printf("\nevaluator cache: %d hits / %d misses (%d simulations)\n",
+		res.CacheHits, res.CacheMisses, res.CacheMisses)
 	fmt.Printf("\nPareto frontier (%d of %d evaluated designs):\n", len(res.ParetoIdx), len(res.Evaluated))
 	fmt.Printf("%-44s %8s %8s %8s %8s\n", "design", "success", "FPS", "SoC W", "FPS/W")
 	for _, e := range res.Pareto() {

@@ -14,8 +14,10 @@ import (
 	"fmt"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/core"
 	"autopilot/internal/cpu"
 	"autopilot/internal/f1"
+	"autopilot/internal/hw"
 	"autopilot/internal/spa"
 	"autopilot/internal/thermal"
 	"autopilot/internal/uav"
@@ -27,27 +29,14 @@ func main() {
 	fmt.Printf("%-16s %8s %10s %12s %9s\n", "scenario", "success", "steps/ep", "ops/decision", "replans")
 
 	opsPerDecision := map[airlearning.Scenario]float64{}
+	success := map[airlearning.Scenario]float64{}
 	for _, scen := range airlearning.Scenarios {
-		env := airlearning.NewEnv(scen, 42)
-		const episodes = 25
-		wins, steps := 0, 0
-		var ops float64
-		var replans int
-		for ep := 0; ep < episodes; ep++ {
-			pl := spa.NewPipeline(env)
-			res := airlearning.RunEpisode(env, pl)
-			if res.Outcome == airlearning.Success {
-				wins++
-			}
-			steps += res.Steps
-			ops += float64(pl.TotalOps())
-			replans += pl.Replans
-		}
-		perDecision := ops / float64(steps)
-		opsPerDecision[scen] = perDecision
+		st := spa.Measure(scen, 25, 42)
+		opsPerDecision[scen] = st.OpsPerDecision
+		success[scen] = st.SuccessRate
 		fmt.Printf("%-16s %7.0f%% %10.1f %12.0f %9.1f\n",
-			scen, 100*float64(wins)/episodes, float64(steps)/episodes,
-			perDecision, float64(replans)/episodes)
+			scen, 100*st.SuccessRate, st.StepsPerEpisode,
+			st.OpsPerDecision, st.ReplansPerEpisode)
 	}
 
 	// Map the SPA compute requirement onto the F-1 model: how many ops/s
@@ -77,6 +66,27 @@ func main() {
 	} else {
 		fmt.Printf("  %s -> %.0f Hz at %.2f W\n",
 			sel, sel.ActionHz(opsPerDecision[airlearning.DenseObstacle]), pm.Power(sel))
+	}
+
+	// The same SPA op-count, lowered into the unified hardware cost-model
+	// layer: an hw.SPAWorkload priced on every catalog CPU through the same
+	// Backend seam and full-system (F-1 + mission) path the systolic designs
+	// use.
+	fmt.Println()
+	fmt.Println("SPA workload through the hw cost-model layer (nano-UAV, dense):")
+	wl := hw.SPAWorkload("spa/dense", opsPerDecision[airlearning.DenseObstacle])
+	spec := core.DefaultSpec(nano, airlearning.DenseObstacle)
+	fmt.Printf("  %-28s %10s %8s %9s %9s\n", "backend", "action Hz", "SoC W", "v_safe", "missions")
+	for _, c := range cpu.Catalog() {
+		be := hw.SPABackend{Compute: hw.CPUBackend{Config: c, Power: pm}}
+		est, err := be.Estimate(wl)
+		if err != nil {
+			fmt.Printf("  %-28s %v\n", be.Name(), err)
+			continue
+		}
+		full := core.EvaluateEstimate(spec, est, success[airlearning.DenseObstacle], dense)
+		fmt.Printf("  %-28s %10.1f %8.2f %9.2f %9.2f\n",
+			be.Name(), full.ActionHz, full.Design.SoCPowerW, full.VSafeMS, full.Missions())
 	}
 
 	fmt.Println()

@@ -17,12 +17,12 @@ import (
 	"autopilot/internal/airlearning"
 	"autopilot/internal/dse"
 	"autopilot/internal/f1"
+	"autopilot/internal/hw"
 	"autopilot/internal/mission"
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
 	"autopilot/internal/power"
 	"autopilot/internal/rl"
-	"autopilot/internal/systolic"
 	"autopilot/internal/thermal"
 	"autopilot/internal/tuning"
 	"autopilot/internal/uav"
@@ -246,29 +246,63 @@ func (s Spec) sensorFPS() float64 {
 	return s.Platform.MaxSensorFPS()
 }
 
-// EvaluateOnPlatform performs the Phase-3 full-system evaluation of one
-// scored design on the spec's UAV: payload weight from the accelerator TDP,
-// F-1 safe velocity at the effective action throughput, and Eq. 1–4 mission
-// metrics. Designs the UAV cannot lift come back with Liftable=false.
-func EvaluateOnPlatform(spec Spec, e dse.Evaluated, model f1.Model) Selection {
-	sel := Selection{Design: e, NodeNM: 28}
-	sel.PayloadG = spec.Thermal.ComputeWeightGrams(e.AccelPowerW)
-	if !spec.Platform.CanLift(sel.PayloadG) {
+// evaluateFullSystem is the single Phase-3 full-system path: it maps one
+// hardware cost-model estimate, flown at the given payload weight, onto the
+// F-1 roofline (knee point, effective action throughput, safe velocity) and
+// the Eq. 1–4 mission model. Every consumer — searched designs, fine-tuned
+// variants, and baseline boards — goes through this function, so any future
+// hw.Backend gets the Fig. 5-style comparison for free. Designs the UAV
+// cannot lift come back with Liftable=false.
+func evaluateFullSystem(spec Spec, est hw.Estimate, payloadG float64, model f1.Model) Selection {
+	sel := Selection{NodeNM: 28, PayloadG: payloadG}
+	if !spec.Platform.CanLift(payloadG) {
 		return sel
 	}
 	sel.Liftable = true
-	accel := spec.Platform.MaxAccelMS2(sel.PayloadG)
+	accel := spec.Platform.MaxAccelMS2(payloadG)
 	sel.KneeHz = model.KneePoint(accel)
-	sel.ActionHz, sel.Bound = model.EffectiveThroughput(e.FPS, spec.sensorFPS(), accel)
+	sel.ActionHz, sel.Bound = model.EffectiveThroughput(est.FPS, spec.sensorFPS(), accel)
 	sel.Provisioning = model.Classify(sel.ActionHz, accel)
 	sel.VSafeMS = model.SafeVelocity(sel.ActionHz, accel)
 	prof, err := mission.Evaluate(spec.Platform, spec.MissionParams, spec.Mission,
-		sel.PayloadG, e.SoCPowerW, sel.VSafeMS)
+		payloadG, est.SoCPowerW, sel.VSafeMS)
 	if err != nil {
 		sel.Liftable = false
 		return sel
 	}
 	sel.Profile = prof
+	return sel
+}
+
+// payloadFor resolves the flown compute weight for an estimate: boards
+// flown as-is carry their weight hint; everything else derives motherboard,
+// packaging, and heatsinking from the accelerator TDP via the thermal model.
+func payloadFor(spec Spec, est hw.Estimate) float64 {
+	if est.FlownWeightG > 0 {
+		return est.FlownWeightG
+	}
+	return spec.Thermal.ComputeWeightGrams(est.AccelPowerW)
+}
+
+// EvaluateEstimate runs the Phase-3 full-system evaluation for a raw
+// hardware cost-model estimate — the entry point for new backends (SPA
+// stacks on embedded CPUs, future accelerator templates) that never pass
+// through the Phase-2 design space.
+func EvaluateEstimate(spec Spec, est hw.Estimate, success float64, model f1.Model) Selection {
+	sel := evaluateFullSystem(spec, est, payloadFor(spec, est), model)
+	sel.Design = dse.FromEstimate(dse.DesignPoint{}, success, est)
+	return sel
+}
+
+// EvaluateOnPlatform performs the Phase-3 full-system evaluation of one
+// scored design on the spec's UAV: payload weight from the accelerator TDP,
+// F-1 safe velocity at the effective action throughput, and Eq. 1–4 mission
+// metrics. Designs the UAV cannot lift come back with Liftable=false.
+func EvaluateOnPlatform(spec Spec, e dse.Evaluated, model f1.Model) Selection {
+	est := hw.Estimate{FPS: e.FPS, RuntimeSec: e.RuntimeSec,
+		AccelPowerW: e.AccelPowerW, SoCPowerW: e.SoCPowerW, Breakdown: e.Breakdown}
+	sel := evaluateFullSystem(spec, est, spec.Thermal.ComputeWeightGrams(e.AccelPowerW), model)
+	sel.Design = e
 	return sel
 }
 
@@ -333,25 +367,18 @@ func FineTune(spec Spec, sel Selection, model f1.Model) (Selection, error) {
 		return Selection{}, err
 	}
 	best := sel
+	wl := hw.NetworkWorkload(sel.Design.Design.Hyper.String(), net)
 	for _, v := range variants {
 		pm, err := spec.PowerModel.AtNode(v.NodeNM)
 		if err != nil {
 			return Selection{}, err
 		}
-		rep, err := systolic.Simulate(net, v.Design.HW)
+		be := hw.SystolicBackend{Config: v.Design.HW, Power: pm}
+		est, err := be.Estimate(wl)
 		if err != nil {
 			continue // a variant clock may be invalid; skip it
 		}
-		bd := pm.Accelerator(rep)
-		e := dse.Evaluated{
-			Design:      v.Design,
-			SuccessRate: sel.Design.SuccessRate,
-			FPS:         rep.FPS,
-			RuntimeSec:  rep.RuntimeSec,
-			SoCPowerW:   bd.Total() + power.FixedComponentsW,
-			AccelPowerW: bd.Total(),
-			Breakdown:   bd,
-		}
+		e := dse.FromEstimate(v.Design, sel.Design.SuccessRate, est)
 		cand := EvaluateOnPlatform(spec, e, model)
 		cand.NodeNM = v.NodeNM
 		if v.NodeNM != 28 || v.FreqScale != 1.0 {
@@ -366,47 +393,24 @@ func FineTune(spec Spec, sel Selection, model f1.Model) (Selection, error) {
 
 // EvaluateBaseline evaluates a fixed compute platform (TX2, NX, PULP, NCS)
 // carrying the scenario's best E2E model on the spec's UAV — the Fig. 5
-// comparison points.
+// comparison points. The board goes through the same hw.Backend seam and
+// full-system path as searched designs; its flown weight hint replaces the
+// thermal-model payload.
 func EvaluateBaseline(spec Spec, db *airlearning.Database, b uav.ComputeBaseline) Selection {
 	model := f1.ForScenario(spec.Scenario)
-	weights := int64(0)
 	success := 0.0
+	wl := hw.Workload{Name: b.Name + "/no-model", Kind: hw.WorkloadNetwork}
 	if rec, ok := db.Best(spec.Scenario); ok {
 		success = rec.SuccessRate
 		if net, err := policy.Build(rec.Hyper, spec.Space.Template); err == nil {
-			weights = net.Params()
+			wl = hw.NetworkWorkload(rec.Hyper.String(), net)
 		}
 	}
-	e := dse.Evaluated{
-		SuccessRate: success,
-		FPS:         b.FPSFor(weights),
-		SoCPowerW:   b.PowerW + power.FixedComponentsW,
-		AccelPowerW: b.PowerW,
-	}
-	if e.FPS > 0 {
-		e.RuntimeSec = 1 / e.FPS
-	}
-	sel := Selection{Design: e, NodeNM: 28}
-	// Baseline boards are flown as-is: their flown weight replaces the
-	// motherboard+heatsink model.
-	sel.PayloadG = b.WeightG
-	if !spec.Platform.CanLift(sel.PayloadG) {
-		return sel
-	}
-	sel.Liftable = true
-	accel := spec.Platform.MaxAccelMS2(sel.PayloadG)
-	sel.KneeHz = model.KneePoint(accel)
-	sel.ActionHz, sel.Bound = model.EffectiveThroughput(e.FPS, spec.sensorFPS(), accel)
-	sel.Provisioning = model.Classify(sel.ActionHz, accel)
-	sel.VSafeMS = model.SafeVelocity(sel.ActionHz, accel)
-	prof, err := mission.Evaluate(spec.Platform, spec.MissionParams, spec.Mission,
-		sel.PayloadG, e.SoCPowerW, sel.VSafeMS)
+	est, err := hw.BoardBackend{Board: b}.Estimate(wl)
 	if err != nil {
-		sel.Liftable = false
-		return sel
+		return Selection{NodeNM: 28, PayloadG: b.WeightG}
 	}
-	sel.Profile = prof
-	return sel
+	return EvaluateEstimate(spec, est, success, model)
 }
 
 // EvaluateBaselines scores every baseline board concurrently on the spec's

@@ -292,8 +292,8 @@ func TestReportSummaryAndWriters(t *testing.T) {
 	if s.Selected.Missions <= 0 || !s.Selected.Liftable {
 		t.Fatalf("selected summary = %+v", s.Selected)
 	}
-	if len(s.Baselines) != 3 {
-		t.Fatalf("baselines = %d, want 3", len(s.Baselines))
+	if len(s.Baselines) != 4 {
+		t.Fatalf("baselines = %d, want 4 (Fig. 5 trio + Intel NCS)", len(s.Baselines))
 	}
 
 	var jsonBuf bytes.Buffer

@@ -85,7 +85,7 @@ func (r *Report) Summary() ReportSummary {
 	}
 	if r.Database != nil {
 		out.Policies = r.Database.Len()
-		baselines := uav.Baselines()
+		baselines := uav.AllBaselines()
 		// EvaluateBaselines never returns an error with an uncancelled ctx.
 		sels, _ := EvaluateBaselines(context.Background(), r.Spec, r.Database, baselines)
 		for i, b := range baselines {

@@ -18,6 +18,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
+	"autopilot/internal/hw"
 	"autopilot/internal/pareto"
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
@@ -199,10 +200,33 @@ func (e Evaluated) EfficiencyFPSW() float64 {
 	return e.FPS / e.SoCPowerW
 }
 
-// Evaluator scores design points. It is safe for concurrent use: built
-// networks are shared per model, and evaluations are memoized in a
-// mutex-guarded cache keyed by DesignPoint, so BO re-visits and probe-sweep
-// overlaps never re-simulate the same design.
+// BackendFactory builds the hardware cost-model backend scoring one design
+// point. The default factory wraps the design's systolic configuration with
+// the evaluator's power model; swapping it retargets Phase 2 at a different
+// accelerator template without touching the search machinery.
+type BackendFactory func(DesignPoint) hw.Backend
+
+// evalKey keys the memoization cache on backend identity plus design, so
+// one evaluator can score the same design on different backends without
+// collisions.
+type evalKey struct {
+	backend string
+	design  DesignPoint
+}
+
+// inflight is one in-progress evaluation; waiters block on done and read
+// the result the leader stored (singleflight-style dedup).
+type inflight struct {
+	done chan struct{}
+	e    Evaluated
+	err  error
+}
+
+// Evaluator scores design points through a hw.Backend. It is safe for
+// concurrent use: built networks are shared per model, evaluations are
+// memoized in a mutex-guarded cache keyed by (backend, DesignPoint), and
+// goroutines racing on the same uncached design are deduplicated
+// singleflight-style so each design simulates exactly once.
 type Evaluator struct {
 	db       *airlearning.Database
 	scen     airlearning.Scenario
@@ -211,11 +235,17 @@ type Evaluator struct {
 	workers  int
 	cacheCap int
 
+	backendID string
+	backend   BackendFactory
+
 	netMu sync.Mutex
 	nets  map[policy.Hyper]*policy.Network
 
 	cacheMu sync.RWMutex
-	cache   map[DesignPoint]Evaluated
+	cache   map[evalKey]Evaluated
+
+	flightMu sync.Mutex
+	flights  map[evalKey]*inflight
 
 	hits, misses atomic.Int64
 }
@@ -241,6 +271,14 @@ func WithTemplate(t policy.TemplateConfig) Option {
 	return func(ev *Evaluator) { ev.tmpl = t }
 }
 
+// WithBackend replaces the hardware cost-model backend designs are scored
+// on. The id names the backend family and keys the memoization cache, so
+// estimates from different backends never collide. The default is the
+// systolic-array template ("systolic") with the evaluator's power model.
+func WithBackend(id string, factory BackendFactory) Option {
+	return func(ev *Evaluator) { ev.backendID, ev.backend = id, factory }
+}
+
 // NewEvaluator builds a concurrency-safe evaluator over a success-rate
 // database for one deployment scenario:
 //
@@ -248,9 +286,14 @@ func WithTemplate(t policy.TemplateConfig) Option {
 func NewEvaluator(db *airlearning.Database, scen airlearning.Scenario, pm power.Model, opts ...Option) *Evaluator {
 	ev := &Evaluator{
 		db: db, scen: scen, model: pm,
-		tmpl:  policy.DefaultTemplate(),
-		nets:  map[policy.Hyper]*policy.Network{},
-		cache: map[DesignPoint]Evaluated{},
+		tmpl:    policy.DefaultTemplate(),
+		nets:    map[policy.Hyper]*policy.Network{},
+		cache:   map[evalKey]Evaluated{},
+		flights: map[evalKey]*inflight{},
+	}
+	ev.backendID = "systolic"
+	ev.backend = func(d DesignPoint) hw.Backend {
+		return hw.SystolicBackend{Config: d.HW, Power: ev.model}
 	}
 	for _, opt := range opts {
 		opt(ev)
@@ -289,65 +332,109 @@ func (ev *Evaluator) network(h policy.Hyper) (*policy.Network, error) {
 	return net, nil
 }
 
-// cached looks a design up in the memoization cache.
-func (ev *Evaluator) cached(d DesignPoint) (Evaluated, bool) {
+// cached looks a key up in the memoization cache without touching the
+// hit/miss counters.
+func (ev *Evaluator) cached(k evalKey) (Evaluated, bool) {
 	if ev.cacheCap < 0 {
 		return Evaluated{}, false
 	}
 	ev.cacheMu.RLock()
-	e, ok := ev.cache[d]
+	e, ok := ev.cache[k]
 	ev.cacheMu.RUnlock()
-	if ok {
-		ev.hits.Add(1)
-	} else {
-		ev.misses.Add(1)
-	}
 	return e, ok
 }
 
 // store inserts an evaluation unless the cache is disabled or full.
-func (ev *Evaluator) store(d DesignPoint, e Evaluated) {
+func (ev *Evaluator) store(k evalKey, e Evaluated) {
 	if ev.cacheCap < 0 {
 		return
 	}
 	ev.cacheMu.Lock()
 	if ev.cacheCap == 0 || len(ev.cache) < ev.cacheCap {
-		ev.cache[d] = e
+		ev.cache[k] = e
 	}
 	ev.cacheMu.Unlock()
 }
 
-// Evaluate scores one design point, consulting the memoization cache first.
-// Evaluation is a pure function of the design, so cached and fresh results
-// are bit-identical regardless of which goroutine computed them.
-func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
-	if e, ok := ev.cached(d); ok {
-		return e, nil
+// FromEstimate converts a hardware cost-model estimate into a scored design
+// point — the single translation between the hw layer and Phase-2 scoring.
+func FromEstimate(d DesignPoint, success float64, est hw.Estimate) Evaluated {
+	return Evaluated{
+		Design:      d,
+		SuccessRate: success,
+		FPS:         est.FPS,
+		RuntimeSec:  est.RuntimeSec,
+		SoCPowerW:   est.SoCPowerW,
+		AccelPowerW: est.AccelPowerW,
+		Breakdown:   est.Breakdown,
 	}
+}
+
+// evaluate scores one design on the evaluator's backend, bypassing the
+// cache. Estimation is a pure function of the design, so results are
+// bit-identical regardless of which goroutine computed them.
+func (ev *Evaluator) evaluate(d DesignPoint) (Evaluated, error) {
 	net, err := ev.network(d.Hyper)
 	if err != nil {
 		return Evaluated{}, err
 	}
-	rep, err := systolic.Simulate(net, d.HW)
+	est, err := ev.backend(d).Estimate(hw.NetworkWorkload(d.Hyper.String(), net))
 	if err != nil {
-		return Evaluated{}, fmt.Errorf("dse: simulate %v: %w", d, err)
+		return Evaluated{}, fmt.Errorf("dse: estimate %v: %w", d, err)
 	}
 	success := 0.0
 	if rec, ok := ev.db.Get(d.Hyper, ev.scen); ok {
 		success = rec.SuccessRate
 	}
-	bd := ev.model.Accelerator(rep)
-	e := Evaluated{
-		Design:      d,
-		SuccessRate: success,
-		FPS:         rep.FPS,
-		RuntimeSec:  rep.RuntimeSec,
-		SoCPowerW:   bd.Total() + power.FixedComponentsW,
-		AccelPowerW: bd.Total(),
-		Breakdown:   bd,
+	return FromEstimate(d, success, est), nil
+}
+
+// Evaluate scores one design point, consulting the memoization cache first.
+// Concurrent calls for the same uncached design are deduplicated: one
+// goroutine (the leader, counted as the miss) runs the backend while the
+// rest wait on its in-flight result (counted as hits), so misses equals the
+// number of simulations actually performed.
+func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
+	if ev.cacheCap < 0 {
+		ev.misses.Add(1)
+		return ev.evaluate(d)
 	}
-	ev.store(d, e)
-	return e, nil
+	k := evalKey{backend: ev.backendID, design: d}
+	if e, ok := ev.cached(k); ok {
+		ev.hits.Add(1)
+		return e, nil
+	}
+	ev.flightMu.Lock()
+	// Re-check under the flight lock: the leader stores the result before
+	// retiring its flight, so a design is either cached or in flight here.
+	if e, ok := ev.cached(k); ok {
+		ev.flightMu.Unlock()
+		ev.hits.Add(1)
+		return e, nil
+	}
+	if f, ok := ev.flights[k]; ok {
+		ev.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return Evaluated{}, f.err
+		}
+		ev.hits.Add(1)
+		return f.e, nil
+	}
+	f := &inflight{done: make(chan struct{})}
+	ev.flights[k] = f
+	ev.flightMu.Unlock()
+
+	ev.misses.Add(1)
+	f.e, f.err = ev.evaluate(d)
+	if f.err == nil {
+		ev.store(k, f.e)
+	}
+	ev.flightMu.Lock()
+	delete(ev.flights, k)
+	ev.flightMu.Unlock()
+	close(f.done)
+	return f.e, f.err
 }
 
 // EvaluateAll scores a batch of design points on the evaluator's bounded
@@ -403,6 +490,10 @@ type Result struct {
 	// power, highest efficiency — all restricted to designs running a
 	// top-success model.
 	HT, LP, HE int
+
+	// CacheHits and CacheMisses report the run's evaluator memoization
+	// stats; misses equals the number of cost-model simulations performed.
+	CacheHits, CacheMisses int64
 }
 
 // Pareto returns the Pareto-front designs.
@@ -473,6 +564,7 @@ func finishResult(ctx context.Context, res *Result, space Space, db *airlearning
 	}
 	res.ParetoIdx = pareto.NonDominated(objs)
 	res.labelConventional()
+	res.CacheHits, res.CacheMisses = ev.CacheStats()
 	return res, nil
 }
 

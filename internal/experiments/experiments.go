@@ -129,7 +129,7 @@ func (s *Suite) All() ([]Table, error) {
 	out = append(out, fig5...)
 	rest := []func() (Table, error){
 		s.Fig6, s.Fig7, s.Fig8, s.Fig9, s.Fig10, s.Fig11, s.TableV,
-		s.ExtSensor, s.ExtOptimizer,
+		s.ExtSensor, s.ExtOptimizer, s.ExtBaselines, s.ExtSPA,
 	}
 	for _, f := range rest {
 		t, err := f()

@@ -331,7 +331,7 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"Fig2b", "Fig3b", "Fig5a", "Fig5b", "Fig5c", "Fig6", "Fig7", "Fig8", "Fig9", "Fig10", "Fig11", "TableV", "ExtSensor", "ExtOptimizer"}
+	want := []string{"Fig2b", "Fig3b", "Fig5a", "Fig5b", "Fig5c", "Fig6", "Fig7", "Fig8", "Fig9", "Fig10", "Fig11", "TableV", "ExtSensor", "ExtOptimizer", "ExtBaselines", "ExtSPA"}
 	if len(tabs) != len(want) {
 		t.Fatalf("tables = %d, want %d", len(tabs), len(want))
 	}

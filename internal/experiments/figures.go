@@ -8,10 +8,10 @@ import (
 	"autopilot/internal/core"
 	"autopilot/internal/dse"
 	"autopilot/internal/f1"
+	"autopilot/internal/hw"
 	"autopilot/internal/pareto"
 	"autopilot/internal/policy"
 	"autopilot/internal/power"
-	"autopilot/internal/systolic"
 	"autopilot/internal/uav"
 )
 
@@ -320,28 +320,22 @@ func (s *Suite) TableV() (Table, error) {
 // resimulate rescores another scenario's selected design under the reference
 // report's scenario (success rate comes from the reference database's best
 // record to keep the workload identical, as the paper does when reusing
-// hardware across scenarios).
+// hardware across scenarios). The re-simulation goes through the unified
+// hw.SystolicBackend, the same seam the evaluator and fine-tuner use.
 func resimulate(ref *core.Report, sel core.Selection) dse.Evaluated {
 	e := sel.Design
 	if best, ok := ref.Database.Best(ref.Spec.Scenario); ok {
 		if net, err := policy.Build(best.Hyper, ref.Spec.Space.Template); err == nil {
-			if rep, err := systolic.Simulate(net, e.Design.HW); err == nil {
-				pm := ref.Spec.PowerModel
-				if sel.NodeNM != 0 && sel.NodeNM != 28 {
-					if scaled, err := pm.AtNode(sel.NodeNM); err == nil {
-						pm = scaled
-					}
+			pm := ref.Spec.PowerModel
+			if sel.NodeNM != 0 && sel.NodeNM != 28 {
+				if scaled, err := pm.AtNode(sel.NodeNM); err == nil {
+					pm = scaled
 				}
-				bd := pm.Accelerator(rep)
-				e = dse.Evaluated{
-					Design:      dse.DesignPoint{Hyper: best.Hyper, HW: e.Design.HW},
-					SuccessRate: best.SuccessRate,
-					FPS:         rep.FPS,
-					RuntimeSec:  rep.RuntimeSec,
-					SoCPowerW:   bd.Total() + power.FixedComponentsW,
-					AccelPowerW: bd.Total(),
-					Breakdown:   bd,
-				}
+			}
+			be := hw.SystolicBackend{Config: e.Design.HW, Power: pm}
+			if est, err := be.Estimate(hw.NetworkWorkload(best.Hyper.String(), net)); err == nil {
+				e = dse.FromEstimate(dse.DesignPoint{Hyper: best.Hyper, HW: e.Design.HW},
+					best.SuccessRate, est)
 			}
 		}
 	}

@@ -1,0 +1,240 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"autopilot/internal/cpu"
+	"autopilot/internal/policy"
+	"autopilot/internal/power"
+	"autopilot/internal/systolic"
+	"autopilot/internal/uav"
+)
+
+func testNetwork(t *testing.T) *policy.Network {
+	t.Helper()
+	net, err := policy.Build(policy.Hyper{Layers: 5, Filters: 32}, policy.DefaultTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testConfig() systolic.Config {
+	return systolic.Config{
+		Rows: 32, Cols: 32, IfmapKB: 64, FilterKB: 64, OfmapKB: 64,
+		Dataflow: systolic.OutputStationary, FreqMHz: 500, BandwidthGBps: 4,
+	}
+}
+
+// TestWorkloadHelpers pins the workload lowering: weights are one byte per
+// parameter (int8), ops are 2 per MAC for networks and the measured count
+// for SPA.
+func TestWorkloadHelpers(t *testing.T) {
+	net := testNetwork(t)
+	w := NetworkWorkload("L5F32", net)
+	if w.Kind != WorkloadNetwork || w.Kind.String() != "network" {
+		t.Errorf("kind = %v (%s)", w.Kind, w.Kind)
+	}
+	if got, want := w.WeightBytes(), net.Params(); got != want {
+		t.Errorf("WeightBytes = %d, want %d", got, want)
+	}
+	if got, want := w.Ops(), 2*float64(net.MACs()); got != want {
+		t.Errorf("Ops = %v, want %v", got, want)
+	}
+
+	s := SPAWorkload("spa", 12345)
+	if s.Kind != WorkloadSPA || s.Kind.String() != "spa" {
+		t.Errorf("kind = %v (%s)", s.Kind, s.Kind)
+	}
+	if s.WeightBytes() != 0 {
+		t.Errorf("SPA WeightBytes = %d, want 0", s.WeightBytes())
+	}
+	if s.Ops() != 12345 {
+		t.Errorf("SPA Ops = %v, want 12345", s.Ops())
+	}
+	if (Workload{Kind: WorkloadNetwork}).WeightBytes() != 0 {
+		t.Error("nil-net workload should have zero weight bytes")
+	}
+}
+
+// TestSystolicBackendParity proves the backend reproduces the direct
+// systolic.Simulate + power.Model path bitwise — the invariant the Phase-2
+// golden tests rely on.
+func TestSystolicBackendParity(t *testing.T) {
+	net := testNetwork(t)
+	cfg := testConfig()
+	pm := power.Default()
+
+	be := SystolicBackend{Config: cfg, Power: pm}
+	est, err := be.Estimate(NetworkWorkload("L5F32", net))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := systolic.Simulate(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := pm.Accelerator(rep)
+	if est.FPS != rep.FPS {
+		t.Errorf("FPS = %x, want %x", est.FPS, rep.FPS)
+	}
+	if est.RuntimeSec != rep.RuntimeSec {
+		t.Errorf("RuntimeSec = %x, want %x", est.RuntimeSec, rep.RuntimeSec)
+	}
+	if est.AccelPowerW != bd.Total() {
+		t.Errorf("AccelPowerW = %x, want %x", est.AccelPowerW, bd.Total())
+	}
+	if est.SoCPowerW != power.SoCTotal(bd) {
+		t.Errorf("SoCPowerW = %x, want %x", est.SoCPowerW, power.SoCTotal(bd))
+	}
+	if est.SoCPowerW != pm.SoC(rep) {
+		t.Errorf("SoCPowerW = %x, power.Model.SoC says %x", est.SoCPowerW, pm.SoC(rep))
+	}
+	if est.Breakdown != bd {
+		t.Errorf("Breakdown = %+v, want %+v", est.Breakdown, bd)
+	}
+	if est.SRAMBytes != rep.SRAMBytes() || est.DRAMBytes != rep.DRAMBytes() {
+		t.Errorf("traffic = %d/%d, want %d/%d", est.SRAMBytes, est.DRAMBytes, rep.SRAMBytes(), rep.DRAMBytes())
+	}
+	if want := est.SoCPowerW * est.RuntimeSec; est.EnergyPerInfJ != want {
+		t.Errorf("EnergyPerInfJ = %x, want %x", est.EnergyPerInfJ, want)
+	}
+	if est.FlownWeightG != 0 {
+		t.Errorf("FlownWeightG = %v, want 0 (payload comes from the thermal model)", est.FlownWeightG)
+	}
+}
+
+// TestBoardBackendParity proves the backend reproduces the board arithmetic
+// the old core.EvaluateBaseline inlined, including the flown-weight hint.
+func TestBoardBackendParity(t *testing.T) {
+	net := testNetwork(t)
+	w := NetworkWorkload("L5F32", net)
+	for _, b := range uav.AllBaselines() {
+		be := BoardBackend{Board: b}
+		if got, want := be.Name(), "board:"+b.Name; got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+		est, err := be.Estimate(w)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got, want := est.FPS, b.FPSFor(w.WeightBytes()); got != want {
+			t.Errorf("%s: FPS = %x, want %x", b.Name, got, want)
+		}
+		if got, want := est.SoCPowerW, b.PowerW+power.FixedComponentsW; got != want {
+			t.Errorf("%s: SoCPowerW = %x, want %x", b.Name, got, want)
+		}
+		if est.FlownWeightG != b.WeightG {
+			t.Errorf("%s: FlownWeightG = %v, want %v", b.Name, est.FlownWeightG, b.WeightG)
+		}
+		if est.FPS > 0 && est.RuntimeSec != 1/est.FPS {
+			t.Errorf("%s: RuntimeSec = %x, want %x", b.Name, est.RuntimeSec, 1/est.FPS)
+		}
+	}
+
+	// A board with no validated model prices at zero throughput, not an error.
+	est, err := BoardBackend{Board: uav.JetsonTX2()}.Estimate(Workload{Name: "no-model", Kind: WorkloadNetwork})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.FPS != 0 || est.RuntimeSec != 0 {
+		t.Errorf("no-model estimate = %+v, want zero throughput", est)
+	}
+}
+
+// TestSPAOnEveryBackend demonstrates the §VII seam: one measured SPA
+// op-count priced on the CPU template natively and on the systolic, board,
+// and CPU backends through the SPABackend adapter.
+func TestSPAOnEveryBackend(t *testing.T) {
+	w := SPAWorkload("spa/dense", 50_000)
+	pm := cpu.DefaultPowerModel()
+	cpus := cpu.Catalog()
+	if len(cpus) == 0 {
+		t.Fatal("empty CPU catalog")
+	}
+
+	// Native CPU pricing and the adapter must agree exactly.
+	cb := CPUBackend{Config: cpus[0], Power: pm}
+	native, err := cb.Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := SPABackend{Compute: cb}.Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if native != adapted {
+		t.Errorf("native CPU estimate %+v != adapted %+v", native, adapted)
+	}
+	if want := cpus[0].SustainedOpsPerSec() / 50_000; native.FPS != want {
+		t.Errorf("FPS = %x, want %x", native.FPS, want)
+	}
+
+	inners := []Backend{
+		SystolicBackend{Config: testConfig(), Power: power.Default()},
+		BoardBackend{Board: uav.JetsonTX2()},
+		CPUBackend{Config: cpus[0], Power: pm},
+	}
+	for _, inner := range inners {
+		be := SPABackend{Compute: inner}
+		if got, want := be.Name(), "spa+"+inner.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+		est, err := be.Estimate(w)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if est.FPS <= 0 || est.SoCPowerW <= 0 {
+			t.Errorf("%s: degenerate estimate %+v", be.Name(), est)
+		}
+		r := inner.(Rater).Rating()
+		if got, want := est.FPS, r.OpsPerSec/50_000; got != want {
+			t.Errorf("%s: FPS = %x, want %x", be.Name(), got, want)
+		}
+		if got, want := est.SoCPowerW, r.PowerW+power.FixedComponentsW; got != want {
+			t.Errorf("%s: SoCPowerW = %x, want %x", be.Name(), got, want)
+		}
+	}
+}
+
+type unratedBackend struct{}
+
+func (unratedBackend) Name() string                        { return "unrated" }
+func (unratedBackend) Estimate(Workload) (Estimate, error) { return Estimate{}, nil }
+
+// TestErrorPaths pins the failure modes: kind mismatches, missing layer
+// stacks, zero op counts, and SPA pricing on backends without a scalar
+// rating all return errors instead of degenerate estimates.
+func TestErrorPaths(t *testing.T) {
+	net := testNetwork(t)
+	sys := SystolicBackend{Config: testConfig(), Power: power.Default()}
+	cb := CPUBackend{Config: cpu.Catalog()[0], Power: cpu.DefaultPowerModel()}
+
+	cases := []struct {
+		name string
+		be   Backend
+		w    Workload
+		want string
+	}{
+		{"systolic nil net", sys, Workload{Name: "x", Kind: WorkloadNetwork}, "no layer stack"},
+		{"systolic unknown kind", sys, Workload{Name: "x", Kind: WorkloadKind(9)}, "cannot price"},
+		{"board unknown kind", BoardBackend{Board: uav.JetsonTX2()}, Workload{Name: "x", Kind: WorkloadKind(9)}, "cannot price"},
+		{"cpu nil net", cb, Workload{Name: "x", Kind: WorkloadNetwork}, "no op count"},
+		{"spa zero ops", SPABackend{Compute: cb}, SPAWorkload("x", 0), "no op count"},
+		{"spa on network workload", SPABackend{Compute: cb}, NetworkWorkload("x", net), "not spa"},
+		{"spa on unrated backend", SPABackend{Compute: unratedBackend{}}, SPAWorkload("x", 1000), "no scalar throughput"},
+		{"spa on pinned-FPS board", SPABackend{Compute: BoardBackend{Board: uav.PULPDroNet()}}, SPAWorkload("x", 1000), "throughput"},
+	}
+	for _, c := range cases {
+		_, err := c.be.Estimate(c.w)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -109,10 +109,18 @@ func (m Model) Accelerator(rep *systolic.Report) Breakdown {
 	}
 }
 
+// SoCTotal returns total SoC power for an accelerator breakdown: the
+// breakdown total plus the fixed Table III components. Every consumer must
+// go through this helper so the SoC-power arithmetic cannot drift between
+// the evaluator, the fine-tuner, and the reports.
+func SoCTotal(b Breakdown) float64 {
+	return b.Total() + FixedComponentsW
+}
+
 // SoC returns total SoC power: accelerator plus the fixed Table III
 // components.
 func (m Model) SoC(rep *systolic.Report) float64 {
-	return m.Accelerator(rep).Total() + FixedComponentsW
+	return SoCTotal(m.Accelerator(rep))
 }
 
 // NodeScale holds dynamic-energy and leakage multipliers relative to 28 nm.

@@ -285,3 +285,46 @@ func ThroughputHz(opsPerDecision, sustainedOpsPerSec float64) float64 {
 	}
 	return sustainedOpsPerSec / opsPerDecision
 }
+
+// Stats summarizes the measured SPA pipeline behaviour over a batch of
+// episodes: the validated task success (the SPA analogue of the Phase-1
+// database entry) and the per-decision compute work that lowers into an
+// hw.SPAWorkload for the cost-model layer.
+type Stats struct {
+	Scenario          airlearning.Scenario
+	Episodes          int
+	SuccessRate       float64
+	StepsPerEpisode   float64
+	OpsPerDecision    float64
+	ReplansPerEpisode float64
+}
+
+// Measure runs the SPA pipeline for a number of episodes on a scenario and
+// returns its aggregate work statistics. Results are deterministic for a
+// given seed.
+func Measure(scen airlearning.Scenario, episodes int, seed int64) Stats {
+	env := airlearning.NewEnv(scen, seed)
+	st := Stats{Scenario: scen, Episodes: episodes}
+	wins, steps := 0, 0
+	var ops float64
+	var replans int
+	for ep := 0; ep < episodes; ep++ {
+		pl := NewPipeline(env)
+		res := airlearning.RunEpisode(env, pl)
+		if res.Outcome == airlearning.Success {
+			wins++
+		}
+		steps += res.Steps
+		ops += float64(pl.TotalOps())
+		replans += pl.Replans
+	}
+	if episodes > 0 {
+		st.SuccessRate = float64(wins) / float64(episodes)
+		st.StepsPerEpisode = float64(steps) / float64(episodes)
+		st.ReplansPerEpisode = float64(replans) / float64(episodes)
+	}
+	if steps > 0 {
+		st.OpsPerDecision = ops / float64(steps)
+	}
+	return st
+}

@@ -90,6 +90,12 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// SRAMBytes returns the total on-chip scratchpad traffic per inference.
+func (r *Report) SRAMBytes() int64 { return r.SRAMReads + r.SRAMWrites }
+
+// DRAMBytes returns the total off-chip traffic per inference.
+func (r *Report) DRAMBytes() int64 { return r.DRAMReads + r.DRAMWrites }
+
 func sumMACs(r *Report) int64 {
 	var s int64
 	for _, l := range r.Layers {

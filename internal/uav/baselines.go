@@ -64,3 +64,9 @@ func IntelNCS() ComputeBaseline {
 func Baselines() []ComputeBaseline {
 	return []ComputeBaseline{JetsonTX2(), XavierNX(), PULPDroNet()}
 }
+
+// AllBaselines returns every baseline compute platform: the Fig. 5 trio
+// plus the Intel NCS (Table V).
+func AllBaselines() []ComputeBaseline {
+	return append(Baselines(), IntelNCS())
+}
