@@ -12,6 +12,7 @@ package autopilot
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"autopilot/internal/airlearning"
@@ -27,6 +28,7 @@ import (
 	"autopilot/internal/spa"
 	"autopilot/internal/systolic"
 	"autopilot/internal/tensor"
+	"autopilot/internal/train"
 	"autopilot/internal/uav"
 )
 
@@ -393,6 +395,46 @@ func BenchmarkEnvEpisode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		airlearning.RunEpisode(env, expert)
+	}
+}
+
+// BenchmarkTrainRolloutEpisode times one single-episode frozen-policy
+// rollout through the engine's shared episode loop — the unit of work the
+// evaluation collector repeats.
+func BenchmarkTrainRolloutEpisode(b *testing.B) {
+	g := tensor.NewRNG(5)
+	net, err := policy.NewTrainable(policy.Hyper{Layers: 2, Filters: 32}, policy.DefaultTrainable(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := rl.GreedyPolicy{Net: net}
+	env := airlearning.NewEnv(airlearning.LowObstacle, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		airlearning.RunEpisode(env, pol)
+	}
+}
+
+// BenchmarkTrainCollector measures the batched evaluation collector's
+// throughput at several worker counts; the determinism tests guarantee the
+// per-episode results are identical, so only runtime should move.
+func BenchmarkTrainCollector(b *testing.B) {
+	g := tensor.NewRNG(6)
+	net, err := policy.NewTrainable(policy.Hyper{Layers: 2, Filters: 32}, policy.DefaultTrainable(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := rl.GreedyPolicy{Net: net}
+	const episodes = 32
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			col := train.Collector{Scenario: airlearning.LowObstacle, Seed: 3001, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := col.SuccessRate(context.Background(), pol, episodes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

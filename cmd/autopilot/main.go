@@ -6,11 +6,13 @@
 // Usage:
 //
 //	autopilot -uav nano -scenario dense [-sensor-fps 60] [-pool 2048]
-//	          [-bo-iters 72] [-seed 1] [-workers 0] [-train] [-json]
+//	          [-bo-iters 72] [-seed 1] [-workers 0] [-train] [-train-db f] [-json]
 //
 // The Phase-1 training sweep and Phase-2 evaluations fan out over -workers
 // goroutines (0 = all CPUs); results are bitwise deterministic for a given
-// seed regardless of the worker count. Ctrl-C cancels a long run cleanly.
+// seed regardless of the worker count. Ctrl-C cancels a long run cleanly;
+// with -train and -train-db the Phase-1 sweep checkpoints each completed
+// policy, so rerunning the same command resumes instead of retraining.
 package main
 
 import (
@@ -80,6 +82,7 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation/training worker pool size (0 = all CPUs)")
 	train := flag.Bool("train", false, "Phase 1: actually train policies with RL instead of the surrogate (slow)")
 	episodes := flag.Int("episodes", 150, "RL episodes per policy with -train")
+	trainDB := flag.String("train-db", "", "with -train: checkpoint file making the Phase-1 sweep resumable")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
 	flag.Parse()
 
@@ -107,6 +110,7 @@ func main() {
 	if *train {
 		spec.Phase1Mode = core.Phase1Train
 		spec.TrainCfg.Episodes = *episodes
+		spec.TrainCheckpoint = *trainDB
 		// a small representative slice of the family keeps -train tractable
 		spec.TrainHypers = []policy.Hyper{
 			{Layers: 2, Filters: 32}, {Layers: 4, Filters: 48}, {Layers: 7, Filters: 48},

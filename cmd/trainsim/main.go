@@ -1,33 +1,47 @@
-// Command trainsim runs AutoPilot's Phase 1 for real: it trains an E2E
-// policy with reinforcement learning on the grid-world navigation simulator,
-// validates its success rate over domain-randomized episodes, and appends
-// the record to an Air Learning database file.
+// Command trainsim runs AutoPilot's Phase 1 for real: it trains E2E
+// policies with reinforcement learning on the grid-world navigation
+// simulator through the unified training engine (internal/train), validates
+// their success rates over domain-randomized episodes, and records them in
+// an Air Learning database file.
 //
-// Usage:
+// Single run:
 //
 //	trainsim -layers 4 -filters 48 -scenario medium -episodes 300 -db policies.json
+//
+// Resumable sweep over the full Table II family — interrupt with Ctrl-C and
+// rerun the same command to pick up where it left off:
+//
+//	trainsim -all -scenario medium -workers 8 -db policies.json
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+
+	"flag"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/policy"
 	"autopilot/internal/rl"
+	"autopilot/internal/train"
 )
 
 func main() {
 	layers := flag.Int("layers", 4, "E2E template depth (2-10)")
 	filters := flag.Int("filters", 48, "E2E template width (32|48|64)")
 	scenName := flag.String("scenario", "medium", "deployment scenario: low|medium|dense")
-	episodes := flag.Int("episodes", 300, "training episodes")
+	episodes := flag.Int("episodes", 300, "training episodes per policy")
 	evalEps := flag.Int("eval", 50, "validation episodes")
 	algo := flag.String("algo", "dqn", "training algorithm: dqn|reinforce")
-	seed := flag.Int64("seed", 1, "random seed")
-	dbPath := flag.String("db", "", "Air Learning database file to update (optional)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "sweep/evaluation workers (0 = all CPUs)")
+	all := flag.Bool("all", false, "sweep the full Table II template family (resumable via -db)")
+	progress := flag.Int("progress", 0, "report training progress every N episodes (0 = per-run only)")
+	dbPath := flag.String("db", "", "Air Learning database file to update; with -all it doubles as the resume checkpoint")
 	flag.Parse()
 
 	var scen airlearning.Scenario
@@ -52,15 +66,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trainsim: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+	cfg := rl.TrainConfig{Algorithm: algorithm, Episodes: *episodes, EvalEpisodes: *evalEps, Seed: *seed}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *all {
+		runSweep(ctx, scen, cfg, *workers, *progress, *dbPath)
+		return
+	}
 
 	h := policy.Hyper{Layers: *layers, Filters: *filters}
 	if err := h.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(2)
 	}
-	cfg := rl.TrainConfig{Algorithm: algorithm, Episodes: *episodes, EvalEpisodes: *evalEps, Seed: *seed}
+	eng := train.New(rl.Factory(cfg), train.Config{
+		Episodes:      cfg.Episodes,
+		EvalEpisodes:  cfg.EvalEpisodes,
+		Seed:          cfg.Seed,
+		Workers:       *workers,
+		ProgressEvery: *progress,
+	}, train.WithSink(train.NewWriterSink(os.Stdout)))
 	fmt.Printf("training %s on %s with %s for %d episodes...\n", h, scen, algorithm, *episodes)
-	rec, pol, err := rl.TrainPolicy(h, scen, cfg)
+	rec, pol, err := eng.Train(ctx, h, scen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
@@ -81,5 +110,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("database %s now holds %d records\n", *dbPath, db.Len())
+	}
+}
+
+// runSweep trains the full template family through the engine's resumable
+// sweep: with -db set, every completed record is snapshotted there and a
+// rerun skips the points the snapshot already holds.
+func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig, workers, progress int, dbPath string) {
+	eng := train.New(rl.Factory(cfg), train.Config{
+		Episodes:      cfg.Episodes,
+		EvalEpisodes:  cfg.EvalEpisodes,
+		Seed:          cfg.Seed,
+		Workers:       workers,
+		Checkpoint:    dbPath,
+		ProgressEvery: progress,
+	}, train.WithSink(train.NewWriterSink(os.Stdout)))
+	hypers := policy.AllHypers()
+	fmt.Printf("sweeping %d template points on %s with %s (%d episodes each)...\n",
+		len(hypers), scen, cfg.Algorithm, cfg.Episodes)
+	db := airlearning.NewDatabase()
+	if err := eng.Sweep(ctx, hypers, scen, db); err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		if dbPath != "" {
+			fmt.Fprintf(os.Stderr, "trainsim: partial results checkpointed in %s; rerun to resume\n", dbPath)
+		}
+		os.Exit(1)
+	}
+	if best, ok := db.Best(scen); ok {
+		fmt.Printf("sweep complete: %d records; best for %s is %s (%.0f%%)\n",
+			db.Len(), scen, best.Hyper, 100*best.SuccessRate)
+	}
+	if dbPath != "" {
+		if err := db.Save(dbPath); err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("database saved to %s\n", dbPath)
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 	fmt.Println("Phase 1: domain-specific front end")
 	fmt.Println("  training one small policy for real on the grid-world simulator...")
 	rec, _, err := rl.TrainPolicy(
+		ctx,
 		policy.Hyper{Layers: 2, Filters: 32},
 		airlearning.DenseObstacle,
 		rl.TrainConfig{Algorithm: rl.AlgDQN, Episodes: 60, EvalEpisodes: 20, Seed: 7},

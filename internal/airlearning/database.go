@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -57,6 +58,13 @@ func (d *Database) Get(h policy.Hyper, s Scenario) (Record, bool) {
 	return r, ok
 }
 
+// Has reports whether a record exists for (hyper, scenario) — the check a
+// resumed Phase-1 sweep uses to skip already-trained points.
+func (d *Database) Has(h policy.Hyper, s Scenario) bool {
+	_, ok := d.Get(h, s)
+	return ok
+}
+
 // Len returns the number of records.
 func (d *Database) Len() int {
 	d.mu.RLock()
@@ -95,13 +103,39 @@ func (d *Database) Best(s Scenario) (Record, bool) {
 	return best, found
 }
 
-// Save writes the database as JSON.
-func (d *Database) Save(path string) error {
+// Save writes the database as JSON. It is an alias for Snapshot: every
+// on-disk write is atomic.
+func (d *Database) Save(path string) error { return d.Snapshot(path) }
+
+// Snapshot atomically writes the database as JSON: the records are
+// marshalled under the read lock, written to a temporary file in the
+// destination directory, and renamed over path. Concurrent snapshots (and
+// writers inserting records mid-snapshot) therefore always leave a complete,
+// parseable checkpoint on disk — the property the Phase-1 training engine
+// relies on when it checkpoints after every completed record.
+func (d *Database) Snapshot(path string) error {
 	data, err := json.MarshalIndent(d.All(), "", "  ")
 	if err != nil {
 		return fmt.Errorf("airlearning: marshal database: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("airlearning: snapshot database: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("airlearning: snapshot database: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("airlearning: snapshot database: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("airlearning: snapshot database: %w", err)
+	}
+	return nil
 }
 
 // Load reads a database previously written by Save.

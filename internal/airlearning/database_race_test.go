@@ -2,6 +2,7 @@ package airlearning
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -57,6 +58,78 @@ func TestDatabaseConcurrentAccess(t *testing.T) {
 	for i := 1; i < len(recs); i++ {
 		if recs[i-1].ID > recs[i].ID {
 			t.Fatalf("All() not sorted: %q before %q", recs[i-1].ID, recs[i].ID)
+		}
+	}
+}
+
+// TestDatabaseConcurrentSnapshots interleaves concurrent writers with
+// checkpoint snapshots — the access pattern of the training engine's
+// resumable sweep, where every worker that completes a record re-snapshots
+// the shared database. Under -race this proves Snapshot's read path is safe
+// against in-flight Puts, and every snapshot written must itself be a
+// loadable, internally consistent database.
+func TestDatabaseConcurrentSnapshots(t *testing.T) {
+	db := NewDatabase()
+	hypers := policy.AllHypers()
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	const writers, snapshotters, rounds = 4, 3, 40
+
+	// Seed one record so even the earliest snapshot is non-empty.
+	db.Put(Record{Hyper: hypers[0], Scenario: LowObstacle, SuccessRate: 0.5})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				h := hypers[(w*rounds+r)%len(hypers)]
+				db.Put(Record{
+					Hyper:       h,
+					Scenario:    Scenarios[r%len(Scenarios)],
+					SuccessRate: float64((w+r)%100) / 100,
+				})
+			}
+		}(w)
+	}
+	for s := 0; s < snapshotters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := db.Snapshot(path); err != nil {
+					t.Errorf("Snapshot: %v", err)
+					return
+				}
+				// Each snapshot is written atomically (temp file + rename),
+				// so a concurrent reader must always see a complete database.
+				loaded, err := Load(path)
+				if err != nil {
+					t.Errorf("Load mid-write: %v", err)
+					return
+				}
+				if loaded.Len() == 0 {
+					t.Error("snapshot lost all records")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final, err := Load(path)
+	if err != nil {
+		t.Fatalf("final Load: %v", err)
+	}
+	// The last snapshot is a subset of the final database: every record it
+	// holds must round-trip exactly.
+	for _, rec := range final.All() {
+		got, ok := db.Get(rec.Hyper, rec.Scenario)
+		if !ok {
+			t.Fatalf("snapshot record %q missing from database", rec.ID)
+		}
+		if got.ID != rec.ID || got.Params != rec.Params {
+			t.Fatalf("snapshot record %q diverged: %+v vs %+v", rec.ID, rec, got)
 		}
 	}
 }

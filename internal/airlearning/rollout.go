@@ -13,6 +13,16 @@ type PolicyFunc func(Observation) int
 // Act calls f.
 func (f PolicyFunc) Act(obs Observation) int { return f(obs) }
 
+// BatchPolicy is implemented by policies that can act on many observations
+// at once — one batched network forward instead of len(obs) single ones.
+// Implementations must be pure (safe for concurrent use from parallel
+// rollout workers) and must return exactly the action Act would pick for
+// each observation alone, so batched and sequential rollouts are bitwise
+// identical.
+type BatchPolicy interface {
+	ActBatch(obs []Observation) []int
+}
+
 // EpisodeResult summarizes one rollout.
 type EpisodeResult struct {
 	Outcome Outcome

@@ -1,0 +1,14 @@
+package airlearning
+
+// Transition is one (s, a, r, s', done) tuple — the unit of experience a
+// training algorithm consumes from a rollout. It lives next to the
+// environment (rather than in any one algorithm package) so the Phase-1
+// training engine, the RL algorithms, and replay buffers all speak the same
+// currency.
+type Transition struct {
+	Obs    Observation
+	Action int
+	Reward float64
+	Next   Observation
+	Done   bool
+}

@@ -24,6 +24,7 @@ import (
 	"autopilot/internal/power"
 	"autopilot/internal/rl"
 	"autopilot/internal/thermal"
+	"autopilot/internal/train"
 	"autopilot/internal/tuning"
 	"autopilot/internal/uav"
 )
@@ -60,6 +61,11 @@ type Spec struct {
 	// (nil = the full Table II family, which is slow).
 	TrainHypers []policy.Hyper
 	TrainCfg    rl.TrainConfig
+	// TrainCheckpoint makes the Phase-1 training sweep resumable: when
+	// non-empty the policy database is snapshotted there after every
+	// completed record, and a restarted run skips points the snapshot
+	// already holds. Empty disables checkpointing.
+	TrainCheckpoint string
 
 	Space  dse.Space
 	Phase2 dse.Config
@@ -173,26 +179,12 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	return rep, nil
 }
 
-// trainSeed derives the per-policy training seed from the hyper-parameter
-// identity, never from sweep position, so the Phase-1 results are identical
-// whichever worker (or submission order) trains a policy. For the full
-// Table II family the derived seeds coincide with the historical sequential
-// assignment (base, base+1, ...), keeping surrogate-calibration runs
-// reproducible across versions.
-func trainSeed(base int64, h policy.Hyper) int64 {
-	filterIdx := 0
-	for i, f := range policy.FilterChoices {
-		if f == h.Filters {
-			filterIdx = i
-			break
-		}
-	}
-	return base + int64((h.Layers-2)*len(policy.FilterChoices)+filterIdx)
-}
-
 // Phase1 produces the validated-policy database for the scenario. In
-// Phase1Train mode the per-model training runs fan out over the spec's
-// worker pool.
+// Phase1Train mode the per-model training runs go through the unified
+// training engine (internal/train): they fan out over the spec's worker
+// pool with hyper-identity-derived seeds, honor cancellation between
+// episodes, and — with TrainCheckpoint set — snapshot the database after
+// every completed record so an interrupted sweep resumes where it left off.
 func Phase1(ctx context.Context, spec Spec) (*airlearning.Database, error) {
 	db := airlearning.NewDatabase()
 	switch spec.Phase1Mode {
@@ -207,18 +199,15 @@ func Phase1(ctx context.Context, spec Spec) (*airlearning.Database, error) {
 		if hypers == nil {
 			hypers = policy.AllHypers()
 		}
-		recs, err := pool.Map(ctx, spec.Workers, hypers,
-			func(_ context.Context, h policy.Hyper) (airlearning.Record, error) {
-				cfg := spec.TrainCfg
-				cfg.Seed = trainSeed(spec.TrainCfg.Seed, h)
-				rec, _, err := rl.TrainPolicy(h, spec.Scenario, cfg)
-				return rec, err
-			})
-		if err != nil {
+		eng := train.New(rl.Factory(spec.TrainCfg), train.Config{
+			Episodes:     spec.TrainCfg.Episodes,
+			EvalEpisodes: spec.TrainCfg.EvalEpisodes,
+			Seed:         spec.TrainCfg.Seed,
+			Workers:      spec.Workers,
+			Checkpoint:   spec.TrainCheckpoint,
+		})
+		if err := eng.Sweep(ctx, hypers, spec.Scenario, db); err != nil {
 			return nil, err
-		}
-		for _, rec := range recs {
-			db.Put(rec)
 		}
 		return db, nil
 	default:

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"autopilot/internal/tensor"
+)
+
+// BatchLayer is implemented by layers that can evaluate a whole batch of
+// inputs in one inference-only pass. ForwardBatch must be pure — it reads
+// parameters but writes none of the caches Backward depends on — so a frozen
+// network can be evaluated concurrently from many rollout workers, and each
+// output must be bitwise identical to calling Forward on that input alone.
+// Backward after ForwardBatch is undefined; it exists for evaluation, not
+// training.
+type BatchLayer interface {
+	ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor
+}
+
+// ForwardBatch computes W·x + b for every input with the exact per-sample
+// accumulation order of Forward, without touching the input cache.
+func (d *Dense) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	in, out := d.W.Dim(1), d.W.Dim(0)
+	wd, bd := d.W.Data(), d.B.Data()
+	ys := make([]*tensor.Tensor, len(xs))
+	for bi, x := range xs {
+		if x.Len() != in {
+			panic(fmt.Sprintf("nn: Dense batch input len %d, want %d", x.Len(), in))
+		}
+		xd := x.Data()
+		y := tensor.New(out)
+		yd := y.Data()
+		for o := 0; o < out; o++ {
+			s := bd[o]
+			row := wd[o*in : (o+1)*in]
+			for i, xv := range xd {
+				s += row[i] * xv
+			}
+			yd[o] = s
+		}
+		ys[bi] = y
+	}
+	return ys
+}
+
+// ForwardBatch convolves every input in one GEMM: the per-sample im2col
+// matrices are concatenated column-wise and multiplied against the filter
+// bank together, so each sample's output columns see exactly the arithmetic
+// Forward performs on them alone. The im2col cache is left untouched.
+func (c *Conv2D) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	if len(xs) == 0 {
+		return nil
+	}
+	oh, ow := c.Dims.OutH(), c.Dims.OutW()
+	hw := oh * ow
+	cols := make([]*tensor.Tensor, len(xs))
+	widths := make([]int, len(xs))
+	for i, x := range xs {
+		cols[i] = tensor.Im2col(x, c.Dims)
+		widths[i] = hw
+	}
+	y := tensor.MatMul(c.W, tensor.ConcatCols(cols...)) // (OutC, B*hw)
+	yd := y.Data()
+	total := len(xs) * hw
+	for oc := 0; oc < c.Dims.OutC; oc++ {
+		b := c.B.At(oc)
+		if b == 0 {
+			continue
+		}
+		row := yd[oc*total : (oc+1)*total]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	blocks := tensor.SplitCols(y, widths...)
+	ys := make([]*tensor.Tensor, len(xs))
+	for i, blk := range blocks {
+		ys[i] = blk.Reshape(c.Dims.OutC, oh, ow)
+	}
+	return ys
+}
+
+// ForwardBatch applies max(0, x) to every input without caching the
+// activation pattern.
+func (r *ReLU) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	ys := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		ys[i] = tensor.Apply(x, func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	}
+	return ys
+}
+
+// ForwardBatch applies tanh to every input without caching the output.
+func (t *Tanh) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	ys := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		ys[i] = tensor.Apply(x, math.Tanh)
+	}
+	return ys
+}
+
+// ForwardBatch flattens every input to a vector without caching the shape.
+func (f *Flatten) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	ys := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		ys[i] = x.Reshape(x.Len())
+	}
+	return ys
+}
+
+// ForwardBatch runs a whole batch through every layer, using the cache-free
+// batched path where a layer provides one and falling back to per-sample
+// Forward otherwise. With the stock layers (Dense, Conv2D, ReLU, Tanh,
+// Flatten) the whole pass is pure: safe for concurrent use on a frozen
+// network and bitwise identical to per-sample Forward.
+func (s *Sequential) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	xs = append([]*tensor.Tensor(nil), xs...)
+	for _, l := range s.Layers {
+		if bl, ok := l.(BatchLayer); ok {
+			xs = bl.ForwardBatch(xs)
+			continue
+		}
+		for i, x := range xs {
+			xs[i] = l.Forward(x)
+		}
+	}
+	return xs
+}
+
+// ForwardBatch evaluates the two-branch network on a batch of observations
+// without touching the branch-length caches Backward uses: both trunks run
+// batched, the per-sample outputs are concatenated, and the head runs
+// batched over the joints. Pure for stock layers — the rollout collector
+// evaluates one frozen policy from many workers through this path.
+func (m *MultiModal) ForwardBatch(imgs, states []*tensor.Tensor) []*tensor.Tensor {
+	if len(imgs) != len(states) {
+		panic(fmt.Sprintf("nn: MultiModal batch size mismatch %d vs %d", len(imgs), len(states)))
+	}
+	if len(imgs) == 0 {
+		return nil
+	}
+	vs := m.Vision.ForwardBatch(imgs)
+	ss := m.State.ForwardBatch(states)
+	joints := make([]*tensor.Tensor, len(imgs))
+	for i := range joints {
+		vLen, sLen := vs[i].Len(), ss[i].Len()
+		joint := tensor.New(vLen + sLen)
+		copy(joint.Data(), vs[i].Data())
+		copy(joint.Data()[vLen:], ss[i].Data())
+		joints[i] = joint
+	}
+	return m.Head.ForwardBatch(joints)
+}

@@ -1,0 +1,139 @@
+// Batched forward vs per-sample forward: the training engine's determinism
+// contract requires ForwardBatch to be bitwise identical to Forward, pure
+// (no cached state written), and therefore safe for concurrent frozen-policy
+// evaluation. The tests run from an external package so they can build real
+// policy-template networks and environment observations.
+package nn_test
+
+import (
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/nn"
+	"autopilot/internal/policy"
+	"autopilot/internal/tensor"
+)
+
+// gatherObs rolls the expert policy through the environment to collect a
+// varied batch of real observations.
+func gatherObs(t *testing.T, n int) []airlearning.Observation {
+	t.Helper()
+	env := airlearning.NewEnv(airlearning.MediumObstacle, 11)
+	expert := airlearning.ExpertPolicy{Env: env}
+	obs := env.Reset()
+	out := make([]airlearning.Observation, 0, n)
+	for len(out) < n {
+		out = append(out, obs)
+		next, _, done := env.Step(expert.Act(obs))
+		obs = next
+		if done {
+			obs = env.Reset()
+		}
+	}
+	return out
+}
+
+func bitwiseEqual(a, b *tensor.Tensor) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, v := range a.Data() {
+		if v != b.Data()[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMultiModalForwardBatchBitwiseMatchesForward(t *testing.T) {
+	for _, h := range []policy.Hyper{
+		{Layers: 2, Filters: 32},
+		{Layers: 4, Filters: 48},
+		{Layers: 7, Filters: 64},
+	} {
+		net, err := policy.NewTrainable(h, policy.DefaultTrainable(), tensor.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 3, 8} {
+			obs := gatherObs(t, batch)
+			imgs := make([]*tensor.Tensor, batch)
+			states := make([]*tensor.Tensor, batch)
+			for i, o := range obs {
+				imgs[i], states[i] = o.Image, o.State
+			}
+			got := net.ForwardBatch(imgs, states)
+			for i, o := range obs {
+				want := net.Forward(o.Image, o.State)
+				if !bitwiseEqual(got[i], want) {
+					t.Fatalf("%s batch=%d sample %d: ForwardBatch = %v, Forward = %v",
+						h, batch, i, got[i].Data(), want.Data())
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchIsPure checks ForwardBatch leaves no trace in the
+// network's cached activations: a Forward/Backward cycle after a batched
+// call must behave exactly as if the batched call never happened.
+func TestForwardBatchIsPure(t *testing.T) {
+	h := policy.Hyper{Layers: 3, Filters: 32}
+	mk := func() *nn.MultiModal {
+		net, err := policy.NewTrainable(h, policy.DefaultTrainable(), tensor.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	withBatch, clean := mk(), mk()
+	obs := gatherObs(t, 4)
+
+	// Prime both with one forward, run a batched pass only on one, then
+	// backprop the same gradient through both and compare parameter grads.
+	ref := obs[0]
+	outA := withBatch.Forward(ref.Image, ref.State)
+	outB := clean.Forward(ref.Image, ref.State)
+	if !bitwiseEqual(outA, outB) {
+		t.Fatal("identical nets disagree on Forward")
+	}
+	imgs := make([]*tensor.Tensor, len(obs))
+	states := make([]*tensor.Tensor, len(obs))
+	for i, o := range obs {
+		imgs[i], states[i] = o.Image, o.State
+	}
+	withBatch.ForwardBatch(imgs, states)
+
+	grad := tensor.New(outA.Len())
+	grad.Data()[0] = 1
+	withBatch.ZeroGrads()
+	clean.ZeroGrads()
+	withBatch.Backward(grad)
+	clean.Backward(grad.Clone())
+	ga, gb := withBatch.Grads(), clean.Grads()
+	if len(ga) != len(gb) {
+		t.Fatalf("grad count %d != %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if !bitwiseEqual(ga[i], gb[i]) {
+			t.Fatalf("grad %d differs after ForwardBatch: batched pass wrote cached state", i)
+		}
+	}
+}
+
+func TestSequentialForwardBatchFallback(t *testing.T) {
+	// A Sequential of plain layers must batch through the per-layer
+	// BatchLayer implementations and match single-sample forwards bitwise.
+	g := tensor.NewRNG(9)
+	seq := nn.NewSequential(nn.NewDense(6, 4, g), &nn.ReLU{}, nn.NewDense(4, 2, g))
+	xs := make([]*tensor.Tensor, 5)
+	for i := range xs {
+		xs[i] = g.Randn(1, 6)
+	}
+	got := seq.ForwardBatch(xs)
+	for i, x := range xs {
+		if want := seq.Forward(x); !bitwiseEqual(got[i], want) {
+			t.Fatalf("sample %d: %v != %v", i, got[i].Data(), want.Data())
+		}
+	}
+}

@@ -89,13 +89,18 @@ func (d *DQN) Greedy(obs airlearning.Observation) int {
 	return d.Online.Forward(obs.Image, obs.State).ArgMax()
 }
 
-// Policy returns the greedy policy for evaluation.
+// Name identifies the algorithm for the training engine's progress reports.
+func (d *DQN) Name() string { return AlgDQN.String() }
+
+// Policy returns the frozen greedy deployment policy, safe for concurrent
+// batched evaluation rollouts.
 func (d *DQN) Policy() airlearning.Policy {
-	return airlearning.PolicyFunc(func(obs airlearning.Observation) int { return d.Greedy(obs) })
+	return GreedyPolicy{Net: d.Online}
 }
 
-// observe records a transition and runs updates on schedule.
-func (d *DQN) observe(t Transition) {
+// Observe records a transition and runs updates on schedule — the hook the
+// training engine streams rollout transitions into.
+func (d *DQN) Observe(t Transition) {
 	d.buffer.Add(t)
 	d.steps++
 	if d.steps >= d.cfg.LearnStart && d.steps%d.cfg.UpdateEvery == 0 {
@@ -105,6 +110,9 @@ func (d *DQN) observe(t Transition) {
 		d.Target.CopyParamsFrom(d.Online)
 	}
 }
+
+// EndEpisode is a no-op: DQN updates on its per-step schedule.
+func (d *DQN) EndEpisode(airlearning.EpisodeResult) {}
 
 // update performs one minibatch Q-learning step.
 func (d *DQN) update() {
@@ -144,39 +152,10 @@ type TrainStats struct {
 }
 
 // Train runs the agent for the given number of episodes and returns stats.
+// The episode loop is the engine's shared one (train.RunTrainingEpisode);
+// Train remains for direct, single-run use.
 func (d *DQN) Train(env *airlearning.Env, episodes int) TrainStats {
-	var stats TrainStats
-	tail := episodes / 5
-	if tail == 0 {
-		tail = 1
-	}
-	var tailReturn float64
-	var tailWins int
-	for ep := 0; ep < episodes; ep++ {
-		obs := env.Reset()
-		ret := 0.0
-		for {
-			a := d.Act(obs)
-			next, r, done := env.Step(a)
-			d.observe(Transition{Obs: obs, Action: a, Reward: r, Next: next, Done: done})
-			ret += r
-			obs = next
-			stats.Steps++
-			if done {
-				break
-			}
-		}
-		if ep >= episodes-tail {
-			tailReturn += ret
-			if env.OutcomeNow() == airlearning.Success {
-				tailWins++
-			}
-		}
-	}
-	stats.Episodes = episodes
-	stats.MeanReturn = tailReturn / float64(tail)
-	stats.SuccessRate = float64(tailWins) / float64(tail)
-	return stats
+	return runEpisodes(env, d, episodes)
 }
 
 func clamp(v, lo, hi float64) float64 {

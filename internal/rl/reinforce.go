@@ -6,6 +6,7 @@ import (
 	"autopilot/internal/airlearning"
 	"autopilot/internal/nn"
 	"autopilot/internal/tensor"
+	"autopilot/internal/train"
 )
 
 // ReinforceConfig holds REINFORCE hyper-parameters.
@@ -21,8 +22,17 @@ func DefaultReinforceConfig() ReinforceConfig {
 	return ReinforceConfig{Gamma: 0.97, LR: 5e-4, Baseline: 0.9, MaxGradNorm: 5}
 }
 
+// step is one on-policy trajectory entry.
+type step struct {
+	obs    airlearning.Observation
+	action int
+	reward float64
+}
+
 // Reinforce is a Monte-Carlo policy-gradient agent with an exponential
-// moving-average return baseline.
+// moving-average return baseline. It accumulates the on-policy trajectory
+// transition by transition (Observe) and applies the policy-gradient update
+// at the episode boundary (EndEpisode).
 type Reinforce struct {
 	Model *nn.MultiModal
 
@@ -31,12 +41,16 @@ type Reinforce struct {
 	rng      *tensor.RNG
 	baseline float64
 	primed   bool
+	traj     []step
 }
 
 // NewReinforce wraps a policy network.
 func NewReinforce(model *nn.MultiModal, cfg ReinforceConfig, seed int64) *Reinforce {
 	return &Reinforce{Model: model, cfg: cfg, opt: nn.NewAdam(cfg.LR), rng: tensor.NewRNG(seed)}
 }
+
+// Name identifies the algorithm for the training engine's progress reports.
+func (r *Reinforce) Name() string { return AlgReinforce.String() }
 
 // sampleAction draws from the softmax policy.
 func (r *Reinforce) sampleAction(obs airlearning.Observation) int {
@@ -52,44 +66,26 @@ func (r *Reinforce) sampleAction(obs airlearning.Observation) int {
 	return p.Len() - 1
 }
 
-// Policy returns the stochastic policy for evaluation.
-func (r *Reinforce) Policy() airlearning.Policy {
-	return airlearning.PolicyFunc(func(obs airlearning.Observation) int { return r.sampleAction(obs) })
+// Act samples the behavior-policy action.
+func (r *Reinforce) Act(obs airlearning.Observation) int { return r.sampleAction(obs) }
+
+// Observe appends the transition to the current on-policy trajectory.
+func (r *Reinforce) Observe(t Transition) {
+	r.traj = append(r.traj, step{obs: t.Obs, action: t.Action, reward: t.Reward})
 }
 
-// GreedyPolicy returns the argmax policy for evaluation.
-func (r *Reinforce) GreedyPolicy() airlearning.Policy {
-	return airlearning.PolicyFunc(func(obs airlearning.Observation) int {
-		return r.Model.Forward(obs.Image, obs.State).ArgMax()
-	})
-}
-
-// TrainEpisode rolls out one episode and applies the policy-gradient update.
-// It returns the undiscounted episode return.
-func (r *Reinforce) TrainEpisode(env *airlearning.Env) float64 {
-	type step struct {
-		obs    airlearning.Observation
-		action int
-		reward float64
-	}
-	var traj []step
-	obs := env.Reset()
-	ret := 0.0
-	for {
-		a := r.sampleAction(obs)
-		next, rew, done := env.Step(a)
-		traj = append(traj, step{obs, a, rew})
-		ret += rew
-		obs = next
-		if done {
-			break
-		}
+// EndEpisode applies the policy-gradient update over the completed
+// trajectory: discounted returns-to-go against the EMA baseline, one
+// clipped Adam step.
+func (r *Reinforce) EndEpisode(airlearning.EpisodeResult) {
+	if len(r.traj) == 0 {
+		return
 	}
 	// discounted returns-to-go
-	G := make([]float64, len(traj))
+	G := make([]float64, len(r.traj))
 	g := 0.0
-	for i := len(traj) - 1; i >= 0; i-- {
-		g = traj[i].reward + r.cfg.Gamma*g
+	for i := len(r.traj) - 1; i >= 0; i-- {
+		g = r.traj[i].reward + r.cfg.Gamma*g
 		G[i] = g
 	}
 	if !r.primed {
@@ -98,8 +94,8 @@ func (r *Reinforce) TrainEpisode(env *airlearning.Env) float64 {
 		r.baseline = r.cfg.Baseline*r.baseline + (1-r.cfg.Baseline)*G[0]
 	}
 	r.Model.ZeroGrads()
-	scale := 1.0 / float64(len(traj))
-	for i, s := range traj {
+	scale := 1.0 / float64(len(r.traj))
+	for i, s := range r.traj {
 		logits := r.Model.Forward(s.obs.Image, s.obs.State)
 		adv := G[i] - r.baseline*math.Pow(r.cfg.Gamma, float64(i))
 		_, grad := nn.PolicyGradientLoss(logits, s.action, adv*scale)
@@ -107,29 +103,29 @@ func (r *Reinforce) TrainEpisode(env *airlearning.Env) float64 {
 	}
 	nn.ClipGrads(r.Model.Grads(), r.cfg.MaxGradNorm)
 	r.opt.Step(r.Model.Params(), r.Model.Grads())
-	return ret
+	r.traj = r.traj[:0]
+}
+
+// SamplingPolicy returns the stochastic softmax policy — the behavior
+// policy, for callers that want exploration at evaluation time.
+func (r *Reinforce) SamplingPolicy() airlearning.Policy {
+	return airlearning.PolicyFunc(func(obs airlearning.Observation) int { return r.sampleAction(obs) })
+}
+
+// Policy returns the frozen greedy (argmax) deployment policy, safe for
+// concurrent batched evaluation rollouts.
+func (r *Reinforce) Policy() airlearning.Policy {
+	return GreedyPolicy{Net: r.Model}
+}
+
+// TrainEpisode rolls out one episode through the engine's shared loop and
+// applies the policy-gradient update. It returns the undiscounted episode
+// return.
+func (r *Reinforce) TrainEpisode(env *airlearning.Env) float64 {
+	return train.RunTrainingEpisode(env, r).Return
 }
 
 // Train runs the agent for the given number of episodes.
 func (r *Reinforce) Train(env *airlearning.Env, episodes int) TrainStats {
-	var stats TrainStats
-	tail := episodes / 5
-	if tail == 0 {
-		tail = 1
-	}
-	var tailReturn float64
-	var tailWins int
-	for ep := 0; ep < episodes; ep++ {
-		ret := r.TrainEpisode(env)
-		if ep >= episodes-tail {
-			tailReturn += ret
-			if env.OutcomeNow() == airlearning.Success {
-				tailWins++
-			}
-		}
-	}
-	stats.Episodes = episodes
-	stats.MeanReturn = tailReturn / float64(tail)
-	stats.SuccessRate = float64(tailWins) / float64(tail)
-	return stats
+	return runEpisodes(env, r, episodes)
 }

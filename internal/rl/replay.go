@@ -1,7 +1,9 @@
 // Package rl implements the reinforcement-learning algorithms Phase 1 uses
 // to train E2E navigation policies on the airlearning simulator: DQN with a
 // replay buffer and target network, and REINFORCE with a baseline. Both
-// operate on the multi-modal policy template.
+// operate on the multi-modal policy template and plug into the Phase-1
+// training engine (internal/train) behind its Algorithm interface, via
+// Factory.
 package rl
 
 import (
@@ -9,14 +11,9 @@ import (
 	"autopilot/internal/tensor"
 )
 
-// Transition is one (s, a, r, s', done) tuple.
-type Transition struct {
-	Obs    airlearning.Observation
-	Action int
-	Reward float64
-	Next   airlearning.Observation
-	Done   bool
-}
+// Transition is one (s, a, r, s', done) tuple. It is an alias for the
+// environment-level airlearning.Transition the training engine streams.
+type Transition = airlearning.Transition
 
 // ReplayBuffer is a fixed-capacity ring buffer of transitions.
 type ReplayBuffer struct {

@@ -1,7 +1,10 @@
 package rl
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/policy"
@@ -126,9 +129,12 @@ func TestReinforcePolicySamplesValidActions(t *testing.T) {
 	env := airlearning.NewEnv(airlearning.LowObstacle, 5)
 	obs := env.Reset()
 	for i := 0; i < 50; i++ {
-		a := agent.Policy().Act(obs)
+		a := agent.SamplingPolicy().Act(obs)
 		if a < 0 || a >= airlearning.NumActions {
 			t.Fatalf("sampled action %d out of range", a)
+		}
+		if g := agent.Policy().Act(obs); g < 0 || g >= airlearning.NumActions {
+			t.Fatalf("greedy action %d out of range", g)
 		}
 	}
 }
@@ -163,7 +169,7 @@ func TestDQNLearnsOnNavigationTask(t *testing.T) {
 
 func TestTrainPolicyProducesValidRecord(t *testing.T) {
 	cfg := TrainConfig{Algorithm: AlgDQN, Episodes: 5, EvalEpisodes: 5, Seed: 7}
-	rec, pol, err := TrainPolicy(policy.Hyper{Layers: 3, Filters: 32}, airlearning.MediumObstacle, cfg)
+	rec, pol, err := TrainPolicy(context.Background(), policy.Hyper{Layers: 3, Filters: 32}, airlearning.MediumObstacle, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +186,7 @@ func TestTrainPolicyProducesValidRecord(t *testing.T) {
 
 func TestTrainPolicyReinforce(t *testing.T) {
 	cfg := TrainConfig{Algorithm: AlgReinforce, Episodes: 3, EvalEpisodes: 3, Seed: 8}
-	rec, _, err := TrainPolicy(policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, cfg)
+	rec, _, err := TrainPolicy(context.Background(), policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,12 +196,29 @@ func TestTrainPolicyReinforce(t *testing.T) {
 }
 
 func TestTrainPolicyRejectsBadConfig(t *testing.T) {
-	if _, _, err := TrainPolicy(policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, TrainConfig{}); err == nil {
+	ctx := context.Background()
+	if _, _, err := TrainPolicy(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, TrainConfig{}); err == nil {
 		t.Fatal("expected error for zero budget")
 	}
 	bad := TrainConfig{Algorithm: Algorithm(99), Episodes: 1, EvalEpisodes: 1}
-	if _, _, err := TrainPolicy(policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, bad); err == nil {
+	if _, _, err := TrainPolicy(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, bad); err == nil {
 		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestTrainPolicyHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A budget far beyond what could finish promptly: only cancellation
+	// between episodes can make this return quickly.
+	cfg := TrainConfig{Algorithm: AlgDQN, Episodes: 1_000_000, EvalEpisodes: 10, Seed: 9}
+	start := time.Now()
+	_, _, err := TrainPolicy(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v, want prompt return", elapsed)
 	}
 }
 

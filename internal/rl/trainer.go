@@ -1,11 +1,13 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/policy"
 	"autopilot/internal/tensor"
+	"autopilot/internal/train"
 )
 
 // Algorithm selects the RL method for Phase 1 training.
@@ -42,58 +44,82 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Algorithm: AlgDQN, Episodes: 300, EvalEpisodes: 50, Seed: 1}
 }
 
+// Factory adapts cfg.Algorithm into the training engine's constructor seam:
+// the returned train.Factory builds a fresh agent for each (hyper, seed)
+// run. Construction is deterministic in the arguments alone — the same
+// (hyper, seed) yields a bitwise-identical agent on any worker.
+func Factory(cfg TrainConfig) train.Factory {
+	return func(h policy.Hyper, seed int64) (train.Algorithm, error) {
+		rng := tensor.NewRNG(seed)
+		tcfg := policy.DefaultTrainable()
+		switch cfg.Algorithm {
+		case AlgDQN:
+			online, err := policy.NewTrainable(h, tcfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			target, err := policy.NewTrainable(h, tcfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			return NewDQN(online, target, DefaultDQNConfig(), seed), nil
+		case AlgReinforce:
+			model, err := policy.NewTrainable(h, tcfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			return NewReinforce(model, DefaultReinforceConfig(), seed), nil
+		default:
+			return nil, fmt.Errorf("rl: unknown algorithm %v", cfg.Algorithm)
+		}
+	}
+}
+
+// Engine returns a single-worker training engine for cfg — the common
+// wiring behind TrainPolicy and cmd/trainsim's single-run path.
+func Engine(cfg TrainConfig, opts ...train.Option) *train.Engine {
+	return train.New(Factory(cfg), train.Config{
+		Episodes:     cfg.Episodes,
+		EvalEpisodes: cfg.EvalEpisodes,
+		Seed:         cfg.Seed,
+		Workers:      1,
+	}, opts...)
+}
+
 // TrainPolicy trains one E2E model variant on a scenario and returns the
-// validated database record plus the greedy policy — the unit of work Phase 1
-// launches for each template point.
-func TrainPolicy(h policy.Hyper, s airlearning.Scenario, cfg TrainConfig) (airlearning.Record, airlearning.Policy, error) {
-	if cfg.Episodes <= 0 || cfg.EvalEpisodes <= 0 {
-		return airlearning.Record{}, nil, fmt.Errorf("rl: non-positive training budget %+v", cfg)
-	}
-	rng := tensor.NewRNG(cfg.Seed)
-	tcfg := policy.DefaultTrainable()
-	env := airlearning.NewEnv(s, cfg.Seed)
+// validated database record plus the greedy policy. Cancel ctx to abandon
+// the run between episodes or mid-evaluation.
+//
+// Deprecated: TrainPolicy is a thin shim over the Phase-1 training engine;
+// use train.New with Factory (or rl.Engine) directly, which adds sweeps,
+// checkpoint resume, worker pooling, and progress sinks.
+func TrainPolicy(ctx context.Context, h policy.Hyper, s airlearning.Scenario, cfg TrainConfig) (airlearning.Record, airlearning.Policy, error) {
+	return Engine(cfg).Train(ctx, h, s)
+}
 
-	var pol airlearning.Policy
-	var steps int
-	switch cfg.Algorithm {
-	case AlgDQN:
-		online, err := policy.NewTrainable(h, tcfg, rng)
-		if err != nil {
-			return airlearning.Record{}, nil, err
-		}
-		target, err := policy.NewTrainable(h, tcfg, rng)
-		if err != nil {
-			return airlearning.Record{}, nil, err
-		}
-		agent := NewDQN(online, target, DefaultDQNConfig(), cfg.Seed)
-		stats := agent.Train(env, cfg.Episodes)
-		steps = stats.Steps
-		pol = agent.Policy()
-	case AlgReinforce:
-		model, err := policy.NewTrainable(h, tcfg, rng)
-		if err != nil {
-			return airlearning.Record{}, nil, err
-		}
-		agent := NewReinforce(model, DefaultReinforceConfig(), cfg.Seed)
-		agent.Train(env, cfg.Episodes)
-		steps = cfg.Episodes
-		pol = agent.GreedyPolicy()
-	default:
-		return airlearning.Record{}, nil, fmt.Errorf("rl: unknown algorithm %v", cfg.Algorithm)
+// runEpisodes drives an agent through the engine's shared episode loop and
+// summarizes the run, keeping the historical Train tail statistics: mean
+// return and success rate over the final 20% of episodes.
+func runEpisodes(env *airlearning.Env, alg train.Algorithm, episodes int) TrainStats {
+	var stats TrainStats
+	tail := episodes / 5
+	if tail == 0 {
+		tail = 1
 	}
-
-	evalEnv := airlearning.NewEnv(s, cfg.Seed+1000)
-	rate := airlearning.SuccessRate(evalEnv, pol, cfg.EvalEpisodes)
-	params := int64(0)
-	if n, err := policy.Build(h, policy.DefaultTemplate()); err == nil {
-		params = n.Params()
+	var tailReturn float64
+	var tailWins int
+	for ep := 0; ep < episodes; ep++ {
+		res := train.RunTrainingEpisode(env, alg)
+		stats.Steps += res.Steps
+		if ep >= episodes-tail {
+			tailReturn += res.Return
+			if res.Outcome == airlearning.Success {
+				tailWins++
+			}
+		}
 	}
-	rec := airlearning.Record{
-		Hyper:       h,
-		Scenario:    s,
-		SuccessRate: rate,
-		Params:      params,
-		TrainSteps:  steps,
-	}
-	return rec, pol, nil
+	stats.Episodes = episodes
+	stats.MeanReturn = tailReturn / float64(tail)
+	stats.SuccessRate = float64(tailWins) / float64(tail)
+	return stats
 }

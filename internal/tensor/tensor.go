@@ -255,6 +255,66 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// ConcatCols concatenates rank-2 tensors with equal row counts side by side
+// into one (rows, Σcols) matrix. MatMul against the result prices every
+// constituent in a single pass, and each output column is bitwise identical
+// to multiplying the constituent alone — the property the batched network
+// forward relies on.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	rows := ts[0].shape[0]
+	cols := 0
+	for _, t := range ts {
+		if t.Rank() != 2 {
+			panic("tensor: ConcatCols requires rank-2 tensors")
+		}
+		if t.shape[0] != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", t.shape[0], rows))
+		}
+		cols += t.shape[1]
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		w := t.shape[1]
+		for r := 0; r < rows; r++ {
+			copy(out.data[r*cols+off:r*cols+off+w], t.data[r*w:(r+1)*w])
+		}
+		off += w
+	}
+	return out
+}
+
+// SplitCols slices a rank-2 tensor into column blocks of the given widths
+// (which must sum to the column count), undoing ConcatCols. Each block is a
+// fresh tensor.
+func SplitCols(t *Tensor, widths ...int) []*Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: SplitCols requires a rank-2 tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != cols {
+		panic(fmt.Sprintf("tensor: SplitCols widths sum to %d, want %d", total, cols))
+	}
+	out := make([]*Tensor, len(widths))
+	off := 0
+	for i, w := range widths {
+		b := New(rows, w)
+		for r := 0; r < rows; r++ {
+			copy(b.data[r*w:(r+1)*w], t.data[r*cols+off:r*cols+off+w])
+		}
+		out[i] = b
+		off += w
+	}
+	return out
+}
+
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {

@@ -1,0 +1,156 @@
+package train
+
+import (
+	"context"
+	"fmt"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/pool"
+)
+
+// RunTrainingEpisode rolls the algorithm's behavior policy through one
+// episode, streaming every transition into the algorithm as it happens, and
+// fires the episode-boundary hook — the single training-episode loop both
+// the engine and the rl package's direct Train helpers share.
+func RunTrainingEpisode(env *airlearning.Env, alg Algorithm) airlearning.EpisodeResult {
+	obs := env.Reset()
+	var res airlearning.EpisodeResult
+	for {
+		a := alg.Act(obs)
+		next, reward, done := env.Step(a)
+		alg.Observe(airlearning.Transition{Obs: obs, Action: a, Reward: reward, Next: next, Done: done})
+		res.Return += reward
+		res.Steps++
+		obs = next
+		if done {
+			res.Outcome = env.OutcomeNow()
+			break
+		}
+	}
+	alg.EndEpisode(res)
+	return res
+}
+
+// DefaultEvalBatch is the number of evaluation episodes a worker steps in
+// lockstep through the batched network forward.
+const DefaultEvalBatch = 8
+
+// Collector runs frozen-policy validation rollouts: episodes fan out over a
+// bounded worker pool in batches, and within a batch the live environments
+// are stepped in lockstep so a BatchPolicy prices every action selection in
+// one batched forward. Episode i always runs on its own environment seeded
+// Seed+i, so results are bitwise identical whatever the worker count or
+// batch size — and independent of every other episode.
+type Collector struct {
+	Scenario airlearning.Scenario
+	// Seed is the base evaluation seed; episode i uses Seed+int64(i).
+	Seed int64
+	// Workers bounds the rollout pool; <= 0 selects runtime.NumCPU().
+	Workers int
+	// Batch is the lockstep width; <= 0 selects DefaultEvalBatch.
+	Batch int
+}
+
+// Collect rolls the policy through n domain-randomized episodes and returns
+// the per-episode results in episode order. Cancellation is honored between
+// lockstep steps; the returned error wraps ctx.Err().
+func (c Collector) Collect(ctx context.Context, p airlearning.Policy, n int) ([]airlearning.EpisodeResult, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	batch := c.Batch
+	if batch <= 0 {
+		batch = DefaultEvalBatch
+	}
+	type chunk struct{ start, n int }
+	var chunks []chunk
+	for s := 0; s < n; s += batch {
+		size := batch
+		if s+size > n {
+			size = n - s
+		}
+		chunks = append(chunks, chunk{start: s, n: size})
+	}
+	outs, err := pool.Map(ctx, c.Workers, chunks, func(ctx context.Context, ch chunk) ([]airlearning.EpisodeResult, error) {
+		return c.runChunk(ctx, p, ch.start, ch.n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]airlearning.EpisodeResult, 0, n)
+	for _, out := range outs {
+		results = append(results, out...)
+	}
+	return results, nil
+}
+
+// runChunk rolls episodes [start, start+n) in lockstep. Environments that
+// terminate drop out of the batch; the rest keep stepping until all are done.
+func (c Collector) runChunk(ctx context.Context, p airlearning.Policy, start, n int) ([]airlearning.EpisodeResult, error) {
+	envs := make([]*airlearning.Env, n)
+	obs := make([]airlearning.Observation, n)
+	results := make([]airlearning.EpisodeResult, n)
+	for i := range envs {
+		envs[i] = airlearning.NewEnv(c.Scenario, c.Seed+int64(start+i))
+		obs[i] = envs[i].Reset()
+	}
+	bp, batched := p.(airlearning.BatchPolicy)
+	live := make([]int, n)
+	for i := range live {
+		live[i] = i
+	}
+	liveObs := make([]airlearning.Observation, 0, n)
+	for len(live) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("train: evaluation cancelled: %w", err)
+		}
+		var acts []int
+		if batched {
+			liveObs = liveObs[:0]
+			for _, i := range live {
+				liveObs = append(liveObs, obs[i])
+			}
+			acts = bp.ActBatch(liveObs)
+		} else {
+			acts = make([]int, len(live))
+			for k, i := range live {
+				acts[k] = p.Act(obs[i])
+			}
+		}
+		next := live[:0]
+		for k, i := range live {
+			o, reward, done := envs[i].Step(acts[k])
+			results[i].Return += reward
+			results[i].Steps++
+			obs[i] = o
+			if done {
+				results[i].Outcome = envs[i].OutcomeNow()
+				continue
+			}
+			next = append(next, i)
+		}
+		live = next
+	}
+	return results, nil
+}
+
+// SuccessRate validates a policy over n domain-randomized episodes and
+// returns the fraction that reach the goal — the metric Phase 1 stores in
+// the Air Learning database. It is the batched, cancellable counterpart of
+// airlearning.SuccessRate.
+func (c Collector) SuccessRate(ctx context.Context, p airlearning.Policy, n int) (float64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	results, err := c.Collect(ctx, p, n)
+	if err != nil {
+		return 0, err
+	}
+	wins := 0
+	for _, r := range results {
+		if r.Outcome == airlearning.Success {
+			wins++
+		}
+	}
+	return float64(wins) / float64(n), nil
+}

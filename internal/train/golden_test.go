@@ -1,0 +1,69 @@
+package train_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+	"autopilot/internal/rl"
+	"autopilot/internal/train"
+)
+
+// gx parses an exact hex-float literal captured from a reference run of the
+// training engine (PR 3), in the style of internal/dse/golden_test.go.
+func gx(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad golden literal %q: %v", s, err)
+	}
+	return v
+}
+
+// goldenPhase1 pins a small real Phase1Train database: two template points
+// trained with DQN for 60 episodes on the low-obstacle scenario. Equality is
+// bitwise (==, not a tolerance) and must hold at every worker count — the
+// engine's determinism contract says training arithmetic depends only on the
+// (hyper, seed) identity, never on scheduling.
+var goldenPhase1 = []struct {
+	hyper policy.Hyper
+	succ  string
+	steps int
+}{
+	{hyper: policy.Hyper{Layers: 2, Filters: 32}, succ: "0x1.999999999999ap-04", steps: 766},
+	{hyper: policy.Hyper{Layers: 3, Filters: 32}, succ: "0x0p+00", steps: 893},
+}
+
+func TestPhase1TrainGoldenDatabase(t *testing.T) {
+	hypers := make([]policy.Hyper, len(goldenPhase1))
+	for i, g := range goldenPhase1 {
+		hypers[i] = g.hyper
+	}
+	cfg := rl.TrainConfig{Algorithm: rl.AlgDQN, Episodes: 60, EvalEpisodes: 20, Seed: 1}
+	for _, workers := range []int{1, 8} {
+		db := airlearning.NewDatabase()
+		eng := train.New(rl.Factory(cfg), train.Config{
+			Episodes:     cfg.Episodes,
+			EvalEpisodes: cfg.EvalEpisodes,
+			Seed:         cfg.Seed,
+			Workers:      workers,
+		})
+		if err := eng.Sweep(context.Background(), hypers, airlearning.LowObstacle, db); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range goldenPhase1 {
+			rec, ok := db.Get(g.hyper, airlearning.LowObstacle)
+			if !ok {
+				t.Fatalf("workers=%d: no record for %s", workers, g.hyper)
+			}
+			if want := gx(t, g.succ); rec.SuccessRate != want {
+				t.Errorf("workers=%d %s: success rate %x, want %s", workers, g.hyper, rec.SuccessRate, g.succ)
+			}
+			if rec.TrainSteps != g.steps {
+				t.Errorf("workers=%d %s: %d env steps, want %d", workers, g.hyper, rec.TrainSteps, g.steps)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+)
+
+// Progress is one training-run status report: emitted every
+// Config.ProgressEvery episodes while a run trains, and once more with Done
+// set when its record has been validated.
+type Progress struct {
+	Hyper     policy.Hyper
+	Scenario  airlearning.Scenario
+	Algorithm string
+
+	Episode  int // training episodes completed
+	Episodes int // training budget
+	Steps    int // cumulative env steps
+
+	Return      float64       // return of the last completed episode
+	SuccessRate float64       // validated success rate; meaningful when Done
+	Elapsed     time.Duration // wall time since the run started
+
+	Done bool
+}
+
+// Sink receives progress reports. The engine serializes Report calls across
+// its sweep workers, so implementations need no locking of their own.
+type Sink interface {
+	Report(Progress)
+}
+
+// SinkFunc adapts a plain function to the Sink interface.
+type SinkFunc func(Progress)
+
+// Report calls f.
+func (f SinkFunc) Report(p Progress) { f(p) }
+
+// writerSink prints one line per report.
+type writerSink struct{ w io.Writer }
+
+// NewWriterSink returns a sink that renders each report as one line on w —
+// what cmd/trainsim wires to stdout.
+func NewWriterSink(w io.Writer) Sink { return writerSink{w: w} }
+
+// Report renders p.
+func (s writerSink) Report(p Progress) {
+	if p.Done {
+		fmt.Fprintf(s.w, "%s/%s [%s] done: %d episodes, %d env steps, %.0f%% success (%.1fs)\n",
+			p.Hyper, p.Scenario, p.Algorithm, p.Episode, p.Steps, 100*p.SuccessRate, p.Elapsed.Seconds())
+		return
+	}
+	fmt.Fprintf(s.w, "%s/%s [%s] episode %d/%d: return %.2f, %d env steps (%.1fs)\n",
+		p.Hyper, p.Scenario, p.Algorithm, p.Episode, p.Episodes, p.Return, p.Steps, p.Elapsed.Seconds())
+}

@@ -1,0 +1,273 @@
+// Package train is the unified Phase-1 training engine: one seam between
+// AutoPilot's orchestrator and the reinforcement-learning algorithms that
+// populate the Air Learning policy database (paper §III-A — the multi-day RL
+// sweep over the E2E template family). It mirrors the shape of internal/hw:
+// an Algorithm interface consumes Transitions from a Collector that runs
+// batched, worker-pooled rollouts, and an Engine drives the whole sweep.
+//
+// The engine guarantees:
+//
+//   - cancellation: the caller's context is honored between training
+//     episodes and inside batched evaluation rollouts, so an interrupted
+//     sweep returns promptly with an error wrapping ctx.Err();
+//   - bitwise determinism at any worker count: per-run seeds derive from the
+//     hyper-parameter identity (JobSeed), per-episode evaluation seeds derive
+//     from the episode index, and frozen-policy evaluation uses the pure
+//     batched network forward — a sweep at workers=8 produces the same
+//     database, bit for bit, as workers=1;
+//   - resumability: with a checkpoint path configured, the database is
+//     snapshotted atomically after every completed (hyper, scenario) record
+//     and a restarted sweep skips points the checkpoint already holds;
+//   - observability: per-run progress (episodes done, env steps, validated
+//     success rate, wall time) streams through a pluggable Sink.
+//
+// The concrete algorithms (DQN, REINFORCE) live in internal/rl and plug in
+// behind the Algorithm interface via a Factory; this package never imports
+// them.
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+	"autopilot/internal/pool"
+)
+
+// Algorithm is one reinforcement-learning method stepped by the engine's
+// episode loop. The engine rolls the behavior policy (Act) through the
+// environment, streams every Transition into Observe — where value-based
+// methods update on their own schedule — and fires EndEpisode at each
+// episode boundary, where Monte-Carlo methods apply their update. Policy
+// returns the frozen deployment policy the collector validates; it should
+// implement airlearning.BatchPolicy so evaluation rollouts can batch and
+// parallelize.
+type Algorithm interface {
+	// Name identifies the method ("dqn", "reinforce") for progress reports.
+	Name() string
+	// Act selects the behavior-policy (exploration) action.
+	Act(obs airlearning.Observation) int
+	// Observe consumes one transition; the algorithm may update immediately,
+	// on a schedule, or not at all.
+	Observe(t airlearning.Transition)
+	// EndEpisode marks an episode boundary with its result.
+	EndEpisode(res airlearning.EpisodeResult)
+	// Policy returns the current greedy deployment policy.
+	Policy() airlearning.Policy
+}
+
+// Factory builds a fresh Algorithm for one (hyper, seed) training run. It
+// must be deterministic in its arguments alone so a sweep reproduces the
+// same agents whichever worker constructs them.
+type Factory func(h policy.Hyper, seed int64) (Algorithm, error)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Episodes is the training budget per policy; EvalEpisodes the number of
+	// domain-randomized validation rollouts. Both must be positive.
+	Episodes     int
+	EvalEpisodes int
+
+	// Seed is the base seed. Train uses it directly; Sweep derives each
+	// run's seed from it via JobSeed so results are identical at any worker
+	// count.
+	Seed int64
+
+	// Workers bounds the sweep and evaluation worker pools; <= 0 selects
+	// runtime.NumCPU(). The worker count never changes results.
+	Workers int
+
+	// EvalBatch is the number of evaluation episodes stepped in lockstep
+	// through the batched network forward; <= 0 selects DefaultEvalBatch.
+	EvalBatch int
+
+	// Checkpoint is the database snapshot path. When non-empty, Sweep
+	// resumes from an existing snapshot (skipping already-trained points)
+	// and atomically re-snapshots after every completed record. Empty
+	// disables checkpointing.
+	Checkpoint string
+
+	// ProgressEvery reports training progress to the sink every N completed
+	// episodes; <= 0 reports only run completion.
+	ProgressEvery int
+}
+
+// Validate checks the training budgets.
+func (c Config) Validate() error {
+	if c.Episodes <= 0 || c.EvalEpisodes <= 0 {
+		return fmt.Errorf("train: non-positive training budget (episodes %d, eval %d)",
+			c.Episodes, c.EvalEpisodes)
+	}
+	return nil
+}
+
+// evalSeedOffset separates a run's evaluation environments from its training
+// environment, preserving the historical rl.TrainPolicy assignment
+// (train seed s, eval seed s+1000).
+const evalSeedOffset = 1000
+
+// JobSeed derives the per-policy training seed from the hyper-parameter
+// identity, never from sweep position, so Phase-1 results are identical
+// whichever worker (or submission order) trains a policy. For the full
+// Table II family the derived seeds coincide with the historical sequential
+// assignment (base, base+1, ...), keeping surrogate-calibration runs
+// reproducible across versions.
+func JobSeed(base int64, h policy.Hyper) int64 {
+	filterIdx := 0
+	for i, f := range policy.FilterChoices {
+		if f == h.Filters {
+			filterIdx = i
+			break
+		}
+	}
+	return base + int64((h.Layers-2)*len(policy.FilterChoices)+filterIdx)
+}
+
+// Engine drives Phase-1 training runs: a Factory supplies the algorithm, the
+// engine owns the episode loop, cancellation, batched evaluation,
+// checkpointing, and progress reporting.
+type Engine struct {
+	factory Factory
+	cfg     Config
+
+	mu   sync.Mutex // serializes sink reports across sweep workers
+	sink Sink
+}
+
+// Option customizes an Engine.
+type Option func(*Engine)
+
+// WithSink routes progress reports to s. The engine serializes calls, so
+// sinks need no locking of their own.
+func WithSink(s Sink) Option {
+	return func(e *Engine) { e.sink = s }
+}
+
+// New returns an engine that builds algorithms with factory under cfg.
+func New(factory Factory, cfg Config, opts ...Option) *Engine {
+	e := &Engine{factory: factory, cfg: cfg}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+func (e *Engine) report(p Progress) {
+	if e.sink == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink.Report(p)
+}
+
+// Train runs one (hyper, scenario) training run with the config's base seed
+// — the single-policy entry point (cmd/trainsim, the deprecated
+// rl.TrainPolicy shim). Cancellation is checked between episodes and inside
+// the evaluation rollouts.
+func (e *Engine) Train(ctx context.Context, h policy.Hyper, s airlearning.Scenario) (airlearning.Record, airlearning.Policy, error) {
+	return e.train(ctx, h, s, e.cfg.Seed)
+}
+
+// train is one training run at an explicit seed.
+func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenario, seed int64) (airlearning.Record, airlearning.Policy, error) {
+	if err := e.cfg.Validate(); err != nil {
+		return airlearning.Record{}, nil, err
+	}
+	alg, err := e.factory(h, seed)
+	if err != nil {
+		return airlearning.Record{}, nil, err
+	}
+	env := airlearning.NewEnv(s, seed)
+	start := time.Now()
+	prog := Progress{Hyper: h, Scenario: s, Algorithm: alg.Name(), Episodes: e.cfg.Episodes}
+	steps := 0
+	for ep := 0; ep < e.cfg.Episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return airlearning.Record{}, nil, fmt.Errorf("train: cancelled: %w", err)
+		}
+		res := RunTrainingEpisode(env, alg)
+		steps += res.Steps
+		if e.cfg.ProgressEvery > 0 && (ep+1)%e.cfg.ProgressEvery == 0 {
+			prog.Episode, prog.Steps, prog.Return, prog.Elapsed = ep+1, steps, res.Return, time.Since(start)
+			e.report(prog)
+		}
+	}
+
+	pol := alg.Policy()
+	col := Collector{
+		Scenario: s,
+		Seed:     seed + evalSeedOffset,
+		Workers:  e.cfg.Workers,
+		Batch:    e.cfg.EvalBatch,
+	}
+	rate, err := col.SuccessRate(ctx, pol, e.cfg.EvalEpisodes)
+	if err != nil {
+		return airlearning.Record{}, nil, err
+	}
+	params := int64(0)
+	if n, err := policy.Build(h, policy.DefaultTemplate()); err == nil {
+		params = n.Params()
+	}
+	rec := airlearning.Record{
+		Hyper:       h,
+		Scenario:    s,
+		SuccessRate: rate,
+		Params:      params,
+		TrainSteps:  steps,
+	}
+	prog.Episode, prog.Steps, prog.SuccessRate = e.cfg.Episodes, steps, rate
+	prog.Elapsed, prog.Done = time.Since(start), true
+	e.report(prog)
+	return rec, pol, nil
+}
+
+// Sweep trains every hyper on the scenario, fanning runs out over the
+// config's worker pool with identity-derived seeds, and fills db with the
+// validated records. With a checkpoint configured it first resumes from any
+// existing snapshot (already-trained points are skipped) and re-snapshots
+// the database after each completed record, so an interrupted sweep restarts
+// where it left off and converges to the same database as an uninterrupted
+// run.
+func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning.Scenario, db *airlearning.Database) error {
+	if err := e.cfg.Validate(); err != nil {
+		return err
+	}
+	if e.cfg.Checkpoint != "" {
+		prev, err := airlearning.Load(e.cfg.Checkpoint)
+		switch {
+		case err == nil:
+			for _, r := range prev.All() {
+				db.Put(r)
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// fresh run: nothing to resume
+		default:
+			return fmt.Errorf("train: resume checkpoint: %w", err)
+		}
+	}
+	var todo []policy.Hyper
+	for _, h := range hypers {
+		if !db.Has(h, s) {
+			todo = append(todo, h)
+		}
+	}
+	return pool.ForEach(ctx, e.cfg.Workers, todo, func(ctx context.Context, h policy.Hyper) error {
+		rec, _, err := e.train(ctx, h, s, JobSeed(e.cfg.Seed, h))
+		if err != nil {
+			return err
+		}
+		db.Put(rec)
+		if e.cfg.Checkpoint != "" {
+			if err := db.Snapshot(e.cfg.Checkpoint); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,283 @@
+// Engine tests exercise the full Phase-1 training seam — cancellation,
+// worker-count-invariant determinism, checkpoint resume, and progress
+// reporting — from an external package so the real rl algorithms can plug in
+// through their Factory.
+package train_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/policy"
+	"autopilot/internal/rl"
+	"autopilot/internal/tensor"
+	"autopilot/internal/train"
+)
+
+// testHypers is a small slice of the template family that keeps real
+// training runs fast.
+var testHypers = []policy.Hyper{
+	{Layers: 2, Filters: 32},
+	{Layers: 4, Filters: 48},
+	{Layers: 7, Filters: 48},
+}
+
+func testConfig(workers int) train.Config {
+	return train.Config{Episodes: 4, EvalEpisodes: 3, Seed: 1, Workers: workers}
+}
+
+func testFactory() train.Factory {
+	return rl.Factory(rl.TrainConfig{Algorithm: rl.AlgDQN, Episodes: 4, EvalEpisodes: 3, Seed: 1})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (train.Config{Episodes: 1, EvalEpisodes: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (train.Config{Episodes: 0, EvalEpisodes: 1}).Validate(); err == nil {
+		t.Fatal("want error for zero episodes")
+	}
+	if err := (train.Config{Episodes: 1, EvalEpisodes: 0}).Validate(); err == nil {
+		t.Fatal("want error for zero eval episodes")
+	}
+}
+
+// TestJobSeedMatchesSequentialAssignment pins the determinism contract's
+// seed derivation: over the full Table II family in canonical order, the
+// identity-derived seeds coincide with the historical sequential assignment
+// base, base+1, ...
+func TestJobSeedMatchesSequentialAssignment(t *testing.T) {
+	const base = int64(42)
+	for i, h := range policy.AllHypers() {
+		if got, want := train.JobSeed(base, h), base+int64(i); got != want {
+			t.Fatalf("JobSeed(%d, %s) = %d, want %d", base, h, got, want)
+		}
+	}
+}
+
+func sweep(t *testing.T, cfg train.Config, opts ...train.Option) *airlearning.Database {
+	t.Helper()
+	db := airlearning.NewDatabase()
+	eng := train.New(testFactory(), cfg, opts...)
+	if err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the engine's core guarantee:
+// the database a sweep produces is bitwise identical at any worker count.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	one := sweep(t, testConfig(1))
+	eight := sweep(t, testConfig(8))
+	if !reflect.DeepEqual(one.All(), eight.All()) {
+		t.Fatalf("workers=1 and workers=8 databases differ:\n%+v\n%+v", one.All(), eight.All())
+	}
+}
+
+// TestSweepResumeMatchesUninterrupted interrupts a sweep after its first
+// completed record, then resumes from the checkpoint and checks the final
+// database is bitwise identical to an uninterrupted run.
+func TestSweepResumeMatchesUninterrupted(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "phase1.json")
+
+	// Interrupted run: cancel as soon as the first record completes.
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := testConfig(1)
+	cfg.Checkpoint = ckpt
+	interrupted := train.New(testFactory(), cfg, train.WithSink(train.SinkFunc(func(p train.Progress) {
+		if p.Done {
+			cancel()
+		}
+	})))
+	db1 := airlearning.NewDatabase()
+	err := interrupted.Sweep(ctx, testHypers, airlearning.LowObstacle, db1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep err = %v, want context.Canceled", err)
+	}
+	partial, err := airlearning.Load(ckpt)
+	if err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+	if n := partial.Len(); n == 0 || n >= len(testHypers) {
+		t.Fatalf("checkpoint holds %d records, want partial progress", n)
+	}
+
+	// Resume with a fresh engine against the same checkpoint.
+	resumed := airlearning.NewDatabase()
+	if err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, resumed); err != nil {
+		t.Fatal(err)
+	}
+
+	uninterrupted := sweep(t, testConfig(1))
+	if !reflect.DeepEqual(resumed.All(), uninterrupted.All()) {
+		t.Fatalf("resumed database differs from uninterrupted run:\n%+v\n%+v",
+			resumed.All(), uninterrupted.All())
+	}
+	// The checkpoint itself must also have converged to the full database.
+	final, err := airlearning.Load(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final.All(), uninterrupted.All()) {
+		t.Fatal("final checkpoint differs from uninterrupted database")
+	}
+}
+
+// TestSweepSkipsRecordsAlreadyInDatabase: points the database already holds
+// must not be retrained.
+func TestSweepSkipsRecordsAlreadyInDatabase(t *testing.T) {
+	var mu sync.Mutex
+	built := map[string]int{}
+	counting := func(h policy.Hyper, seed int64) (train.Algorithm, error) {
+		mu.Lock()
+		built[h.String()]++
+		mu.Unlock()
+		return testFactory()(h, seed)
+	}
+	db := airlearning.NewDatabase()
+	db.Put(airlearning.Record{Hyper: testHypers[0], Scenario: airlearning.LowObstacle, SuccessRate: 0.5})
+	eng := train.New(counting, testConfig(2))
+	if err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
+		t.Fatal(err)
+	}
+	if built[testHypers[0].String()] != 0 {
+		t.Fatal("retrained a point the database already holds")
+	}
+	for _, h := range testHypers[1:] {
+		if built[h.String()] != 1 {
+			t.Fatalf("hyper %s trained %d times, want 1", h, built[h.String()])
+		}
+	}
+}
+
+func TestTrainCancelledBetweenEpisodes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := train.Config{Episodes: 1_000_000, EvalEpisodes: 3, Seed: 1, Workers: 1, ProgressEvery: 1}
+	eng := train.New(testFactory(), cfg, train.WithSink(train.SinkFunc(func(p train.Progress) {
+		if p.Episode >= 2 {
+			cancel() // mid-run: training loop must notice before the budget ends
+		}
+	})))
+	_, _, err := eng.Train(ctx, testHypers[0], airlearning.LowObstacle)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressSinkReports(t *testing.T) {
+	var got []train.Progress
+	cfg := testConfig(1)
+	cfg.ProgressEvery = 1
+	eng := train.New(testFactory(), cfg, train.WithSink(train.SinkFunc(func(p train.Progress) {
+		got = append(got, p)
+	})))
+	rec, _, err := eng.Train(context.Background(), testHypers[0], airlearning.LowObstacle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != cfg.Episodes+1 {
+		t.Fatalf("%d reports, want %d per-episode + 1 done", len(got), cfg.Episodes+1)
+	}
+	for i, p := range got[:cfg.Episodes] {
+		if p.Done || p.Episode != i+1 || p.Episodes != cfg.Episodes {
+			t.Fatalf("report %d = %+v", i, p)
+		}
+		if p.Algorithm != "dqn" {
+			t.Fatalf("report algorithm = %q", p.Algorithm)
+		}
+	}
+	final := got[cfg.Episodes]
+	if !final.Done || final.SuccessRate != rec.SuccessRate || final.Steps != rec.TrainSteps {
+		t.Fatalf("final report %+v vs record %+v", final, rec)
+	}
+}
+
+// frozenPolicy builds an untrained deployment policy — deterministic, pure,
+// and batch-capable — for collector tests.
+func frozenPolicy(t *testing.T) airlearning.Policy {
+	t.Helper()
+	net, err := policy.NewTrainable(policy.Hyper{Layers: 3, Filters: 32}, policy.DefaultTrainable(), tensor.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rl.GreedyPolicy{Net: net}
+}
+
+// TestCollectorInvariantToBatchAndWorkers: the per-episode results must be
+// identical whatever the lockstep width or worker count.
+func TestCollectorInvariantToBatchAndWorkers(t *testing.T) {
+	pol := frozenPolicy(t)
+	const n = 10
+	base := train.Collector{Scenario: airlearning.LowObstacle, Seed: 2001, Workers: 1, Batch: 1}
+	want, err := base.Collect(context.Background(), pol, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != n {
+		t.Fatalf("%d results, want %d", len(want), n)
+	}
+	for _, c := range []train.Collector{
+		{Scenario: airlearning.LowObstacle, Seed: 2001, Workers: 1, Batch: 4},
+		{Scenario: airlearning.LowObstacle, Seed: 2001, Workers: 4, Batch: 3},
+		{Scenario: airlearning.LowObstacle, Seed: 2001, Workers: 8, Batch: 8},
+	} {
+		got, err := c.Collect(context.Background(), pol, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d batch=%d results differ:\n%+v\n%+v", c.Workers, c.Batch, got, want)
+		}
+	}
+}
+
+func TestCollectorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := train.Collector{Scenario: airlearning.LowObstacle, Seed: 1, Workers: 2}
+	if _, err := c.Collect(ctx, frozenPolicy(t), 64); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := train.Collector{Scenario: airlearning.LowObstacle, Seed: 1}
+	res, err := c.Collect(context.Background(), frozenPolicy(t), 0)
+	if err != nil || res != nil {
+		t.Fatalf("Collect(0) = %v, %v", res, err)
+	}
+	rate, err := c.SuccessRate(context.Background(), frozenPolicy(t), 0)
+	if err != nil || rate != 0 {
+		t.Fatalf("SuccessRate(0) = %v, %v", rate, err)
+	}
+}
+
+func TestEngineRejectsBadBudget(t *testing.T) {
+	eng := train.New(testFactory(), train.Config{})
+	if _, _, err := eng.Train(context.Background(), testHypers[0], airlearning.LowObstacle); err == nil {
+		t.Fatal("want budget error")
+	}
+	if err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, airlearning.NewDatabase()); err == nil {
+		t.Fatal("want budget error")
+	}
+}
+
+func TestSweepRejectsCorruptCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(ckpt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	cfg.Checkpoint = ckpt
+	err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, airlearning.NewDatabase())
+	if err == nil {
+		t.Fatal("want error for corrupt checkpoint")
+	}
+}
