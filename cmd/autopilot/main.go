@@ -25,6 +25,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/core"
+	"autopilot/internal/fault"
 	"autopilot/internal/policy"
 	"autopilot/internal/uav"
 )
@@ -83,6 +84,9 @@ func main() {
 	train := flag.Bool("train", false, "Phase 1: actually train policies with RL instead of the surrogate (slow)")
 	episodes := flag.Int("episodes", 150, "RL episodes per policy with -train")
 	trainDB := flag.String("train-db", "", "with -train: checkpoint file making the Phase-1 sweep resumable")
+	retries := flag.Int("retries", 1, "attempt budget per training job / evaluation (1 = no retries)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt timeout (0 = unbounded)")
+	failureBudget := flag.Float64("failure-budget", 0, "fraction of jobs allowed to fail after retries (0 = fail-fast)")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
 	flag.Parse()
 
@@ -107,6 +111,9 @@ func main() {
 	spec.Phase2.Seed = *seed
 	spec.Phase2.BO.Seed = *seed
 	spec.Workers = *workers
+	spec.Retries = *retries
+	spec.JobTimeout = *jobTimeout
+	spec.FailureBudget = *failureBudget
 	if *train {
 		spec.Phase1Mode = core.Phase1Train
 		spec.TrainCfg.Episodes = *episodes
@@ -133,8 +140,13 @@ func main() {
 
 	fmt.Printf("AutoPilot DSSoC co-design: %s, %s scenario\n", plat.Name, scen)
 	fmt.Printf("Phase 1: %d validated policies in the Air Learning database\n", rep.Database.Len())
-	fmt.Printf("Phase 2: %d designs evaluated, %d on the Pareto front\n\n",
+	fmt.Printf("Phase 2: %d designs evaluated, %d on the Pareto front\n",
 		len(rep.Phase2.Evaluated), len(rep.Phase2.ParetoIdx))
+	if n := len(rep.Phase2.Failures); n > 0 {
+		fmt.Printf("Phase 2: %d evaluation(s) failed within the %.0f%% budget:\n%s\n",
+			n, 100*spec.FailureBudget, fault.Summarize(rep.Phase2.Failures))
+	}
+	fmt.Println()
 	describe("AP", rep.Selected)
 	fmt.Println()
 	describe("HT", rep.HT)

@@ -23,6 +23,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/dse"
+	"autopilot/internal/fault"
 	"autopilot/internal/power"
 )
 
@@ -33,6 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	dbPath := flag.String("db", "", "Air Learning database file (default: built-in surrogate)")
+	retries := flag.Int("retries", 1, "attempt budget per design evaluation (1 = no retries)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt evaluation timeout (0 = unbounded)")
+	failureBudget := flag.Float64("failure-budget", 0, "fraction of evaluations allowed to fail after retries (0 = fail-fast)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -73,19 +77,32 @@ func main() {
 	fmt.Printf("design space: %d joint points; exploring %d candidates with %d+%d evaluations\n",
 		space.Size(), cfg.CandidatePool, cfg.BO.InitSamples, cfg.BO.Iterations)
 
+	retry := fault.Policy{}
+	if *retries > 1 || *jobTimeout > 0 {
+		retry = fault.DefaultPolicy()
+		retry.Attempts = *retries
+		retry.Timeout = *jobTimeout
+	}
 	res, err := dse.Execute(ctx, dse.Request{
-		Space:    space,
-		DB:       db,
-		Scenario: scen,
-		Power:    power.Default(),
-		Config:   cfg,
-		Workers:  *workers,
+		Space:         space,
+		DB:            db,
+		Scenario:      scen,
+		Power:         power.Default(),
+		Config:        cfg,
+		Workers:       *workers,
+		Retry:         retry,
+		JobTimeout:    *jobTimeout,
+		FailureBudget: *failureBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(1)
 	}
 
+	if len(res.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "dse: %d evaluation(s) failed within the %.0f%% budget:\n%s\n",
+			len(res.Failures), 100**failureBudget, fault.Summarize(res.Failures))
+	}
 	fmt.Printf("\nevaluator cache: %d hits / %d misses (%d simulations)\n",
 		res.CacheHits, res.CacheMisses, res.CacheMisses)
 	fmt.Printf("\nPareto frontier (%d of %d evaluated designs):\n", len(res.ParetoIdx), len(res.Evaluated))

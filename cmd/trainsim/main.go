@@ -21,14 +21,28 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"flag"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/fault"
 	"autopilot/internal/policy"
 	"autopilot/internal/rl"
 	"autopilot/internal/train"
 )
+
+// retryPolicy assembles the flag-level retry policy: the default backoff
+// schedule clipped to the requested attempt budget and per-attempt timeout.
+func retryPolicy(retries int, timeout time.Duration) fault.Policy {
+	if retries <= 1 && timeout <= 0 {
+		return fault.Policy{}
+	}
+	p := fault.DefaultPolicy()
+	p.Attempts = retries
+	p.Timeout = timeout
+	return p
+}
 
 func main() {
 	layers := flag.Int("layers", 4, "E2E template depth (2-10)")
@@ -42,6 +56,9 @@ func main() {
 	all := flag.Bool("all", false, "sweep the full Table II template family (resumable via -db)")
 	progress := flag.Int("progress", 0, "report training progress every N episodes (0 = per-run only)")
 	dbPath := flag.String("db", "", "Air Learning database file to update; with -all it doubles as the resume checkpoint")
+	retries := flag.Int("retries", 1, "attempt budget per training job (1 = no retries)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt timeout for training jobs (0 = unbounded)")
+	failureBudget := flag.Float64("failure-budget", 0, "fraction of sweep jobs allowed to fail after retries (0 = fail-fast)")
 	flag.Parse()
 
 	var scen airlearning.Scenario
@@ -72,7 +89,8 @@ func main() {
 	defer stop()
 
 	if *all {
-		runSweep(ctx, scen, cfg, *workers, *progress, *dbPath)
+		runSweep(ctx, scen, cfg, *workers, *progress, *dbPath,
+			retryPolicy(*retries, *jobTimeout), *failureBudget)
 		return
 	}
 
@@ -115,8 +133,10 @@ func main() {
 
 // runSweep trains the full template family through the engine's resumable
 // sweep: with -db set, every completed record is snapshotted there and a
-// rerun skips the points the snapshot already holds.
-func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig, workers, progress int, dbPath string) {
+// rerun skips the points the snapshot already holds. Jobs run under the
+// retry policy; a positive failure budget lets the sweep finish with a
+// failure report instead of aborting on the first exhausted job.
+func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig, workers, progress int, dbPath string, retry fault.Policy, failureBudget float64) {
 	eng := train.New(rl.Factory(cfg), train.Config{
 		Episodes:      cfg.Episodes,
 		EvalEpisodes:  cfg.EvalEpisodes,
@@ -124,21 +144,32 @@ func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig
 		Workers:       workers,
 		Checkpoint:    dbPath,
 		ProgressEvery: progress,
+		Retry:         retry,
+		FailureBudget: failureBudget,
 	}, train.WithSink(train.NewWriterSink(os.Stdout)))
 	hypers := policy.AllHypers()
 	fmt.Printf("sweeping %d template points on %s with %s (%d episodes each)...\n",
 		len(hypers), scen, cfg.Algorithm, cfg.Episodes)
 	db := airlearning.NewDatabase()
-	if err := eng.Sweep(ctx, hypers, scen, db); err != nil {
+	rep, err := eng.Sweep(ctx, hypers, scen, db)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		if dbPath != "" {
 			fmt.Fprintf(os.Stderr, "trainsim: partial results checkpointed in %s; rerun to resume\n", dbPath)
 		}
 		os.Exit(1)
 	}
+	if rep.CheckpointQuarantined != "" {
+		fmt.Fprintf(os.Stderr, "trainsim: corrupt checkpoint quarantined to %s; sweep restarted from scratch\n",
+			rep.CheckpointQuarantined)
+	}
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "trainsim: %d job(s) failed within the %.0f%% budget:\n%s\n",
+			len(rep.Failures), 100*failureBudget, fault.Summarize(rep.Failures))
+	}
 	if best, ok := db.Best(scen); ok {
-		fmt.Printf("sweep complete: %d records; best for %s is %s (%.0f%%)\n",
-			db.Len(), scen, best.Hyper, 100*best.SuccessRate)
+		fmt.Printf("sweep complete: %d records (%d trained, %d resumed); best for %s is %s (%.0f%%)\n",
+			db.Len(), rep.Trained, rep.Skipped, scen, best.Hyper, 100*best.SuccessRate)
 	}
 	if dbPath != "" {
 		if err := db.Save(dbPath); err != nil {

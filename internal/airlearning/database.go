@@ -1,11 +1,14 @@
 package airlearning
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 
 	"autopilot/internal/policy"
@@ -107,16 +110,79 @@ func (d *Database) Best(s Scenario) (Record, bool) {
 // on-disk write is atomic.
 func (d *Database) Save(path string) error { return d.Snapshot(path) }
 
-// Snapshot atomically writes the database as JSON: the records are
-// marshalled under the read lock, written to a temporary file in the
-// destination directory, and renamed over path. Concurrent snapshots (and
-// writers inserting records mid-snapshot) therefore always leave a complete,
-// parseable checkpoint on disk — the property the Phase-1 training engine
+// checkpointMagic prefixes every v2 snapshot. JSON payloads (arrays or
+// objects) can never start with '#', so the first byte discriminates the
+// checksummed v2 format from legacy plain-JSON checkpoints, which Load still
+// accepts.
+const checkpointMagic = "#autopilot-db v2 crc32="
+
+// CorruptError reports a checkpoint that failed integrity validation —
+// truncated JSON, a checksum mismatch from a bit flip, or unparseable
+// records. Quarantined holds the path the damaged file was renamed to (empty
+// if the rename itself failed).
+type CorruptError struct {
+	Path        string
+	Quarantined string
+	Err         error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Quarantined != "" {
+		return fmt.Sprintf("airlearning: corrupt database %s (quarantined to %s): %v", e.Path, e.Quarantined, e.Err)
+	}
+	return fmt.Sprintf("airlearning: corrupt database %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// encodeCheckpoint renders records as a v2 checkpoint: a one-line checksum
+// header followed by the JSON payload the header's CRC-32 covers.
+func encodeCheckpoint(recs []Record) ([]byte, error) {
+	payload, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("airlearning: marshal database: %w", err)
+	}
+	header := fmt.Sprintf("%s%08x\n", checkpointMagic, crc32.ChecksumIEEE(payload))
+	return append([]byte(header), payload...), nil
+}
+
+// decodeCheckpoint parses either format: v2 (header + payload, checksum
+// verified) or legacy plain JSON. The returned error describes the first
+// integrity violation found.
+func decodeCheckpoint(data []byte) ([]Record, error) {
+	if bytes.HasPrefix(data, []byte(checkpointMagic)) {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("truncated checkpoint header")
+		}
+		sum, err := strconv.ParseUint(string(data[len(checkpointMagic):nl]), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("malformed checkpoint header: %w", err)
+		}
+		payload := data[nl+1:]
+		if got := crc32.ChecksumIEEE(payload); got != uint32(sum) {
+			return nil, fmt.Errorf("checksum mismatch: header %08x, payload %08x", uint32(sum), got)
+		}
+		data = payload
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("parse records: %w", err)
+	}
+	return recs, nil
+}
+
+// Snapshot atomically writes the database as a checksummed v2 checkpoint:
+// the records are marshalled under the read lock, prefixed with a CRC-32
+// integrity header, written to a temporary file in the destination
+// directory, and renamed over path. Concurrent snapshots (and writers
+// inserting records mid-snapshot) therefore always leave a complete,
+// verifiable checkpoint on disk — the property the Phase-1 training engine
 // relies on when it checkpoints after every completed record.
 func (d *Database) Snapshot(path string) error {
-	data, err := json.MarshalIndent(d.All(), "", "  ")
+	data, err := encodeCheckpoint(d.All())
 	if err != nil {
-		return fmt.Errorf("airlearning: marshal database: %w", err)
+		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -138,15 +204,25 @@ func (d *Database) Snapshot(path string) error {
 	return nil
 }
 
-// Load reads a database previously written by Save.
+// Load reads a database previously written by Save/Snapshot, accepting both
+// the checksummed v2 format and legacy plain-JSON checkpoints. A checkpoint
+// that fails integrity validation (truncation, bit flip, unparseable
+// records) is quarantined — renamed to path+".corrupt" so the damage is
+// preserved for inspection but never re-read — and Load returns a
+// *CorruptError; callers resume from an empty database.
 func Load(path string) (*Database, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("airlearning: read database: %w", err)
 	}
-	var recs []Record
-	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("airlearning: parse database: %w", err)
+	recs, err := decodeCheckpoint(data)
+	if err != nil {
+		cerr := &CorruptError{Path: path, Err: err}
+		quarantine := path + ".corrupt"
+		if renameErr := os.Rename(path, quarantine); renameErr == nil {
+			cerr.Quarantined = quarantine
+		}
+		return nil, cerr
 	}
 	db := NewDatabase()
 	for _, r := range recs {

@@ -70,6 +70,8 @@ type Env struct {
 	Scenario Scenario
 	cfg      EnvConfig
 	rng      *tensor.RNG
+	seed     int64 // construction seed, kept for layout-rescue re-derivation
+	resets   int   // episode ordinal, part of the rescue-seed identity
 
 	grid       []bool // true = blocked (static)
 	pos, goal  Point
@@ -102,6 +104,7 @@ func NewEnvWithConfig(s Scenario, cfg EnvConfig, seed int64) *Env {
 		Scenario: s,
 		cfg:      cfg,
 		rng:      tensor.NewRNG(seed),
+		seed:     seed,
 		grid:     make([]bool, cfg.ArenaW*cfg.ArenaH),
 	}
 }
@@ -195,49 +198,116 @@ func (e *Env) fixedObstaclePositions() []Point {
 	return all[:e.cfg.FixedObstacles]
 }
 
-// Reset draws a new domain-randomized layout and returns the first
-// observation. It guarantees the goal is reachable from the start.
-func (e *Env) Reset() Observation {
-	for attempt := 0; ; attempt++ {
-		for i := range e.grid {
-			e.grid[i] = false
+// Layout-generation attempt budgets: the first maxLayoutAttempts draws come
+// from the env's live seed stream (bitwise identical to the historical
+// behavior whenever a solvable layout exists there); the rescue attempts
+// each re-derive a fresh seed from the (env seed, episode, attempt) identity
+// to escape a pathological stream before giving up.
+const (
+	maxLayoutAttempts    = 100
+	rescueLayoutAttempts = 8
+)
+
+// LayoutError reports that Reset exhausted its attempt budget without
+// producing a solvable domain-randomized layout — typically a scenario
+// configuration whose obstacle density leaves no reachable goal.
+type LayoutError struct {
+	Scenario Scenario
+	Attempts int
+}
+
+// Error renders the exhausted layout budget.
+func (e *LayoutError) Error() string {
+	return fmt.Sprintf("airlearning: could not generate a solvable %s layout in %d attempts",
+		e.Scenario, e.Attempts)
+}
+
+// layoutSeed derives the deterministic rescue seed for one layout attempt
+// (splitmix64-style finalizer over the env seed, episode ordinal, attempt).
+func layoutSeed(seed int64, episode, attempt int) int64 {
+	z := uint64(seed) + uint64(episode)*0x9E3779B97F4A7C15 + uint64(attempt)*0xD1B54A32D192ED03
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// tryLayout draws one candidate layout (grid, start, goal) from rng and
+// reports whether the goal was placeable and reachable. The draw order is
+// the single source of the episode's layout randomness, so identical rng
+// state always yields an identical layout.
+func (e *Env) tryLayout(rng *tensor.RNG) bool {
+	for i := range e.grid {
+		e.grid[i] = false
+	}
+	for _, p := range e.fixedObstaclePositions() {
+		e.placeBlock(p)
+	}
+	n := 0
+	if e.cfg.RandomMax > 0 {
+		n = rng.Intn(e.cfg.RandomMax + 1)
+		if e.Scenario == LowObstacle {
+			n = e.cfg.RandomMax // low scenario: exactly 4 obstacles, random positions
 		}
-		for _, p := range e.fixedObstaclePositions() {
-			e.placeBlock(p)
-		}
-		n := 0
-		if e.cfg.RandomMax > 0 {
-			n = e.rng.Intn(e.cfg.RandomMax + 1)
-			if e.Scenario == LowObstacle {
-				n = e.cfg.RandomMax // low scenario: exactly 4 obstacles, random positions
-			}
-		}
-		for i := 0; i < n; i++ {
-			e.placeBlock(Point{e.rng.Intn(e.cfg.ArenaW - 1), e.rng.Intn(e.cfg.ArenaH - 1)})
-		}
-		e.pos = Point{1, e.cfg.ArenaH - 2}
-		e.grid[e.pos.Y*e.cfg.ArenaW+e.pos.X] = false
-		// random goal, re-drawn every episode, away from the start
-		ok := false
-		for tries := 0; tries < 50; tries++ {
-			g := Point{e.rng.Intn(e.cfg.ArenaW), e.rng.Intn(e.cfg.ArenaH)}
-			if e.Blocked(g) || manhattan(g, e.pos) < (e.cfg.ArenaW+e.cfg.ArenaH)/3 {
-				continue
-			}
-			e.goal = g
-			ok = true
-			break
-		}
-		if !ok {
+	}
+	for i := 0; i < n; i++ {
+		e.placeBlock(Point{rng.Intn(e.cfg.ArenaW - 1), rng.Intn(e.cfg.ArenaH - 1)})
+	}
+	e.pos = Point{1, e.cfg.ArenaH - 2}
+	e.grid[e.pos.Y*e.cfg.ArenaW+e.pos.X] = false
+	// random goal, re-drawn every episode, away from the start
+	ok := false
+	for tries := 0; tries < 50; tries++ {
+		g := Point{rng.Intn(e.cfg.ArenaW), rng.Intn(e.cfg.ArenaH)}
+		if e.Blocked(g) || manhattan(g, e.pos) < (e.cfg.ArenaW+e.cfg.ArenaH)/3 {
 			continue
 		}
-		e.movers = e.movers[:0]
-		if e.reachable(e.pos, e.goal) {
+		e.goal = g
+		ok = true
+		break
+	}
+	if !ok {
+		return false
+	}
+	e.movers = e.movers[:0]
+	return e.reachable(e.pos, e.goal)
+}
+
+// Reset draws a new domain-randomized layout and returns the first
+// observation. It guarantees the goal is reachable from the start.
+//
+// Reset panics with a *LayoutError if the bounded attempt budget is
+// exhausted; fault-tolerant callers should prefer TryReset, which returns
+// the typed error instead.
+func (e *Env) Reset() Observation {
+	obs, err := e.TryReset()
+	if err != nil {
+		panic(err)
+	}
+	return obs
+}
+
+// TryReset is Reset with a typed error path: layout generation is bounded
+// (maxLayoutAttempts draws from the live seed stream, then
+// rescueLayoutAttempts on per-attempt re-derived seeds), and exhaustion
+// returns a *LayoutError instead of panicking or spinning forever.
+func (e *Env) TryReset() (Observation, error) {
+	e.resets++
+	solved := false
+	for attempt := 0; attempt < maxLayoutAttempts+rescueLayoutAttempts; attempt++ {
+		rng := e.rng
+		if attempt >= maxLayoutAttempts {
+			rng = tensor.NewRNG(layoutSeed(e.seed, e.resets, attempt))
+		}
+		if e.tryLayout(rng) {
+			solved = true
 			break
 		}
-		if attempt > 100 {
-			panic("airlearning: could not generate a solvable layout")
-		}
+	}
+	if !solved {
+		return Observation{}, &LayoutError{Scenario: e.Scenario, Attempts: maxLayoutAttempts + rescueLayoutAttempts}
 	}
 	// spawn dynamic obstacles on free cells away from the start and goal
 	for i := 0; i < e.cfg.Dynamic; i++ {
@@ -254,7 +324,7 @@ func (e *Env) Reset() Observation {
 	e.steps = 0
 	e.outcome = Running
 	e.totalDist0 = euclid(e.pos, e.goal)
-	return e.observe()
+	return e.observe(), nil
 }
 
 // reachable runs BFS over 8-connected moves.

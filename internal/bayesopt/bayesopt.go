@@ -22,7 +22,9 @@ type Problem struct {
 	// Candidates are normalized feature encodings of each design point.
 	Candidates [][]float64
 	// Evaluate returns the objective vector (minimization) of candidate i.
-	// It is called at most once per candidate.
+	// It is called at most once per candidate. A nil return marks the
+	// evaluation as failed: the candidate is consumed but recorded nowhere,
+	// so the models and hypervolume trace are built from survivors only.
 	Evaluate func(i int) []float64
 	// EvaluateBatch, when non-nil, scores a batch of candidates and returns
 	// one objective vector per index, in index-slice order. The optimizer
@@ -164,10 +166,16 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 	var feats [][]float64
 
 	record := func(i int, y []float64) {
+		evaluated[i] = true
+		if y == nil {
+			// Failed evaluation (graceful degradation): the candidate is
+			// consumed — never re-screened — but contributes no observation,
+			// no model-fit point and no hypervolume-trace entry.
+			return
+		}
 		if len(y) != p.NumObjectives {
 			panic(fmt.Sprintf("bayesopt: evaluator returned %d objectives, want %d", len(y), p.NumObjectives))
 		}
-		evaluated[i] = true
 		objs = append(objs, y)
 		feats = append(feats, p.Candidates[i])
 		res.Evaluations = append(res.Evaluations, Evaluation{Index: i, Objectives: y})
@@ -203,6 +211,10 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 			}
 			record(i, p.Evaluate(i))
 		}
+	}
+
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("bayesopt: all %d initial samples failed to evaluate", len(init))
 	}
 
 	// Phase B: model-guided SMS-EGO iterations.

@@ -13,10 +13,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/dse"
 	"autopilot/internal/f1"
+	"autopilot/internal/fault"
 	"autopilot/internal/hw"
 	"autopilot/internal/mission"
 	"autopilot/internal/policy"
@@ -79,6 +81,33 @@ type Spec struct {
 	// the hyper-parameter identity, and parallel evaluations are
 	// re-assembled in submission order.
 	Workers int
+
+	// Retries is the total attempt budget per Phase-1 training job and
+	// Phase-2 evaluation; values <= 1 mean a single attempt (identical to
+	// the pre-retry pipeline). Retried attempts derive fresh seeds from the
+	// job identity and attempt index, so results stay deterministic.
+	Retries int
+	// JobTimeout bounds each attempt; 0 means unbounded.
+	JobTimeout time.Duration
+	// FailureBudget is the fraction of jobs a phase may lose (after
+	// retries) before it errors. 0 preserves fail-fast; a positive budget
+	// lets sweeps complete with the failures reported.
+	FailureBudget float64
+	// ChaosInjector deterministically injects faults into training jobs and
+	// hardware evaluations for chaos testing; nil injects nothing.
+	ChaosInjector *fault.Injector
+}
+
+// retryPolicy assembles the spec's fault.Policy: the default backoff
+// schedule clipped to the spec's attempt budget and per-attempt timeout.
+func (s Spec) retryPolicy() fault.Policy {
+	if s.Retries <= 1 && s.JobTimeout <= 0 {
+		return fault.Policy{}
+	}
+	p := fault.DefaultPolicy()
+	p.Attempts = s.Retries
+	p.Timeout = s.JobTimeout
+	return p
 }
 
 // DefaultSpec returns a complete specification for a platform and scenario
@@ -179,51 +208,70 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	return rep, nil
 }
 
-// Phase1 produces the validated-policy database for the scenario. In
-// Phase1Train mode the per-model training runs go through the unified
-// training engine (internal/train): they fan out over the spec's worker
-// pool with hyper-identity-derived seeds, honor cancellation between
-// episodes, and — with TrainCheckpoint set — snapshot the database after
-// every completed record so an interrupted sweep resumes where it left off.
+// Phase1 produces the validated-policy database for the scenario. It is
+// Phase1Report without the sweep report.
 func Phase1(ctx context.Context, spec Spec) (*airlearning.Database, error) {
+	db, _, err := Phase1Report(ctx, spec)
+	return db, err
+}
+
+// Phase1Report produces the validated-policy database for the scenario plus
+// the training sweep's fault-tolerance report. In Phase1Train mode the
+// per-model training runs go through the unified training engine
+// (internal/train): they fan out over the spec's worker pool with
+// hyper-identity-derived seeds, honor cancellation between episodes, run
+// under the spec's retry policy and failure budget, and — with
+// TrainCheckpoint set — snapshot the database after every completed record
+// so an interrupted sweep resumes where it left off (a corrupt checkpoint is
+// quarantined and reported, not fatal). The report is nil in surrogate mode.
+func Phase1Report(ctx context.Context, spec Spec) (*airlearning.Database, *train.SweepReport, error) {
 	db := airlearning.NewDatabase()
 	switch spec.Phase1Mode {
 	case Phase1Surrogate:
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: cancelled: %w", err)
+			return nil, nil, fmt.Errorf("core: cancelled: %w", err)
 		}
 		airlearning.PopulateSurrogate(db)
-		return db, nil
+		return db, nil, nil
 	case Phase1Train:
 		hypers := spec.TrainHypers
 		if hypers == nil {
 			hypers = policy.AllHypers()
 		}
 		eng := train.New(rl.Factory(spec.TrainCfg), train.Config{
-			Episodes:     spec.TrainCfg.Episodes,
-			EvalEpisodes: spec.TrainCfg.EvalEpisodes,
-			Seed:         spec.TrainCfg.Seed,
-			Workers:      spec.Workers,
-			Checkpoint:   spec.TrainCheckpoint,
+			Episodes:      spec.TrainCfg.Episodes,
+			EvalEpisodes:  spec.TrainCfg.EvalEpisodes,
+			Seed:          spec.TrainCfg.Seed,
+			Workers:       spec.Workers,
+			Checkpoint:    spec.TrainCheckpoint,
+			Retry:         spec.retryPolicy(),
+			FailureBudget: spec.FailureBudget,
+			Injector:      spec.ChaosInjector,
 		})
-		if err := eng.Sweep(ctx, hypers, spec.Scenario, db); err != nil {
-			return nil, err
+		rep, err := eng.Sweep(ctx, hypers, spec.Scenario, db)
+		if err != nil {
+			return nil, rep, err
 		}
-		return db, nil
+		return db, rep, nil
 	default:
-		return nil, fmt.Errorf("core: unknown phase-1 mode %d", int(spec.Phase1Mode))
+		return nil, nil, fmt.Errorf("core: unknown phase-1 mode %d", int(spec.Phase1Mode))
 	}
 }
 
-// Phase2 runs the multi-objective DSE against the database.
+// Phase2 runs the multi-objective DSE against the database under the spec's
+// retry policy and failure budget.
 func Phase2(ctx context.Context, spec Spec, db *airlearning.Database) (*dse.Result, error) {
 	return dse.Execute(ctx, dse.Request{
-		Space:    spec.Space,
-		DB:       db,
-		Scenario: spec.Scenario,
-		Power:    spec.PowerModel,
-		Config:   spec.Phase2,
-		Workers:  spec.Workers,
+		Space:         spec.Space,
+		DB:            db,
+		Scenario:      spec.Scenario,
+		Power:         spec.PowerModel,
+		Config:        spec.Phase2,
+		Workers:       spec.Workers,
+		Retry:         spec.retryPolicy(),
+		JobTimeout:    spec.JobTimeout,
+		FailureBudget: spec.FailureBudget,
+		Injector:      spec.ChaosInjector,
 	})
 }
 

@@ -1,0 +1,136 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/fault"
+	"autopilot/internal/power"
+)
+
+// chaosExecute runs Phase 2 under a fault injector with an open failure
+// budget.
+func chaosExecute(t *testing.T, workers int, in *fault.Injector, retry fault.Policy, budget float64) (*Result, error) {
+	t.Helper()
+	return Execute(context.Background(), Request{
+		Space:         DefaultSpace(),
+		DB:            surrogateDB(),
+		Scenario:      airlearning.DenseObstacle,
+		Power:         power.Default(),
+		Config:        smallConfig(),
+		Workers:       workers,
+		Retry:         retry,
+		FailureBudget: budget,
+		Injector:      in,
+	})
+}
+
+// TestExecuteChaosDeterministicDegradation injects seeded evaluation faults
+// and checks Phase 2 degrades identically at workers=1 and workers=8: same
+// failure report, bitwise-identical surviving evaluations, same front, and
+// no NaN leaking past the guardrails into the survivors.
+func TestExecuteChaosDeterministicDegradation(t *testing.T) {
+	in := &fault.Injector{Seed: 11, ErrorRate: 0.08, NaNRate: 0.08}
+	seq, err := chaosExecute(t, 1, in, fault.Policy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := chaosExecute(t, 8, in, fault.Policy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seq.Failures) == 0 {
+		t.Fatal("injector produced no failures; retune seed/rates so the test exercises degradation")
+	}
+	if len(seq.Evaluated) == 0 {
+		t.Fatal("no surviving evaluations")
+	}
+	if !reflect.DeepEqual(seq.Failures, par.Failures) {
+		t.Fatalf("failure reports differ across worker counts:\n%v\n%v", seq.Failures, par.Failures)
+	}
+	if !reflect.DeepEqual(seq.Evaluated, par.Evaluated) {
+		t.Fatal("surviving evaluations differ across worker counts")
+	}
+	if !reflect.DeepEqual(seq.ParetoIdx, par.ParetoIdx) {
+		t.Fatalf("Pareto fronts differ: %v vs %v", seq.ParetoIdx, par.ParetoIdx)
+	}
+	if seq.HT != par.HT || seq.LP != par.LP || seq.HE != par.HE {
+		t.Fatal("conventional picks differ across worker counts")
+	}
+	for i, e := range seq.Evaluated {
+		if err := fault.CheckFinite("evaluation", e.FPS, e.RuntimeSec, e.SoCPowerW, e.SuccessRate); err != nil {
+			t.Fatalf("survivor %d (%s) carries non-finite objectives: %v", i, e.Design, err)
+		}
+	}
+	for _, f := range seq.Failures {
+		if f.Kind != fault.KindError && f.Kind != fault.KindNumerical {
+			t.Fatalf("unexpected failure kind for injected fault: %+v", f)
+		}
+	}
+}
+
+// TestExecuteRetryClearsInjectedFaults checks that retries — whose injection
+// keys include the attempt index — recover designs that failed on their
+// first attempt: the retried run must fail strictly fewer designs.
+func TestExecuteRetryClearsInjectedFaults(t *testing.T) {
+	in := &fault.Injector{Seed: 11, ErrorRate: 0.12}
+	noRetry, err := chaosExecute(t, 4, in, fault.Policy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRetry, err := chaosExecute(t, 4, in, fault.Policy{Attempts: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noRetry.Failures) == 0 {
+		t.Fatal("baseline run has no failures; retune seed/rates")
+	}
+	if len(withRetry.Failures) >= len(noRetry.Failures) {
+		t.Fatalf("retries did not reduce failures: %d with vs %d without",
+			len(withRetry.Failures), len(noRetry.Failures))
+	}
+	for _, f := range withRetry.Failures {
+		if f.Attempts != 3 {
+			t.Fatalf("terminal failure %+v did not exhaust the 3-attempt budget", f)
+		}
+	}
+}
+
+// TestExecuteNilInjectorWithBudgetMatchesFailFast pins that merely enabling
+// the degradation path (positive budget, no faults) is bitwise neutral.
+func TestExecuteNilInjectorWithBudgetMatchesFailFast(t *testing.T) {
+	clean := execute(t, 4)
+	budgeted, err := chaosExecute(t, 4, nil, fault.Policy{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgeted.Failures) != 0 {
+		t.Fatalf("fault-free run reported failures: %v", budgeted.Failures)
+	}
+	if !reflect.DeepEqual(clean.Evaluated, budgeted.Evaluated) {
+		t.Fatal("failure budget perturbed a fault-free run's evaluations")
+	}
+	if !reflect.DeepEqual(clean.ParetoIdx, budgeted.ParetoIdx) {
+		t.Fatal("failure budget perturbed a fault-free run's Pareto front")
+	}
+}
+
+// TestExecuteFailureBudgetExceeded checks a blown budget surfaces as an
+// error that carries the failure summary.
+func TestExecuteFailureBudgetExceeded(t *testing.T) {
+	in := &fault.Injector{Seed: 11, ErrorRate: 0.3}
+	res, err := chaosExecute(t, 4, in, fault.Policy{}, 0.001)
+	if err == nil {
+		t.Fatal("sweep with ~30% injected failures passed a 0.1% budget")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("budget error does not describe the failures: %v", err)
+	}
+	if res == nil || len(res.Failures) == 0 {
+		t.Fatal("budget error must still return the failure report")
+	}
+}

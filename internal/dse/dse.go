@@ -15,9 +15,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
+	"autopilot/internal/fault"
 	"autopilot/internal/hw"
 	"autopilot/internal/pareto"
 	"autopilot/internal/policy"
@@ -238,6 +240,9 @@ type Evaluator struct {
 	backendID string
 	backend   BackendFactory
 
+	retry    fault.Policy
+	injector *fault.Injector
+
 	netMu sync.Mutex
 	nets  map[policy.Hyper]*policy.Network
 
@@ -277,6 +282,28 @@ func WithTemplate(t policy.TemplateConfig) Option {
 // systolic-array template ("systolic") with the evaluator's power model.
 func WithBackend(id string, factory BackendFactory) Option {
 	return func(ev *Evaluator) { ev.backendID, ev.backend = id, factory }
+}
+
+// WithRetry sets the per-design retry policy. The zero policy (the default)
+// performs a single attempt, bitwise identical to the pre-retry evaluator.
+// Retried attempts re-key the fault surfaces by attempt index, so an
+// injected (or genuinely transient) fault that clears on retry still yields
+// the deterministic estimate.
+func WithRetry(p fault.Policy) Option {
+	return func(ev *Evaluator) { ev.retry = p }
+}
+
+// WithJobTimeout bounds each evaluation attempt; it composes with WithRetry
+// (a timed-out attempt is retryable). Zero means unbounded.
+func WithJobTimeout(d time.Duration) Option {
+	return func(ev *Evaluator) { ev.retry.Timeout = d }
+}
+
+// WithInjector threads a deterministic chaos injector into every backend
+// call, keyed by (backend, design, attempt). nil (the default) injects
+// nothing.
+func WithInjector(in *fault.Injector) Option {
+	return func(ev *Evaluator) { ev.injector = in }
 }
 
 // NewEvaluator builds a concurrency-safe evaluator over a success-rate
@@ -372,13 +399,20 @@ func FromEstimate(d DesignPoint, success float64, est hw.Estimate) Evaluated {
 
 // evaluate scores one design on the evaluator's backend, bypassing the
 // cache. Estimation is a pure function of the design, so results are
-// bit-identical regardless of which goroutine computed them.
-func (ev *Evaluator) evaluate(d DesignPoint) (Evaluated, error) {
+// bit-identical regardless of which goroutine computed them. The attempt
+// index re-keys the chaos injector so injected faults clear (or persist)
+// deterministically across retries; estimates are guarded against
+// non-finite fields before they can reach the optimizer's models.
+func (ev *Evaluator) evaluate(d DesignPoint, attempt int) (Evaluated, error) {
 	net, err := ev.network(d.Hyper)
 	if err != nil {
 		return Evaluated{}, err
 	}
-	est, err := ev.backend(d).Estimate(hw.NetworkWorkload(d.Hyper.String(), net))
+	backend := ev.backend(d)
+	if ev.injector != nil {
+		backend = ev.injector.Backend(fmt.Sprintf("%s|%s#%d", ev.backendID, d, attempt), backend)
+	}
+	est, err := backend.Estimate(hw.NetworkWorkload(d.Hyper.String(), net))
 	if err != nil {
 		return Evaluated{}, fmt.Errorf("dse: estimate %v: %w", d, err)
 	}
@@ -386,18 +420,45 @@ func (ev *Evaluator) evaluate(d DesignPoint) (Evaluated, error) {
 	if rec, ok := ev.db.Get(d.Hyper, ev.scen); ok {
 		success = rec.SuccessRate
 	}
-	return FromEstimate(d, success, est), nil
+	e := FromEstimate(d, success, est)
+	if err := fault.CheckFinite("estimate",
+		e.FPS, e.RuntimeSec, e.SoCPowerW, e.AccelPowerW, e.SuccessRate); err != nil {
+		return Evaluated{}, fmt.Errorf("dse: %v: %w", d, err)
+	}
+	return e, nil
+}
+
+// evaluateRetry runs the uncached evaluation under the evaluator's retry
+// policy with panic isolation. The zero policy performs exactly one attempt.
+func (ev *Evaluator) evaluateRetry(ctx context.Context, d DesignPoint) (Evaluated, error) {
+	var e Evaluated
+	err := fault.Retry(ctx, ev.retry, func(_ context.Context, attempt int) error {
+		var aerr error
+		e, aerr = ev.evaluate(d, attempt)
+		return aerr
+	})
+	if err != nil {
+		return Evaluated{}, err
+	}
+	return e, nil
 }
 
 // Evaluate scores one design point, consulting the memoization cache first.
-// Concurrent calls for the same uncached design are deduplicated: one
-// goroutine (the leader, counted as the miss) runs the backend while the
-// rest wait on its in-flight result (counted as hits), so misses equals the
-// number of simulations actually performed.
+// It is EvaluateContext without cancellation.
 func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
+	return ev.EvaluateContext(context.Background(), d)
+}
+
+// EvaluateContext scores one design point, consulting the memoization cache
+// first. Concurrent calls for the same uncached design are deduplicated: one
+// goroutine (the leader, counted as the miss) runs the backend — under the
+// evaluator's retry policy, so only settled successes are ever cached —
+// while the rest wait on its in-flight result (counted as hits), so misses
+// equals the number of designs actually simulated.
+func (ev *Evaluator) EvaluateContext(ctx context.Context, d DesignPoint) (Evaluated, error) {
 	if ev.cacheCap < 0 {
 		ev.misses.Add(1)
-		return ev.evaluate(d)
+		return ev.evaluateRetry(ctx, d)
 	}
 	k := evalKey{backend: ev.backendID, design: d}
 	if e, ok := ev.cached(k); ok {
@@ -414,7 +475,11 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 	}
 	if f, ok := ev.flights[k]; ok {
 		ev.flightMu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return Evaluated{}, fmt.Errorf("dse: evaluation cancelled: %w", ctx.Err())
+		}
 		if f.err != nil {
 			return Evaluated{}, f.err
 		}
@@ -426,7 +491,7 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 	ev.flightMu.Unlock()
 
 	ev.misses.Add(1)
-	f.e, f.err = ev.evaluate(d)
+	f.e, f.err = ev.evaluateRetry(ctx, d)
 	if f.err == nil {
 		ev.store(k, f.e)
 	}
@@ -441,8 +506,18 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 // worker pool and returns them in submission order. Cancellation drains the
 // pool and returns an error wrapping ctx.Err().
 func (ev *Evaluator) EvaluateAll(ctx context.Context, ds []DesignPoint) ([]Evaluated, error) {
-	return pool.Map(ctx, ev.workers, ds, func(_ context.Context, d DesignPoint) (Evaluated, error) {
-		return ev.Evaluate(d)
+	return pool.Map(ctx, ev.workers, ds, func(ctx context.Context, d DesignPoint) (Evaluated, error) {
+		return ev.EvaluateContext(ctx, d)
+	})
+}
+
+// EvaluateEach scores a batch like EvaluateAll but isolates per-design
+// failures instead of failing fast: results and errors are index-aligned
+// with ds, and only context cancellation returns a terminal error. This is
+// the entry point graceful-degradation sweeps build on.
+func (ev *Evaluator) EvaluateEach(ctx context.Context, ds []DesignPoint) ([]Evaluated, []error, error) {
+	return pool.MapEach(ctx, ev.workers, ds, func(ctx context.Context, d DesignPoint) (Evaluated, error) {
+		return ev.EvaluateContext(ctx, d)
 	})
 }
 
@@ -494,6 +569,13 @@ type Result struct {
 	// CacheHits and CacheMisses report the run's evaluator memoization
 	// stats; misses equals the number of cost-model simulations performed.
 	CacheHits, CacheMisses int64
+
+	// Failures records every design whose evaluation failed after retries,
+	// in deterministic record order — populated only when the request ran
+	// with a positive FailureBudget (fail-fast runs abort on first error
+	// instead). Failed designs appear nowhere in Evaluated; Pareto
+	// extraction and the optimizer's models are built from survivors only.
+	Failures []fault.Failure
 }
 
 // Pareto returns the Pareto-front designs.
@@ -537,8 +619,11 @@ func Run(space Space, db *airlearning.Database, scen airlearning.Scenario, pm po
 
 // finishResult applies the shared Phase-2 post-processing: probe-corner
 // seeding (evaluated concurrently on the worker pool, re-assembled in sweep
-// order), Pareto-front extraction, and conventional-DSE labeling.
-func finishResult(ctx context.Context, res *Result, space Space, db *airlearning.Database, scen airlearning.Scenario, ev *Evaluator, cfg Config) (*Result, error) {
+// order), Pareto-front extraction, and conventional-DSE labeling. With a
+// positive failure budget the probe sweep degrades gracefully — failed
+// probes are recorded in res.Failures and dropped — instead of aborting.
+func finishResult(ctx context.Context, res *Result, req Request, ev *Evaluator) (*Result, error) {
+	space, db, scen, cfg := req.Space, req.DB, req.Scenario, req.Config
 	if cfg.ProbeCorners {
 		if best, ok := db.Best(scen); ok {
 			seen := map[string]bool{}
@@ -551,11 +636,25 @@ func finishResult(ctx context.Context, res *Result, space Space, db *airlearning
 					probes = append(probes, d)
 				}
 			}
-			es, err := ev.EvaluateAll(ctx, probes)
-			if err != nil {
-				return nil, err
+			if req.FailureBudget > 0 {
+				es, errs, err := ev.EvaluateEach(ctx, probes)
+				if err != nil {
+					return nil, err
+				}
+				for i, e := range es {
+					if errs[i] != nil {
+						res.Failures = append(res.Failures, fault.NewFailure("probe "+probes[i].String(), errs[i]))
+						continue
+					}
+					res.Evaluated = append(res.Evaluated, e)
+				}
+			} else {
+				es, err := ev.EvaluateAll(ctx, probes)
+				if err != nil {
+					return nil, err
+				}
+				res.Evaluated = append(res.Evaluated, es...)
 			}
-			res.Evaluated = append(res.Evaluated, es...)
 		}
 	}
 	objs := make([][]float64, len(res.Evaluated))

@@ -177,7 +177,7 @@ func executeAlternate(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 		res := &Result{Scenario: scen, Evaluated: es}
-		return finishResult(ctx, res, space, req.DB, scen, ev, cfg)
+		return finishResult(ctx, res, req, ev)
 	default:
 		return nil, fmt.Errorf("dse: unknown optimizer %v", req.Optimizer)
 	}
@@ -196,5 +196,5 @@ func executeAlternate(ctx context.Context, req Request) (*Result, error) {
 		}
 		res.Evaluated = append(res.Evaluated, evaluated[d.String()])
 	}
-	return finishResult(ctx, res, space, req.DB, scen, ev, cfg)
+	return finishResult(ctx, res, req, ev)
 }

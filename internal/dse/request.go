@@ -2,10 +2,13 @@ package dse
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
+	"autopilot/internal/fault"
 	"autopilot/internal/power"
 )
 
@@ -28,6 +31,22 @@ type Request struct {
 	// Workers bounds the evaluation worker pool; <= 0 means runtime.NumCPU().
 	// Results are bitwise deterministic regardless of the worker count.
 	Workers int
+
+	// Retry is the per-design retry policy; the zero value performs a single
+	// attempt per design (identical to the pre-retry engine).
+	Retry fault.Policy
+	// JobTimeout bounds each evaluation attempt; 0 means unbounded. It
+	// composes with Retry (a timed-out attempt is retryable).
+	JobTimeout time.Duration
+	// FailureBudget is the fraction of evaluations allowed to fail (after
+	// retries) before the run errors. 0 preserves fail-fast: the first
+	// evaluation error aborts the search. A positive budget records failed
+	// designs in Result.Failures, feeds the optimizer survivors only, and
+	// completes the run as long as the failed fraction stays within budget.
+	FailureBudget float64
+	// Injector deterministically injects faults into backend evaluations for
+	// chaos testing; nil injects nothing.
+	Injector *fault.Injector
 }
 
 // Validate checks the request.
@@ -46,8 +65,14 @@ func (r Request) Validate() error {
 
 // evaluator builds the request's shared concurrent evaluator.
 func (r Request) evaluator() *Evaluator {
-	return NewEvaluator(r.DB, r.Scenario, r.Power,
-		WithTemplate(r.Space.Template), WithWorkers(r.Workers))
+	opts := []Option{WithTemplate(r.Space.Template), WithWorkers(r.Workers), WithRetry(r.Retry)}
+	if r.JobTimeout > 0 {
+		opts = append(opts, WithJobTimeout(r.JobTimeout))
+	}
+	if r.Injector != nil {
+		opts = append(opts, WithInjector(r.Injector))
+	}
+	return NewEvaluator(r.DB, r.Scenario, r.Power, opts...)
 }
 
 // Execute runs Phase 2 for a request: sample the space, explore it with the
@@ -56,6 +81,12 @@ func (r Request) evaluator() *Evaluator {
 // submission order before Pareto extraction, so the result is bitwise
 // deterministic for a given seed regardless of Workers. Cancelling the
 // context drains the pool and returns an error wrapping ctx.Err().
+//
+// Each evaluation runs under the request's retry policy with panic
+// isolation. With a zero FailureBudget the first exhausted evaluation aborts
+// the search (fail-fast); a positive budget records failed designs in
+// Result.Failures, feeds the optimizer the survivors, and errors only when
+// the failed fraction exceeds the budget.
 func Execute(ctx context.Context, req Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -72,11 +103,14 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		feats[i] = req.Space.Features(d)
 	}
 
-	// Evaluation failures cancel the optimizer promptly instead of letting
-	// it keep modeling garbage; the first error is reported afterwards.
+	// In fail-fast mode evaluation failures cancel the optimizer promptly
+	// instead of letting it keep modeling garbage; the first error is
+	// reported afterwards. With a failure budget, failed designs become
+	// Failure records and nil objective vectors the optimizer skips.
 	ectx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(map[int]Evaluated, cfg.BO.InitSamples+cfg.BO.Iterations)
+	var failures []fault.Failure
 	var evalErr error
 	fail := func(err error) {
 		if evalErr == nil {
@@ -84,13 +118,27 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 			cancel()
 		}
 	}
+	// degrade records one failed design; returns false when the error is a
+	// cancellation (which stays terminal even under a budget).
+	degrade := func(i int, err error) bool {
+		if errors.Is(err, context.Canceled) || errors.Is(err, ctx.Err()) {
+			return false
+		}
+		failures = append(failures, fault.NewFailure(cands[i].String(), err))
+		return true
+	}
 	problem := bayesopt.Problem{
 		Candidates: feats,
 		// Evaluate serves the sequential model-guided iterations.
 		Evaluate: func(i int) []float64 {
-			e, err := ev.Evaluate(cands[i])
+			e, err := ev.EvaluateContext(ectx, cands[i])
 			if err != nil {
+				if req.FailureBudget > 0 && degrade(i, err) {
+					return nil
+				}
 				fail(err)
+				results[i] = e
+				return e.Objectives()
 			}
 			results[i] = e
 			return e.Objectives()
@@ -102,12 +150,31 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 			for j, i := range indices {
 				ds[j] = cands[i]
 			}
+			ys := make([][]float64, len(indices))
+			if req.FailureBudget > 0 {
+				es, errs, err := ev.EvaluateEach(ectx, ds)
+				if err != nil {
+					fail(err)
+					return ys
+				}
+				for j, i := range indices {
+					if errs[j] != nil {
+						if !degrade(i, errs[j]) {
+							fail(errs[j])
+							return ys
+						}
+						continue
+					}
+					results[i] = es[j]
+					ys[j] = es[j].Objectives()
+				}
+				return ys
+			}
 			es, err := ev.EvaluateAll(ectx, ds)
 			if err != nil {
 				fail(err)
 				es = make([]Evaluated, len(indices))
 			}
-			ys := make([][]float64, len(indices))
 			for j, e := range es {
 				results[indices[j]] = e
 				ys[j] = e.Objectives()
@@ -127,9 +194,23 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Scenario: req.Scenario}
+	res := &Result{Scenario: req.Scenario, Failures: failures}
 	for _, e := range boRes.Evaluations {
 		res.Evaluated = append(res.Evaluated, results[e.Index])
 	}
-	return finishResult(ctx, res, req.Space, req.DB, req.Scenario, ev, cfg)
+	res, err = finishResult(ctx, res, req, ev)
+	if err != nil {
+		return nil, err
+	}
+	if req.FailureBudget > 0 {
+		attempted := len(res.Evaluated) + len(res.Failures)
+		if attempted > 0 {
+			if frac := float64(len(res.Failures)) / float64(attempted); frac > req.FailureBudget {
+				return res, fmt.Errorf("dse: %d/%d evaluations failed (%.0f%% > budget %.0f%%)\n%s",
+					len(res.Failures), attempted, frac*100, req.FailureBudget*100,
+					fault.Summarize(res.Failures))
+			}
+		}
+	}
+	return res, nil
 }

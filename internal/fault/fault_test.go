@@ -1,0 +1,289 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCallRecoversPanic(t *testing.T) {
+	err := Call(func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Value:%v stack:%d bytes}", pe.Value, len(pe.Stack))
+	}
+	if err := Call(func() error { return nil }); err != nil {
+		t.Fatalf("clean call: %v", err)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite("ok", 0, 1.5, -3); err != nil {
+		t.Fatalf("finite values: %v", err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := CheckFinite("loss", 1, bad)
+		var ne *NumericalError
+		if !errors.As(err, &ne) {
+			t.Fatalf("CheckFinite(%g) = %v, want *NumericalError", bad, err)
+		}
+		if ne.Index != 1 || ne.Label != "loss" {
+			t.Fatalf("NumericalError = %+v", ne)
+		}
+	}
+}
+
+func TestClassifyPrecedence(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Kind
+	}{
+		{errors.New("plain"), KindError},
+		{fmt.Errorf("wrap: %w", &PanicError{Value: "x"}), KindPanic},
+		{fmt.Errorf("wrap: %w", &NumericalError{Label: "y"}), KindNumerical},
+		{fmt.Errorf("wrap: %w", &TimeoutError{Err: errors.New("slow")}), KindTimeout},
+		{&RetryError{Attempts: 2, Last: &PanicError{Value: "x"}}, KindPanic},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestAttemptSeed(t *testing.T) {
+	if AttemptSeed(42, 0) != 42 {
+		t.Fatal("attempt 0 must return the base seed unchanged")
+	}
+	if AttemptSeed(42, -1) != 42 {
+		t.Fatal("negative attempts must return the base seed unchanged")
+	}
+	s1, s2 := AttemptSeed(42, 1), AttemptSeed(42, 2)
+	if s1 == 42 || s2 == 42 || s1 == s2 {
+		t.Fatalf("retry seeds not perturbed: %d, %d", s1, s2)
+	}
+	if AttemptSeed(42, 1) != s1 {
+		t.Fatal("AttemptSeed is not deterministic")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 45 * time.Millisecond, 45 * time.Millisecond}
+	for a, w := range want {
+		if got := p.Backoff(a); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", a, got, w)
+		}
+	}
+	if (Policy{}).Backoff(3) != 0 {
+		t.Error("zero policy must not sleep")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	attempts := []int{}
+	err := Retry(context.Background(), Policy{Attempts: 3}, func(_ context.Context, a int) error {
+		attempts = append(attempts, a)
+		if a < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(attempts) != "[0 1 2]" {
+		t.Fatalf("attempts = %v", attempts)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Policy{Attempts: 3}, func(_ context.Context, _ int) error {
+		calls++
+		return errors.New("always")
+	})
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 3 || calls != 3 {
+		t.Fatalf("err = %v (calls %d), want *RetryError after 3 attempts", err, calls)
+	}
+}
+
+func TestRetryZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Retry(context.Background(), Policy{}, func(_ context.Context, _ int) error {
+		calls++
+		return boom
+	})
+	if calls != 1 {
+		t.Fatalf("zero policy made %d attempts", calls)
+	}
+	if !errors.Is(err, boom) || AttemptsOf(err) != 1 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		Attempts:  5,
+		Retryable: func(err error) bool { return !errors.Is(err, fatal) },
+	}, func(_ context.Context, _ int) error {
+		calls++
+		return fatal
+	})
+	if calls != 1 || !errors.Is(err, fatal) {
+		t.Fatalf("non-retryable error retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryIsolatesPanics(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Policy{Attempts: 2}, func(_ context.Context, _ int) error {
+		calls++
+		if calls == 1 {
+			panic("first attempt crashes")
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("panic not retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, Policy{Attempts: 3}, func(_ context.Context, _ int) error {
+		t.Fatal("fn must not run on a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Policy{Attempts: 2, Timeout: 5 * time.Millisecond},
+		func(ctx context.Context, _ int) error {
+			calls++
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	var re *RetryError
+	if !errors.As(err, &re) || calls != 2 {
+		t.Fatalf("err = %v (calls %d), want exhausted retries", err, calls)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError cause", err)
+	}
+	if Classify(err) != KindTimeout {
+		t.Fatalf("Classify = %v, want timeout", Classify(err))
+	}
+}
+
+func TestInjectorDeterministicAndDistributed(t *testing.T) {
+	in := &Injector{Seed: 7, PanicRate: 0.05, ErrorRate: 0.05, NaNRate: 0.05}
+	counts := map[Injection]int{}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("job%d", i)
+		d := in.Decide(key)
+		if d != in.Decide(key) {
+			t.Fatalf("key %q: decision not deterministic", key)
+		}
+		counts[d]++
+	}
+	for _, inj := range []Injection{InjectPanic, InjectError, InjectNaN} {
+		// 5% of 2000 = 100 expected; accept a generous band.
+		if n := counts[inj]; n < 40 || n > 200 {
+			t.Errorf("%v hit %d of 2000 keys, want ~100", inj, n)
+		}
+	}
+	other := &Injector{Seed: 8, PanicRate: 0.05, ErrorRate: 0.05, NaNRate: 0.05}
+	same := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("job%d", i)
+		if in.Decide(key) == other.Decide(key) {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Error("different seeds produced identical decisions")
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if in.Decide("x") != InjectNone {
+		t.Fatal("nil injector must decide InjectNone")
+	}
+	if err := in.Invoke("x", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v := in.Value("x", 1.5); v != 1.5 {
+		t.Fatal("nil injector must pass values through")
+	}
+}
+
+func TestInjectorInvoke(t *testing.T) {
+	in := &Injector{Seed: 1, ErrorRate: 1}
+	err := in.Invoke("any", func() error {
+		t.Fatal("fn must not run on an injected error")
+		return nil
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	in = &Injector{Seed: 1, PanicRate: 1}
+	err = Call(func() error { return in.Invoke("any", func() error { return nil }) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want escaped panic captured by Call", err)
+	}
+
+	in = &Injector{Seed: 1, NaNRate: 1}
+	if !math.IsNaN(in.Value("any", 3.0)) {
+		t.Fatal("NaN injection did not poison the value")
+	}
+	if err := in.Invoke("any", func() error { return nil }); err != nil {
+		t.Fatalf("NaN decision must not fail Invoke: %v", err)
+	}
+}
+
+func TestFailureRecordsAndSummary(t *testing.T) {
+	failures := []Failure{
+		NewFailure("job-a", &RetryError{Attempts: 3, Last: &PanicError{Value: "x"}}),
+		NewFailure("job-b", errors.New("plain")),
+		NewFailure("job-c", fmt.Errorf("dse: %w", &NumericalError{Label: "fps", Value: math.NaN()})),
+	}
+	if failures[0].Attempts != 3 || failures[0].Kind != KindPanic {
+		t.Fatalf("failure[0] = %+v", failures[0])
+	}
+	if failures[1].Attempts != 1 || failures[1].Kind != KindError {
+		t.Fatalf("failure[1] = %+v", failures[1])
+	}
+	if failures[2].Kind != KindNumerical {
+		t.Fatalf("failure[2] = %+v", failures[2])
+	}
+	sum := Summarize(failures)
+	for _, want := range []string{"job-a", "job-b", "job-c", "panic", "numerical"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	if Summarize(nil) != "" {
+		t.Error("empty failure set must summarize to the empty string")
+	}
+}

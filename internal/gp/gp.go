@@ -43,9 +43,18 @@ type GP struct {
 	alpha  []float64   // (K + noise·I)⁻¹ y
 }
 
+// jitterSchedule holds the escalating diagonal jitter magnitudes tried when
+// an initial Cholesky factorization fails: each is added to the covariance
+// diagonal (scaled by its mean magnitude) and the factorization retried. A
+// factorization that succeeds without jitter is never perturbed, so
+// well-conditioned fits stay bitwise identical to the unguarded path.
+var jitterSchedule = []float64{1e-10, 1e-8, 1e-6, 1e-4}
+
 // Fit conditions a GP on observations (X, y). noise is the observation
 // noise variance added to the kernel diagonal; it must be positive to keep
-// the system well conditioned.
+// the system well conditioned. Targets must be finite. If the covariance is
+// numerically indefinite (near-duplicate inputs, extreme length scales), Fit
+// escalates through a small diagonal-jitter schedule before giving up.
 func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) {
 	n := len(x)
 	if n == 0 {
@@ -57,7 +66,13 @@ func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) 
 	if noise <= 0 {
 		return nil, fmt.Errorf("gp: noise variance must be positive, got %g", noise)
 	}
+	for i, yi := range y {
+		if math.IsNaN(yi) || math.IsInf(yi, 0) {
+			return nil, fmt.Errorf("gp: target %d is non-finite (%g)", i, yi)
+		}
+	}
 	k := make([][]float64, n)
+	meanDiag := 0.0
 	for i := range k {
 		k[i] = make([]float64, n)
 		for j := 0; j <= i; j++ {
@@ -66,8 +81,20 @@ func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) 
 			k[j][i] = v
 		}
 		k[i][i] += noise
+		meanDiag += k[i][i]
 	}
+	meanDiag /= float64(n)
 	l, err := Cholesky(k)
+	for _, jitter := range jitterSchedule {
+		if err == nil {
+			break
+		}
+		eps := jitter * meanDiag
+		for i := 0; i < n; i++ {
+			k[i][i] += eps
+		}
+		l, err = Cholesky(k)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("gp: covariance not positive definite: %w", err)
 	}

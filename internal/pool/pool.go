@@ -8,7 +8,13 @@
 //     (Pareto extraction, hypervolume traces) see exactly the sequence a
 //     sequential run would have produced;
 //   - prompt drain on context cancellation, returning an error that wraps
-//     ctx.Err().
+//     ctx.Err();
+//   - panic isolation: a worker panic is recovered into a typed
+//     *fault.PanicError carrying the stack and item index, so a crashing job
+//     becomes an error — never a process death that discards the batch.
+//
+// Map is fail-fast (the first error cancels the batch); MapEach isolates
+// per-item failures for sweeps that degrade gracefully instead of aborting.
 //
 // Work functions must be deterministic in their input alone (derive any
 // seeds from item identity, never from goroutine or completion order) for
@@ -17,9 +23,13 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"autopilot/internal/fault"
 )
 
 // Workers resolves a requested worker count: values <= 0 select
@@ -31,10 +41,41 @@ func Workers(n int) int {
 	return runtime.NumCPU()
 }
 
+// call runs fn on one item with panic isolation: a panic is recovered into a
+// *fault.PanicError recording the item index and stack.
+func call[I, O any](ctx context.Context, i int, item I, fn func(context.Context, I) (O, error)) (o O, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("pool: item %d panicked: %w",
+				i, &fault.PanicError{Value: v, Stack: debug.Stack(), Index: i})
+		}
+	}()
+	return fn(ctx, item)
+}
+
+// finish resolves Map's terminal error: when a worker failed *and* the
+// parent context was cancelled, the worker's error wins (it is the root
+// cause — cancellation may merely be its consequence) but the context error
+// is attached so errors.Is(err, context.Canceled) still reports correctly.
+func finish(ctx context.Context, firstErr error) error {
+	ctxErr := ctx.Err()
+	if firstErr != nil {
+		if ctxErr != nil && !errors.Is(firstErr, ctxErr) {
+			return fmt.Errorf("%w (context also cancelled: %w)", firstErr, ctxErr)
+		}
+		return firstErr
+	}
+	if ctxErr != nil {
+		return fmt.Errorf("pool: cancelled: %w", ctxErr)
+	}
+	return nil
+}
+
 // Map applies fn to every item on at most `workers` goroutines (<= 0 means
 // runtime.NumCPU()) and returns the outputs in submission order. The first
-// error cancels the remaining work, drains the pool, and is returned; if the
-// context is cancelled first, the returned error wraps ctx.Err().
+// error (a worker panic counts, as a *fault.PanicError) cancels the
+// remaining work, drains the pool, and is returned; if the context is
+// cancelled first, the returned error wraps ctx.Err().
 func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.Context, I) (O, error)) ([]O, error) {
 	out := make([]O, len(items))
 	if len(items) == 0 {
@@ -52,9 +93,9 @@ func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("pool: cancelled: %w", err)
 			}
-			o, err := fn(ctx, item)
+			o, err := call(ctx, i, item, fn)
 			if err != nil {
-				return nil, err
+				return nil, finish(ctx, err)
 			}
 			out[i] = o
 		}
@@ -85,7 +126,7 @@ func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.
 				if wctx.Err() != nil {
 					return
 				}
-				o, err := fn(wctx, items[i])
+				o, err := call(wctx, i, items[i], fn)
 				if err != nil {
 					fail(err)
 					return
@@ -106,13 +147,75 @@ func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.
 	close(idx)
 	wg.Wait()
 
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("pool: cancelled: %w", err)
+	if err := finish(ctx, firstErr); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MapEach applies fn to every item like Map, but isolates failures instead
+// of failing fast: a failing (or panicking) item records its error in the
+// returned error slice and the rest of the batch keeps running. Outputs and
+// errors are index-aligned with items — errs[i] == nil means out[i] is
+// valid. Only context cancellation stops the batch early; the terminal
+// error is non-nil exactly in that case and wraps ctx.Err(). This is the
+// fan-out graceful-degradation sweeps build on.
+func MapEach[I, O any](ctx context.Context, workers int, items []I, fn func(context.Context, I) (O, error)) ([]O, []error, error) {
+	out := make([]O, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("pool: cancelled: %w", err)
+		}
+		return out, errs, nil
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	run := func(i int) {
+		out[i], errs[i] = call(ctx, i, items[i], fn)
+	}
+	if workers == 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("pool: cancelled: %w", err)
+			}
+			run(i)
+		}
+		return out, errs, nil
+	}
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	for i := range items {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("pool: cancelled: %w", err)
+	}
+	return out, errs, nil
 }
 
 // ForEach is Map for side-effecting work without a result value.

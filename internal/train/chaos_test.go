@@ -1,0 +1,178 @@
+// Chaos tests drive the sweep through the deterministic fault injector and
+// pin the degradation contract: the injected failure set is an exact,
+// precomputable function of the injector seed, the surviving records are
+// bitwise identical at any worker count, and retries clear attempt-keyed
+// faults.
+package train_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/fault"
+	"autopilot/internal/policy"
+	"autopilot/internal/train"
+)
+
+// chaosHypers is a slice of the family large enough for a ~30% fault rate to
+// hit a proper subset of jobs.
+var chaosHypers = policy.AllHypers()[:12]
+
+// expectedChaosFailures mirrors trainJob's single-attempt injection points:
+// a job fails terminally when its attempt-0 key draws a panic, an error, or
+// a NaN poison (delays and clean draws succeed).
+func expectedChaosFailures(in *fault.Injector, hypers []policy.Hyper, s airlearning.Scenario) map[string]fault.Kind {
+	want := map[string]fault.Kind{}
+	for _, h := range hypers {
+		key := airlearning.Key(h, s)
+		switch in.Decide(key + "#0") {
+		case fault.InjectPanic:
+			want[key] = fault.KindPanic
+		case fault.InjectError:
+			want[key] = fault.KindError
+		case fault.InjectNaN:
+			want[key] = fault.KindNumerical
+		}
+	}
+	return want
+}
+
+// TestSweepChaosDeterministicDegradation injects a seeded fault mix into a
+// sweep with an open failure budget and checks the failure report matches
+// the precomputed injection set exactly while the surviving records stay
+// bitwise identical across worker counts and to a clean run.
+func TestSweepChaosDeterministicDegradation(t *testing.T) {
+	scen := airlearning.LowObstacle
+	in := &fault.Injector{Seed: 5, PanicRate: 0.1, ErrorRate: 0.1, NaNRate: 0.1}
+	want := expectedChaosFailures(in, chaosHypers, scen)
+	if len(want) == 0 || len(want) == len(chaosHypers) {
+		t.Fatalf("injector hits %d of %d jobs, want a proper subset (retune seed/rates)", len(want), len(chaosHypers))
+	}
+
+	run := func(workers int) (*airlearning.Database, []fault.Failure) {
+		t.Helper()
+		cfg := testConfig(workers)
+		cfg.FailureBudget = 1
+		cfg.Injector = in
+		db := airlearning.NewDatabase()
+		rep, err := train.New(testFactory(), cfg).Sweep(context.Background(), chaosHypers, scen, db)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Trained+len(rep.Failures) != len(chaosHypers) {
+			t.Fatalf("workers=%d: %d trained + %d failed != %d jobs", workers, rep.Trained, len(rep.Failures), len(chaosHypers))
+		}
+		return db, rep.Failures
+	}
+
+	db1, fails1 := run(1)
+	db8, fails8 := run(8)
+
+	if !reflect.DeepEqual(fails1, fails8) {
+		t.Fatalf("failure reports differ across worker counts:\n%v\n%v", fails1, fails8)
+	}
+	got := map[string]fault.Kind{}
+	for _, f := range fails1 {
+		got[f.Job] = f.Kind
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("failure set = %v, want the injected set %v", got, want)
+	}
+	if !reflect.DeepEqual(db1.All(), db8.All()) {
+		t.Fatalf("surviving records differ across worker counts:\n%+v\n%+v", db1.All(), db8.All())
+	}
+
+	// Survivors must be bitwise identical to an injection-free sweep's
+	// records for the same hypers: faults are isolated, not contagious.
+	clean := airlearning.NewDatabase()
+	if _, err := train.New(testFactory(), testConfig(4)).Sweep(context.Background(), chaosHypers, scen, clean); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range db1.All() {
+		cr, ok := clean.Get(r.Hyper, r.Scenario)
+		if !ok {
+			t.Fatalf("survivor %s missing from clean sweep", airlearning.Key(r.Hyper, r.Scenario))
+		}
+		if !reflect.DeepEqual(r, cr) {
+			t.Fatalf("survivor %s differs from clean run:\n%+v\n%+v", airlearning.Key(r.Hyper, r.Scenario), r, cr)
+		}
+	}
+}
+
+// TestSweepRetryClearsInjectedFault finds a seed whose fault clears on the
+// second attempt (injection keys include the attempt index) and checks that
+// a two-attempt budget turns the would-be failure into a success, even under
+// fail-fast semantics.
+func TestSweepRetryClearsInjectedFault(t *testing.T) {
+	scen := airlearning.LowObstacle
+	h := chaosHypers[0]
+	key := airlearning.Key(h, scen)
+	in := &fault.Injector{ErrorRate: 0.4}
+	found := false
+	for seed := int64(0); seed < 200; seed++ {
+		in.Seed = seed
+		if in.Decide(key+"#0") == fault.InjectError && in.Decide(key+"#1") == fault.InjectNone {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed with a fault at attempt 0 that clears at attempt 1")
+	}
+
+	// One attempt: the injected error is terminal and fail-fast aborts.
+	cfg := testConfig(1)
+	cfg.Injector = in
+	db := airlearning.NewDatabase()
+	if _, err := train.New(testFactory(), cfg).Sweep(context.Background(), []policy.Hyper{h}, scen, db); err == nil {
+		t.Fatal("single-attempt sweep succeeded despite the injected fault")
+	}
+
+	// Two attempts: the retry's attempt-1 key draws clean and the job lands.
+	cfg.Retry = fault.Policy{Attempts: 2}
+	db = airlearning.NewDatabase()
+	rep, err := train.New(testFactory(), cfg).Sweep(context.Background(), []policy.Hyper{h}, scen, db)
+	if err != nil {
+		t.Fatalf("retry did not clear the injected fault: %v", err)
+	}
+	if rep.Trained != 1 || db.Len() != 1 {
+		t.Fatalf("trained %d records, db holds %d, want 1", rep.Trained, db.Len())
+	}
+
+	// The retried result is itself deterministic.
+	db2 := airlearning.NewDatabase()
+	if _, err := train.New(testFactory(), cfg).Sweep(context.Background(), []policy.Hyper{h}, scen, db2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(db.All(), db2.All()) {
+		t.Fatal("retried sweep is not reproducible")
+	}
+}
+
+// TestSweepFailureBudgetExceeded checks that a blown budget still returns
+// the failure report alongside the error.
+func TestSweepFailureBudgetExceeded(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.FailureBudget = 0.25
+	cfg.Injector = &fault.Injector{Seed: 1, ErrorRate: 1}
+	db := airlearning.NewDatabase()
+	rep, err := train.New(testFactory(), cfg).Sweep(context.Background(), chaosHypers[:4], airlearning.LowObstacle, db)
+	if err == nil {
+		t.Fatal("sweep succeeded with every job failing and a 25% budget")
+	}
+	if rep == nil || len(rep.Failures) != 4 {
+		t.Fatalf("report = %+v, want all 4 failures recorded", rep)
+	}
+	for i, f := range rep.Failures {
+		wantJob := airlearning.Key(chaosHypers[i], airlearning.LowObstacle)
+		if f.Job != wantJob || f.Kind != fault.KindError {
+			t.Fatalf("failure[%d] = %+v, want %s/error", i, f, wantJob)
+		}
+	}
+	if msg := fmt.Sprint(err); msg == "" {
+		t.Fatal("budget error must render")
+	}
+}

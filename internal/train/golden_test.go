@@ -50,7 +50,7 @@ func TestPhase1TrainGoldenDatabase(t *testing.T) {
 			Seed:         cfg.Seed,
 			Workers:      workers,
 		})
-		if err := eng.Sweep(context.Background(), hypers, airlearning.LowObstacle, db); err != nil {
+		if _, err := eng.Sweep(context.Background(), hypers, airlearning.LowObstacle, db); err != nil {
 			t.Fatal(err)
 		}
 		for _, g := range goldenPhase1 {

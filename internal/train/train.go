@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/fault"
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
 )
@@ -95,6 +96,28 @@ type Config struct {
 	// ProgressEvery reports training progress to the sink every N completed
 	// episodes; <= 0 reports only run completion.
 	ProgressEvery int
+
+	// Retry is the per-job retry policy for sweep training runs. The zero
+	// value performs a single attempt (no retries, behaviorally identical to
+	// the pre-retry engine). Retried attempts perturb the job's seed via
+	// fault.AttemptSeed — attempt 0 always uses the unperturbed JobSeed —
+	// so a job that succeeds first try is bitwise unchanged, and a retried
+	// job is deterministic in (hyper, scenario, attempt).
+	Retry fault.Policy
+
+	// FailureBudget is the fraction of sweep jobs allowed to fail (after
+	// retries) before the sweep itself errors. 0 preserves the historical
+	// fail-fast semantics: the first job error aborts the sweep. A budget of
+	// 0.25 lets a sweep complete — with the failures reported in its
+	// SweepReport — as long as at least 75% of the attempted jobs produced
+	// validated records.
+	FailureBudget float64
+
+	// Injector, when non-nil, deterministically injects faults into sweep
+	// training jobs for chaos testing. Jobs are keyed "record-key#attempt",
+	// so whether a job draws a fault is a pure function of its identity (and
+	// retry attempt), never of worker count or scheduling.
+	Injector *fault.Injector
 }
 
 // Validate checks the training budgets.
@@ -192,6 +215,9 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 			return airlearning.Record{}, nil, fmt.Errorf("train: cancelled: %w", err)
 		}
 		res := RunTrainingEpisode(env, alg)
+		if err := fault.CheckFinite("episode return", res.Return); err != nil {
+			return airlearning.Record{}, nil, fmt.Errorf("train: %s on %s episode %d: %w", alg.Name(), s, ep, err)
+		}
 		steps += res.Steps
 		if e.cfg.ProgressEvery > 0 && (ep+1)%e.cfg.ProgressEvery == 0 {
 			prog.Episode, prog.Steps, prog.Return, prog.Elapsed = ep+1, steps, res.Return, time.Since(start)
@@ -210,6 +236,9 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 	if err != nil {
 		return airlearning.Record{}, nil, err
 	}
+	if err := fault.CheckFinite("validated success rate", rate); err != nil {
+		return airlearning.Record{}, nil, fmt.Errorf("train: %s on %s: %w", alg.Name(), s, err)
+	}
 	params := int64(0)
 	if n, err := policy.Build(h, policy.DefaultTemplate()); err == nil {
 		params = n.Params()
@@ -227,19 +256,70 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 	return rec, pol, nil
 }
 
+// SweepReport summarizes a completed sweep: how many records were trained
+// this run, how many the checkpoint already held, which jobs failed after
+// exhausting their retries (in deterministic hyper order), and whether a
+// corrupt checkpoint had to be quarantined before starting.
+type SweepReport struct {
+	// Trained is the number of records produced by this run.
+	Trained int
+	// Skipped is the number of points the resumed checkpoint already held.
+	Skipped int
+	// Failures records every job that failed after retries, in the hypers'
+	// submission order — identical at any worker count.
+	Failures []fault.Failure
+	// CheckpointQuarantined is the path a corrupt checkpoint was renamed to
+	// (empty when the checkpoint was absent or valid).
+	CheckpointQuarantined string
+}
+
+// trainJob runs one sweep job under the engine's retry policy and fault
+// injector. Attempt 0 uses the unperturbed identity-derived seed; retries
+// re-derive it with fault.AttemptSeed so every attempt is deterministic in
+// (hyper, scenario, attempt) alone.
+func (e *Engine) trainJob(ctx context.Context, h policy.Hyper, s airlearning.Scenario) (airlearning.Record, error) {
+	base := JobSeed(e.cfg.Seed, h)
+	key := airlearning.Key(h, s)
+	var rec airlearning.Record
+	err := fault.Retry(ctx, e.cfg.Retry, func(ctx context.Context, attempt int) error {
+		jobKey := fmt.Sprintf("%s#%d", key, attempt)
+		return e.cfg.Injector.Invoke(jobKey, func() error {
+			r, _, err := e.train(ctx, h, s, fault.AttemptSeed(base, attempt))
+			if err != nil {
+				return err
+			}
+			r.SuccessRate = e.cfg.Injector.Value(jobKey, r.SuccessRate)
+			if err := fault.CheckFinite("validated success rate", r.SuccessRate); err != nil {
+				return err
+			}
+			rec = r
+			return nil
+		})
+	})
+	return rec, err
+}
+
 // Sweep trains every hyper on the scenario, fanning runs out over the
 // config's worker pool with identity-derived seeds, and fills db with the
 // validated records. With a checkpoint configured it first resumes from any
 // existing snapshot (already-trained points are skipped) and re-snapshots
 // the database after each completed record, so an interrupted sweep restarts
 // where it left off and converges to the same database as an uninterrupted
-// run.
-func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning.Scenario, db *airlearning.Database) error {
+// run. A corrupt checkpoint is quarantined (renamed aside by the loader) and
+// the sweep restarts from scratch, reporting the quarantine path.
+//
+// Each job runs under the config's retry policy with panic isolation; with a
+// zero FailureBudget the first exhausted job aborts the sweep (fail-fast),
+// while a positive budget lets the sweep complete — failures recorded in the
+// report — as long as the failed fraction stays within budget.
+func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning.Scenario, db *airlearning.Database) (*SweepReport, error) {
 	if err := e.cfg.Validate(); err != nil {
-		return err
+		return nil, err
 	}
+	report := &SweepReport{}
 	if e.cfg.Checkpoint != "" {
 		prev, err := airlearning.Load(e.cfg.Checkpoint)
+		var corrupt *airlearning.CorruptError
 		switch {
 		case err == nil:
 			for _, r := range prev.All() {
@@ -247,8 +327,12 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 			}
 		case errors.Is(err, os.ErrNotExist):
 			// fresh run: nothing to resume
+		case errors.As(err, &corrupt):
+			// Damaged checkpoint: the loader already quarantined it; note
+			// where and restart from scratch.
+			report.CheckpointQuarantined = corrupt.Quarantined
 		default:
-			return fmt.Errorf("train: resume checkpoint: %w", err)
+			return nil, fmt.Errorf("train: resume checkpoint: %w", err)
 		}
 	}
 	var todo []policy.Hyper
@@ -257,8 +341,10 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 			todo = append(todo, h)
 		}
 	}
-	return pool.ForEach(ctx, e.cfg.Workers, todo, func(ctx context.Context, h policy.Hyper) error {
-		rec, _, err := e.train(ctx, h, s, JobSeed(e.cfg.Seed, h))
+	report.Skipped = len(hypers) - len(todo)
+
+	run := func(ctx context.Context, h policy.Hyper) error {
+		rec, err := e.trainJob(ctx, h, s)
 		if err != nil {
 			return err
 		}
@@ -269,5 +355,37 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 			}
 		}
 		return nil
+	}
+
+	if e.cfg.FailureBudget <= 0 {
+		// Historical fail-fast semantics: the first exhausted job cancels
+		// the batch.
+		if err := pool.ForEach(ctx, e.cfg.Workers, todo, run); err != nil {
+			return nil, err
+		}
+		report.Trained = len(todo)
+		return report, nil
+	}
+
+	// Graceful degradation: isolate per-job failures, then check the budget.
+	_, errs, err := pool.MapEach(ctx, e.cfg.Workers, todo, func(ctx context.Context, h policy.Hyper) (struct{}, error) {
+		return struct{}{}, run(ctx, h)
 	})
+	if err != nil {
+		return nil, err
+	}
+	for i, jerr := range errs {
+		if jerr == nil {
+			report.Trained++
+			continue
+		}
+		report.Failures = append(report.Failures, fault.NewFailure(airlearning.Key(todo[i], s), jerr))
+	}
+	if n := len(todo); n > 0 {
+		if frac := float64(len(report.Failures)) / float64(n); frac > e.cfg.FailureBudget {
+			return report, fmt.Errorf("train: %d/%d sweep jobs failed (%.0f%% > budget %.0f%%)\n%s",
+				len(report.Failures), n, frac*100, e.cfg.FailureBudget*100, fault.Summarize(report.Failures))
+		}
+	}
+	return report, nil
 }

@@ -65,7 +65,7 @@ func sweep(t *testing.T, cfg train.Config, opts ...train.Option) *airlearning.Da
 	t.Helper()
 	db := airlearning.NewDatabase()
 	eng := train.New(testFactory(), cfg, opts...)
-	if err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
+	if _, err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
 		t.Fatal(err)
 	}
 	return db
@@ -97,7 +97,7 @@ func TestSweepResumeMatchesUninterrupted(t *testing.T) {
 		}
 	})))
 	db1 := airlearning.NewDatabase()
-	err := interrupted.Sweep(ctx, testHypers, airlearning.LowObstacle, db1)
+	_, err := interrupted.Sweep(ctx, testHypers, airlearning.LowObstacle, db1)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted sweep err = %v, want context.Canceled", err)
 	}
@@ -111,8 +111,12 @@ func TestSweepResumeMatchesUninterrupted(t *testing.T) {
 
 	// Resume with a fresh engine against the same checkpoint.
 	resumed := airlearning.NewDatabase()
-	if err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, resumed); err != nil {
+	rep, err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, resumed)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("resumed sweep reports no skipped records")
 	}
 
 	uninterrupted := sweep(t, testConfig(1))
@@ -144,7 +148,7 @@ func TestSweepSkipsRecordsAlreadyInDatabase(t *testing.T) {
 	db := airlearning.NewDatabase()
 	db.Put(airlearning.Record{Hyper: testHypers[0], Scenario: airlearning.LowObstacle, SuccessRate: 0.5})
 	eng := train.New(counting, testConfig(2))
-	if err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
+	if _, err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
 		t.Fatal(err)
 	}
 	if built[testHypers[0].String()] != 0 {
@@ -264,20 +268,91 @@ func TestEngineRejectsBadBudget(t *testing.T) {
 	if _, _, err := eng.Train(context.Background(), testHypers[0], airlearning.LowObstacle); err == nil {
 		t.Fatal("want budget error")
 	}
-	if err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, airlearning.NewDatabase()); err == nil {
+	if _, err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, airlearning.NewDatabase()); err == nil {
 		t.Fatal("want budget error")
 	}
 }
 
-func TestSweepRejectsCorruptCheckpoint(t *testing.T) {
+// TestSweepQuarantinesCorruptCheckpoint: a damaged checkpoint must not kill
+// the sweep — it is renamed aside (preserving the evidence), reported, and
+// the sweep restarts from scratch, converging bitwise to an uninterrupted
+// run.
+func TestSweepQuarantinesCorruptCheckpoint(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(ckpt, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	cfg := testConfig(1)
 	cfg.Checkpoint = ckpt
-	err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, airlearning.NewDatabase())
-	if err == nil {
-		t.Fatal("want error for corrupt checkpoint")
+	db := airlearning.NewDatabase()
+	rep, err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, db)
+	if err != nil {
+		t.Fatalf("sweep with corrupt checkpoint: %v", err)
+	}
+	if want := ckpt + ".corrupt"; rep.CheckpointQuarantined != want {
+		t.Fatalf("quarantine path %q, want %q", rep.CheckpointQuarantined, want)
+	}
+	if data, err := os.ReadFile(ckpt + ".corrupt"); err != nil || string(data) != "{not json" {
+		t.Fatalf("quarantined file = %q, %v; want original corrupt bytes", data, err)
+	}
+	if !reflect.DeepEqual(db.All(), sweep(t, testConfig(1)).All()) {
+		t.Fatal("post-quarantine sweep differs from clean run")
+	}
+	// The rewritten checkpoint must now be valid and complete.
+	final, err := airlearning.Load(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final.All(), db.All()) {
+		t.Fatal("rewritten checkpoint differs from swept database")
+	}
+}
+
+// TestSweepResumeFromTruncatedCheckpoint bit-flips and truncates a valid
+// snapshot mid-payload: Load must detect the damage via the checksum,
+// quarantine it, and the re-run sweep must converge bitwise to the
+// uninterrupted database.
+func TestSweepResumeFromTruncatedCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "phase1.json")
+	cfg := testConfig(1)
+	cfg.Checkpoint = ckpt
+	want := airlearning.NewDatabase()
+	if _, err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, want); err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)*2/3] },
+		"bitflip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		},
+	}
+	for name, fn := range damage {
+		t.Run(name, func(t *testing.T) {
+			good, err := os.ReadFile(ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			bad := filepath.Join(dir, "phase1.json")
+			if err := os.WriteFile(bad, fn(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig(1)
+			cfg.Checkpoint = bad
+			db := airlearning.NewDatabase()
+			rep, err := train.New(testFactory(), cfg).Sweep(context.Background(), testHypers, airlearning.LowObstacle, db)
+			if err != nil {
+				t.Fatalf("sweep over %s checkpoint: %v", name, err)
+			}
+			if rep.CheckpointQuarantined != bad+".corrupt" {
+				t.Fatalf("quarantine path %q", rep.CheckpointQuarantined)
+			}
+			if !reflect.DeepEqual(db.All(), want.All()) {
+				t.Fatalf("%s recovery diverged from uninterrupted run", name)
+			}
+		})
 	}
 }
