@@ -13,6 +13,14 @@
 // seed regardless of the worker count. Ctrl-C cancels a long run cleanly;
 // with -train and -train-db the Phase-1 sweep checkpoints each completed
 // policy, so rerunning the same command resumes instead of retraining.
+//
+// Observability: -trace writes a Chrome trace_event JSON of the phase and
+// job spans (load it in chrome://tracing or Perfetto), -manifest writes a
+// machine-readable run manifest (config, seeds, phase durations, metric
+// snapshot, failure summary), and -debug-addr serves live metrics, expvar,
+// and pprof over HTTP while the run is in flight. A one-line metrics summary
+// is printed on exit. None of this perturbs results: instrumented runs are
+// bitwise identical to uninstrumented ones.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"autopilot/internal/airlearning"
 	"autopilot/internal/core"
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 	"autopilot/internal/uav"
 )
@@ -88,6 +97,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt timeout (0 = unbounded)")
 	failureBudget := flag.Float64("failure-budget", 0, "fraction of jobs allowed to fail after retries (0 = fail-fast)")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
+	var obsFlags obs.Flags
+	obsFlags.Register()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -104,7 +115,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	run, err := obsFlags.Start("autopilot")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilot:", err)
+		os.Exit(1)
+	}
+	// finish prints the metrics one-liner and writes the trace/manifest
+	// outputs; every exit path below goes through it exactly once.
+	finish := func(runErr error) {
+		if s := run.Summary(); s != "" {
+			fmt.Fprintln(os.Stderr, s)
+		}
+		if cerr := run.Close(runErr); cerr != nil && runErr == nil {
+			os.Exit(1)
+		}
+	}
+	run.SetSeed("seed", *seed)
+	run.SetConfig("uav", *uavName)
+	run.SetConfig("scenario", *scenName)
+	run.SetConfig("pool", *pool)
+	run.SetConfig("bo_iters", *boIters)
+	run.SetConfig("workers", *workers)
+	run.SetConfig("train", *train)
+	run.SetConfig("retries", *retries)
+	run.SetConfig("failure_budget", *failureBudget)
+
 	spec := core.DefaultSpec(plat, scen)
+	spec.Obs = run.Obs
 	spec.SensorFPS = *sensorFPS
 	spec.Phase2.CandidatePool = *pool
 	spec.Phase2.BO.Iterations = *boIters
@@ -126,15 +163,25 @@ func main() {
 
 	rep, err := core.Run(ctx, spec)
 	if err != nil {
+		finish(err)
 		fmt.Fprintln(os.Stderr, "autopilot:", err)
 		os.Exit(1)
 	}
+	if rep.Phase1 != nil {
+		run.AddFailures(fault.Records(rep.Phase1.Failures)...)
+		if rep.Phase1.CheckpointQuarantined != "" {
+			run.AddEvent("checkpoint-quarantined", rep.Phase1.CheckpointQuarantined)
+		}
+	}
+	run.AddFailures(fault.Records(rep.Phase2.Failures)...)
 
 	if *asJSON {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
+			finish(err)
 			fmt.Fprintln(os.Stderr, "autopilot:", err)
 			os.Exit(1)
 		}
+		finish(nil)
 		return
 	}
 
@@ -157,6 +204,7 @@ func main() {
 	baselines := uav.AllBaselines()
 	sels, err := core.EvaluateBaselines(ctx, spec, rep.Database, baselines)
 	if err != nil {
+		finish(err)
 		fmt.Fprintln(os.Stderr, "autopilot:", err)
 		os.Exit(1)
 	}
@@ -169,4 +217,5 @@ func main() {
 			fmt.Printf("  %-12s grounded (%.0f g exceeds lift capacity)\n", b.Name, b.WeightG)
 		}
 	}
+	finish(nil)
 }

@@ -11,6 +11,11 @@
 // Evaluations fan out over -workers goroutines (0 = all CPUs); the result is
 // bitwise deterministic for a given seed regardless of the worker count.
 // Ctrl-C cancels the sweep cleanly.
+//
+// Observability: -trace writes a Chrome trace_event JSON of the search and
+// evaluation spans, -manifest a machine-readable run manifest, and
+// -debug-addr serves live metrics/expvar/pprof over HTTP. A one-line metrics
+// summary (cache hits/misses, simulations, retries) is printed on exit.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"autopilot/internal/airlearning"
 	"autopilot/internal/dse"
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 	"autopilot/internal/power"
 )
 
@@ -37,6 +43,8 @@ func main() {
 	retries := flag.Int("retries", 1, "attempt budget per design evaluation (1 = no retries)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt evaluation timeout (0 = unbounded)")
 	failureBudget := flag.Float64("failure-budget", 0, "fraction of evaluations allowed to fail after retries (0 = fail-fast)")
+	var obsFlags obs.Flags
+	obsFlags.Register()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -68,6 +76,27 @@ func main() {
 		airlearning.PopulateSurrogate(db)
 	}
 
+	run, err := obsFlags.Start("dse")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+	finish := func(runErr error) {
+		if s := run.Summary(); s != "" {
+			fmt.Fprintln(os.Stderr, s)
+		}
+		if cerr := run.Close(runErr); cerr != nil && runErr == nil {
+			os.Exit(1)
+		}
+	}
+	run.SetSeed("seed", *seed)
+	run.SetConfig("scenario", *scenName)
+	run.SetConfig("pool", *pool)
+	run.SetConfig("iters", *iters)
+	run.SetConfig("workers", *workers)
+	run.SetConfig("retries", *retries)
+	run.SetConfig("failure_budget", *failureBudget)
+
 	cfg := dse.DefaultConfig()
 	cfg.CandidatePool = *pool
 	cfg.BO.Iterations = *iters
@@ -93,18 +122,19 @@ func main() {
 		Retry:         retry,
 		JobTimeout:    *jobTimeout,
 		FailureBudget: *failureBudget,
+		Obs:           run.Obs,
 	})
 	if err != nil {
+		finish(err)
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(1)
 	}
 
+	run.AddFailures(fault.Records(res.Failures)...)
 	if len(res.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "dse: %d evaluation(s) failed within the %.0f%% budget:\n%s\n",
 			len(res.Failures), 100**failureBudget, fault.Summarize(res.Failures))
 	}
-	fmt.Printf("\nevaluator cache: %d hits / %d misses (%d simulations)\n",
-		res.CacheHits, res.CacheMisses, res.CacheMisses)
 	fmt.Printf("\nPareto frontier (%d of %d evaluated designs):\n", len(res.ParetoIdx), len(res.Evaluated))
 	fmt.Printf("%-44s %8s %8s %8s %8s\n", "design", "success", "FPS", "SoC W", "FPS/W")
 	for _, e := range res.Pareto() {
@@ -123,4 +153,5 @@ func main() {
 		fmt.Printf("  %-2s  %-44s %6.1f FPS %6.2f W %6.1f FPS/W\n",
 			pick.name, e.Design.String(), e.FPS, e.SoCPowerW, e.EfficiencyFPSW())
 	}
+	finish(nil)
 }

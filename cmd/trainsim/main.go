@@ -12,6 +12,11 @@
 // rerun the same command to pick up where it left off:
 //
 //	trainsim -all -scenario medium -workers 8 -db policies.json
+//
+// Observability: -trace writes a Chrome trace_event JSON of per-run training
+// spans, -manifest a machine-readable run manifest, and -debug-addr serves
+// live metrics/expvar/pprof over HTTP. The -progress output is unchanged: it
+// now rides the obs event stream through a writer-sink adapter.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 	"autopilot/internal/rl"
 	"autopilot/internal/train"
@@ -59,6 +65,8 @@ func main() {
 	retries := flag.Int("retries", 1, "attempt budget per training job (1 = no retries)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt timeout for training jobs (0 = unbounded)")
 	failureBudget := flag.Float64("failure-budget", 0, "fraction of sweep jobs allowed to fail after retries (0 = fail-fast)")
+	var obsFlags obs.Flags
+	obsFlags.Register()
 	flag.Parse()
 
 	var scen airlearning.Scenario
@@ -88,8 +96,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	run, err := obsFlags.Start("trainsim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+	finish := func(runErr error) {
+		if s := run.Summary(); s != "" {
+			fmt.Fprintln(os.Stderr, s)
+		}
+		if cerr := run.Close(runErr); cerr != nil && runErr == nil {
+			os.Exit(1)
+		}
+	}
+	run.SetSeed("seed", *seed)
+	run.SetConfig("scenario", *scenName)
+	run.SetConfig("algo", *algo)
+	run.SetConfig("episodes", *episodes)
+	run.SetConfig("eval_episodes", *evalEps)
+	run.SetConfig("workers", *workers)
+	run.SetConfig("all", *all)
+	run.SetConfig("retries", *retries)
+	run.SetConfig("failure_budget", *failureBudget)
+
 	if *all {
-		runSweep(ctx, scen, cfg, *workers, *progress, *dbPath,
+		runSweep(ctx, run, finish, scen, cfg, *workers, *progress, *dbPath,
 			retryPolicy(*retries, *jobTimeout), *failureBudget)
 		return
 	}
@@ -105,10 +136,12 @@ func main() {
 		Seed:          cfg.Seed,
 		Workers:       *workers,
 		ProgressEvery: *progress,
+		Obs:           run.Obs,
 	}, train.WithSink(train.NewWriterSink(os.Stdout)))
 	fmt.Printf("training %s on %s with %s for %d episodes...\n", h, scen, algorithm, *episodes)
 	rec, pol, err := eng.Train(ctx, h, scen)
 	if err != nil {
+		finish(err)
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -124,11 +157,13 @@ func main() {
 		}
 		db.Put(rec)
 		if err := db.Save(*dbPath); err != nil {
+			finish(err)
 			fmt.Fprintln(os.Stderr, "trainsim:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("database %s now holds %d records\n", *dbPath, db.Len())
 	}
+	finish(nil)
 }
 
 // runSweep trains the full template family through the engine's resumable
@@ -136,7 +171,7 @@ func main() {
 // rerun skips the points the snapshot already holds. Jobs run under the
 // retry policy; a positive failure budget lets the sweep finish with a
 // failure report instead of aborting on the first exhausted job.
-func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig, workers, progress int, dbPath string, retry fault.Policy, failureBudget float64) {
+func runSweep(ctx context.Context, run *obs.Run, finish func(error), scen airlearning.Scenario, cfg rl.TrainConfig, workers, progress int, dbPath string, retry fault.Policy, failureBudget float64) {
 	eng := train.New(rl.Factory(cfg), train.Config{
 		Episodes:      cfg.Episodes,
 		EvalEpisodes:  cfg.EvalEpisodes,
@@ -146,13 +181,21 @@ func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig
 		ProgressEvery: progress,
 		Retry:         retry,
 		FailureBudget: failureBudget,
+		Obs:           run.Obs,
 	}, train.WithSink(train.NewWriterSink(os.Stdout)))
 	hypers := policy.AllHypers()
 	fmt.Printf("sweeping %d template points on %s with %s (%d episodes each)...\n",
 		len(hypers), scen, cfg.Algorithm, cfg.Episodes)
 	db := airlearning.NewDatabase()
 	rep, err := eng.Sweep(ctx, hypers, scen, db)
+	if rep != nil {
+		run.AddFailures(fault.Records(rep.Failures)...)
+		if rep.CheckpointQuarantined != "" {
+			run.AddEvent("checkpoint-quarantined", rep.CheckpointQuarantined)
+		}
+	}
 	if err != nil {
+		finish(err)
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		if dbPath != "" {
 			fmt.Fprintf(os.Stderr, "trainsim: partial results checkpointed in %s; rerun to resume\n", dbPath)
@@ -173,9 +216,11 @@ func runSweep(ctx context.Context, scen airlearning.Scenario, cfg rl.TrainConfig
 	}
 	if dbPath != "" {
 		if err := db.Save(dbPath); err != nil {
+			finish(err)
 			fmt.Fprintln(os.Stderr, "trainsim:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("database saved to %s\n", dbPath)
 	}
+	finish(nil)
 }

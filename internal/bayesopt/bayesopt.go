@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"autopilot/internal/gp"
+	"autopilot/internal/obs"
 	"autopilot/internal/pareto"
 	"autopilot/internal/tensor"
 )
@@ -165,12 +166,22 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 	var objs [][]float64 // objective vectors of evaluated points
 	var feats [][]float64
 
+	// Instrumentation (from the caller's observer, if any): evaluation and
+	// iteration counters plus phase spans. All nil-safe no-ops when absent,
+	// and purely observational — the search trajectory is unchanged.
+	o := obs.FromContext(ctx)
+	cEvals := o.Counter("bo.evaluations")
+	cFailed := o.Counter("bo.failed_evals")
+	cIters := o.Counter("bo.iterations")
+
 	record := func(i int, y []float64) {
 		evaluated[i] = true
+		cEvals.Inc()
 		if y == nil {
 			// Failed evaluation (graceful degradation): the candidate is
 			// consumed — never re-screened — but contributes no observation,
 			// no model-fit point and no hypervolume-trace entry.
+			cFailed.Inc()
 			return
 		}
 		if len(y) != p.NumObjectives {
@@ -196,6 +207,8 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("bayesopt: cancelled: %w", err)
 	}
+	isp := obs.StartStep(ctx, "bo.init", "bayesopt")
+	defer isp.End() // idempotent; covers the early error returns below
 	if p.EvaluateBatch != nil {
 		ys := p.EvaluateBatch(init)
 		if len(ys) != len(init) {
@@ -213,6 +226,8 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 		}
 	}
 
+	isp.End()
+
 	if len(objs) == 0 {
 		return nil, fmt.Errorf("bayesopt: all %d initial samples failed to evaluate", len(init))
 	}
@@ -223,13 +238,17 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("bayesopt: cancelled: %w", err)
 		}
+		it := obs.StartStep(ctx, "bo.iter", "bayesopt")
+		cIters.Inc()
 		models, scales, err := fitModels(feats, objs, p.NumObjectives, kernel, cfg.Noise)
 		if err != nil {
+			it.End()
 			return nil, err
 		}
 		front := pareto.Filter(objs)
 		pool := screen(rng, len(p.Candidates), evaluated, cfg.ScreenSize)
 		if len(pool) == 0 {
+			it.End()
 			break
 		}
 		var weights []float64
@@ -250,6 +269,7 @@ func OptimizeContext(ctx context.Context, p Problem, cfg Config) (*Result, error
 			}
 		}
 		record(best, p.Evaluate(best))
+		it.End()
 	}
 
 	// Final Pareto front over everything evaluated.

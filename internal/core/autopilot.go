@@ -21,6 +21,7 @@ import (
 	"autopilot/internal/fault"
 	"autopilot/internal/hw"
 	"autopilot/internal/mission"
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
 	"autopilot/internal/power"
@@ -96,6 +97,13 @@ type Spec struct {
 	// ChaosInjector deterministically injects faults into training jobs and
 	// hardware evaluations for chaos testing; nil injects nothing.
 	ChaosInjector *fault.Injector
+
+	// Obs, when non-nil, instruments the whole pipeline: the three phases
+	// become trace spans (cat "phase" — what run manifests report as phase
+	// durations), and every layer underneath (train, dse, pool, fault, hw)
+	// records its counters and spans through the same observer. nil runs
+	// uninstrumented at zero cost; all results are bitwise identical.
+	Obs *obs.Observer
 }
 
 // retryPolicy assembles the spec's fault.Policy: the default backoff
@@ -174,8 +182,11 @@ func (s Selection) Missions() float64 {
 type Report struct {
 	Spec     Spec
 	Database *airlearning.Database
-	Phase2   *dse.Result
-	F1       f1.Model
+	// Phase1 is the training sweep's fault-tolerance report (trained/skipped
+	// counts, failures, checkpoint quarantine); nil in surrogate mode.
+	Phase1 *train.SweepReport
+	Phase2 *dse.Result
+	F1     f1.Model
 
 	// Selected is AutoPilot's pick (the "AP" design).
 	Selected Selection
@@ -192,7 +203,11 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	db, err := Phase1(ctx, spec)
+	ctx = obs.NewContext(ctx, spec.Obs)
+	root := obs.StartStep(ctx, "autopilot "+spec.Scenario.String(), "run")
+	defer root.End()
+	ctx = obs.ContextWithSpan(ctx, root)
+	db, p1, err := Phase1Report(ctx, spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
@@ -205,6 +220,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		return nil, fmt.Errorf("core: phase 3: %w", err)
 	}
 	rep.Database = db
+	rep.Phase1 = p1
 	return rep, nil
 }
 
@@ -225,6 +241,10 @@ func Phase1(ctx context.Context, spec Spec) (*airlearning.Database, error) {
 // so an interrupted sweep resumes where it left off (a corrupt checkpoint is
 // quarantined and reported, not fatal). The report is nil in surrogate mode.
 func Phase1Report(ctx context.Context, spec Spec) (*airlearning.Database, *train.SweepReport, error) {
+	ctx = obs.NewContext(ctx, spec.Obs)
+	sp := obs.StartStep(ctx, "phase1", "phase")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	db := airlearning.NewDatabase()
 	switch spec.Phase1Mode {
 	case Phase1Surrogate:
@@ -247,6 +267,7 @@ func Phase1Report(ctx context.Context, spec Spec) (*airlearning.Database, *train
 			Retry:         spec.retryPolicy(),
 			FailureBudget: spec.FailureBudget,
 			Injector:      spec.ChaosInjector,
+			Obs:           spec.Obs,
 		})
 		rep, err := eng.Sweep(ctx, hypers, spec.Scenario, db)
 		if err != nil {
@@ -261,6 +282,10 @@ func Phase1Report(ctx context.Context, spec Spec) (*airlearning.Database, *train
 // Phase2 runs the multi-objective DSE against the database under the spec's
 // retry policy and failure budget.
 func Phase2(ctx context.Context, spec Spec, db *airlearning.Database) (*dse.Result, error) {
+	ctx = obs.NewContext(ctx, spec.Obs)
+	sp := obs.StartStep(ctx, "phase2", "phase")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	return dse.Execute(ctx, dse.Request{
 		Space:         spec.Space,
 		DB:            db,
@@ -272,6 +297,7 @@ func Phase2(ctx context.Context, spec Spec, db *airlearning.Database) (*dse.Resu
 		JobTimeout:    spec.JobTimeout,
 		FailureBudget: spec.FailureBudget,
 		Injector:      spec.ChaosInjector,
+		Obs:           spec.Obs,
 	})
 }
 
@@ -348,6 +374,10 @@ func EvaluateOnPlatform(spec Spec, e dse.Evaluated, model f1.Model) Selection {
 // The per-candidate full-system evaluations fan out over the spec's worker
 // pool and are re-assembled in candidate order before selection.
 func Phase3(ctx context.Context, spec Spec, res *dse.Result) (*Report, error) {
+	ctx = obs.NewContext(ctx, spec.Obs)
+	sp := obs.StartStep(ctx, "phase3", "phase")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	model := f1.ForScenario(spec.Scenario)
 	rep := &Report{Spec: spec, Phase2: res, F1: model}
 

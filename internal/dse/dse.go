@@ -14,13 +14,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
 	"autopilot/internal/fault"
 	"autopilot/internal/hw"
+	"autopilot/internal/obs"
 	"autopilot/internal/pareto"
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
@@ -243,6 +243,9 @@ type Evaluator struct {
 	retry    fault.Policy
 	injector *fault.Injector
 
+	o     *obs.Observer
+	instr func(hw.Backend) hw.Backend // estimate-latency wrapper; nil when obs off
+
 	netMu sync.Mutex
 	nets  map[policy.Hyper]*policy.Network
 
@@ -252,7 +255,11 @@ type Evaluator struct {
 	flightMu sync.Mutex
 	flights  map[evalKey]*inflight
 
-	hits, misses atomic.Int64
+	// Cache instruments. With an observer these are the registry's
+	// dse.cache.{hits,misses,dedup} counters; without one they are standalone
+	// so CacheStats (and Result.CacheHits/Misses) keep working either way.
+	hits, misses, dedups *obs.Counter
+	cFailures            *obs.Counter // dse.eval.failures; nil when obs off
 }
 
 // Option configures an Evaluator.
@@ -306,6 +313,15 @@ func WithInjector(in *fault.Injector) Option {
 	return func(ev *Evaluator) { ev.injector = in }
 }
 
+// WithObs instruments the evaluator: cache hits/misses/singleflight dedups
+// land on the observer's registry (dse.cache.*), every backend estimate is
+// timed into hw.estimate_seconds, and terminal evaluation failures are
+// counted. nil (the default) disables instrumentation at zero cost; scores
+// are bitwise identical either way.
+func WithObs(o *obs.Observer) Option {
+	return func(ev *Evaluator) { ev.o = o }
+}
+
 // NewEvaluator builds a concurrency-safe evaluator over a success-rate
 // database for one deployment scenario:
 //
@@ -325,6 +341,18 @@ func NewEvaluator(db *airlearning.Database, scen airlearning.Scenario, pm power.
 	for _, opt := range opts {
 		opt(ev)
 	}
+	if ev.o != nil {
+		ev.hits = ev.o.Counter("dse.cache.hits")
+		ev.misses = ev.o.Counter("dse.cache.misses")
+		ev.dedups = ev.o.Counter("dse.cache.dedup")
+		ev.cFailures = ev.o.Counter("dse.eval.failures")
+		sec := ev.o.Histogram("hw.estimate_seconds", obs.LatencyBuckets)
+		calls := ev.o.Counter("hw.estimate.calls")
+		errs := ev.o.Counter("hw.estimate.errors")
+		ev.instr = func(b hw.Backend) hw.Backend { return hw.Instrument(b, sec, calls, errs) }
+	} else {
+		ev.hits, ev.misses, ev.dedups = obs.NewCounter(), obs.NewCounter(), obs.NewCounter()
+	}
 	return ev
 }
 
@@ -340,7 +368,7 @@ func (ev *Evaluator) Workers() int { return pool.Workers(ev.workers) }
 
 // CacheStats reports memoization cache hits and misses so far.
 func (ev *Evaluator) CacheStats() (hits, misses int64) {
-	return ev.hits.Load(), ev.misses.Load()
+	return ev.hits.Value(), ev.misses.Value()
 }
 
 // network returns the shared deployment network for a model, building it on
@@ -412,6 +440,11 @@ func (ev *Evaluator) evaluate(d DesignPoint, attempt int) (Evaluated, error) {
 	if ev.injector != nil {
 		backend = ev.injector.Backend(fmt.Sprintf("%s|%s#%d", ev.backendID, d, attempt), backend)
 	}
+	if ev.instr != nil {
+		// Instrument outermost so injected faults count in the estimate
+		// error/latency telemetry like real backend failures.
+		backend = ev.instr(backend)
+	}
 	est, err := backend.Estimate(hw.NetworkWorkload(d.Hyper.String(), net))
 	if err != nil {
 		return Evaluated{}, fmt.Errorf("dse: estimate %v: %w", d, err)
@@ -438,6 +471,7 @@ func (ev *Evaluator) evaluateRetry(ctx context.Context, d DesignPoint) (Evaluate
 		return aerr
 	})
 	if err != nil {
+		ev.cFailures.Inc()
 		return Evaluated{}, err
 	}
 	return e, nil
@@ -457,12 +491,12 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 // equals the number of designs actually simulated.
 func (ev *Evaluator) EvaluateContext(ctx context.Context, d DesignPoint) (Evaluated, error) {
 	if ev.cacheCap < 0 {
-		ev.misses.Add(1)
+		ev.misses.Inc()
 		return ev.evaluateRetry(ctx, d)
 	}
 	k := evalKey{backend: ev.backendID, design: d}
 	if e, ok := ev.cached(k); ok {
-		ev.hits.Add(1)
+		ev.hits.Inc()
 		return e, nil
 	}
 	ev.flightMu.Lock()
@@ -470,11 +504,12 @@ func (ev *Evaluator) EvaluateContext(ctx context.Context, d DesignPoint) (Evalua
 	// retiring its flight, so a design is either cached or in flight here.
 	if e, ok := ev.cached(k); ok {
 		ev.flightMu.Unlock()
-		ev.hits.Add(1)
+		ev.hits.Inc()
 		return e, nil
 	}
 	if f, ok := ev.flights[k]; ok {
 		ev.flightMu.Unlock()
+		ev.dedups.Inc()
 		select {
 		case <-f.done:
 		case <-ctx.Done():
@@ -483,14 +518,14 @@ func (ev *Evaluator) EvaluateContext(ctx context.Context, d DesignPoint) (Evalua
 		if f.err != nil {
 			return Evaluated{}, f.err
 		}
-		ev.hits.Add(1)
+		ev.hits.Inc()
 		return f.e, nil
 	}
 	f := &inflight{done: make(chan struct{})}
 	ev.flights[k] = f
 	ev.flightMu.Unlock()
 
-	ev.misses.Add(1)
+	ev.misses.Inc()
 	f.e, f.err = ev.evaluateRetry(ctx, d)
 	if f.err == nil {
 		ev.store(k, f.e)

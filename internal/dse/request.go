@@ -9,6 +9,7 @@ import (
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 	"autopilot/internal/power"
 )
 
@@ -47,6 +48,10 @@ type Request struct {
 	// Injector deterministically injects faults into backend evaluations for
 	// chaos testing; nil injects nothing.
 	Injector *fault.Injector
+	// Obs, when non-nil, instruments the run: cache and estimate telemetry on
+	// its registry, search/eval trace spans, retry counters. nil disables
+	// instrumentation; scores are bitwise identical either way.
+	Obs *obs.Observer
 }
 
 // Validate checks the request.
@@ -72,6 +77,9 @@ func (r Request) evaluator() *Evaluator {
 	if r.Injector != nil {
 		opts = append(opts, WithInjector(r.Injector))
 	}
+	if r.Obs != nil {
+		opts = append(opts, WithObs(r.Obs))
+	}
 	return NewEvaluator(r.DB, r.Scenario, r.Power, opts...)
 }
 
@@ -91,6 +99,10 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	ctx = obs.NewContext(ctx, req.Obs)
+	sp := obs.StartStep(ctx, "dse "+req.Scenario.String(), "dse")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	if req.Optimizer != OptBayesian {
 		return executeAlternate(ctx, req)
 	}

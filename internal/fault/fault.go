@@ -32,6 +32,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+
+	"autopilot/internal/obs"
 )
 
 // Kind classifies a failure cause — the taxonomy failure reports and retry
@@ -187,6 +189,19 @@ func NewFailure(job string, err error) Failure {
 // String renders one failure record.
 func (f Failure) String() string {
 	return fmt.Sprintf("%s: %s after %d attempt(s): %s", f.Job, f.Kind, f.Attempts, f.Cause)
+}
+
+// Records converts failure records into the obs manifest representation, so
+// CLIs can fold a degraded sweep's failure summary into the run manifest.
+func Records(failures []Failure) []obs.FailureRecord {
+	if len(failures) == 0 {
+		return nil
+	}
+	out := make([]obs.FailureRecord, len(failures))
+	for i, f := range failures {
+		out[i] = obs.FailureRecord{Job: f.Job, Kind: f.Kind.String(), Attempts: f.Attempts, Cause: f.Cause}
+	}
+	return out
 }
 
 // Summarize renders a compact multi-line failure report, grouped by kind,

@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"math"
 	"time"
+
+	"autopilot/internal/obs"
 )
 
 // ErrInjected is the sentinel cause of every injector-produced error; chaos
@@ -60,6 +62,18 @@ type Injector struct {
 	PanicRate, ErrorRate, NaNRate, DelayRate float64
 	// Delay is slept on InjectDelay hits before the wrapped work runs.
 	Delay time.Duration
+	// Metrics, when non-nil, counts applied injections under
+	// "fault.injected.<kind>" so chaos runs report their fault pressure.
+	Metrics *obs.Registry
+}
+
+// count records one applied injection on the injector's registry; decisions
+// stay a pure function of (Seed, key) — only the bookkeeping is counted.
+func (in *Injector) count(inj Injection) {
+	if in == nil || in.Metrics == nil || inj == InjectNone {
+		return
+	}
+	in.Metrics.Counter("fault.injected." + inj.String()).Inc()
 }
 
 // uniform maps (Seed, key) to a uniform draw in [0,1) via FNV-1a with a
@@ -106,7 +120,9 @@ func (in *Injector) Decide(key string) Injection {
 // isolation is the caller's (Retry's / pool's) job, exactly as with a real
 // crashing worker.
 func (in *Injector) Invoke(key string, fn func() error) error {
-	switch in.Decide(key) {
+	inj := in.Decide(key)
+	in.count(inj)
+	switch inj {
 	case InjectPanic:
 		panic(fmt.Sprintf("fault: injected panic (%s)", key))
 	case InjectError:
@@ -121,6 +137,7 @@ func (in *Injector) Invoke(key string, fn func() error) error {
 // untouched otherwise — the hook numerical guardrails are tested through.
 func (in *Injector) Value(key string, v float64) float64 {
 	if in.Decide(key) == InjectNaN {
+		in.count(InjectNaN)
 		return math.NaN()
 	}
 	return v

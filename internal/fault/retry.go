@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"autopilot/internal/obs"
 )
 
 // Policy parameterizes Retry. The zero value means a single attempt with no
@@ -122,11 +124,15 @@ func (p Policy) retryable(err error) bool {
 // wrapping the last cause. Cancellation of ctx aborts immediately with an
 // error satisfying errors.Is(err, ctx.Err()).
 func Retry(ctx context.Context, p Policy, fn func(ctx context.Context, attempt int) error) error {
+	o := obs.FromContext(ctx)
 	attempts := p.attempts()
 	var last error
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("fault: retry cancelled: %w", err)
+		}
+		if a > 0 {
+			o.Counter("fault.retries").Inc()
 		}
 		actx, cancel := ctx, context.CancelFunc(nil)
 		if p.Timeout > 0 {
@@ -145,6 +151,16 @@ func Retry(ctx context.Context, p Policy, fn func(ctx context.Context, attempt i
 			return nil
 		}
 		last = err
+		if o != nil {
+			switch Classify(err) {
+			case KindPanic:
+				o.Counter("fault.panics").Inc()
+			case KindTimeout:
+				o.Counter("fault.timeouts").Inc()
+			case KindNumerical:
+				o.Counter("fault.numerical").Inc()
+			}
+		}
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 			return fmt.Errorf("fault: retry cancelled: %w", err)
 		}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the live-telemetry HTTP endpoint on addr and returns
+// the bound address (useful with ":0") and a close function. It serves:
+//
+//	/debug/metrics  the registry snapshot as JSON (live counters)
+//	/debug/vars     the standard expvar dump (memstats, cmdline)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// The server runs until closed; Serve errors after close are swallowed.
+func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // shutdown error is ErrServerClosed
+	return ln.Addr().String(), srv.Close, nil
+}

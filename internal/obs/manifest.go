@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Manifest is the machine-readable record of one pipeline invocation: what
+// ran, with which configuration and seeds, how long each phase took, what
+// the instruments counted, and what failed. Written as JSON next to a run's
+// outputs, manifests make runs comparable across commits — the convergence
+// and evaluation-cost numbers the AutoPilot/AutoSoC papers report per phase
+// come straight out of this file.
+type Manifest struct {
+	// Tool names the producing command ("autopilot", "dse", "trainsim").
+	Tool string `json:"tool"`
+	// Args is the raw command line.
+	Args []string `json:"args,omitempty"`
+
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	DurationSec float64   `json:"duration_sec"`
+
+	// Status is "ok" or "error"; Error carries the terminal error text.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	// Config records the resolved run configuration (flag values).
+	Config map[string]any `json:"config,omitempty"`
+	// Seeds records every named random seed the run consumed.
+	Seeds map[string]int64 `json:"seeds,omitempty"`
+
+	// Phases are the completed phase spans (name, start, duration).
+	Phases []SpanDuration `json:"phases,omitempty"`
+	// Metrics is the final registry snapshot.
+	Metrics Snapshot `json:"metrics"`
+
+	// Failures lists jobs that terminally failed within a failure budget.
+	Failures []FailureRecord `json:"failures,omitempty"`
+	// Events records notable run occurrences (checkpoint quarantines,
+	// resume skips) in emission order.
+	Events []RunEvent `json:"events,omitempty"`
+}
+
+// FailureRecord mirrors a fault-layer failure into the manifest without
+// importing the fault package (which itself imports obs).
+type FailureRecord struct {
+	Job      string `json:"job"`
+	Kind     string `json:"kind"`
+	Attempts int    `json:"attempts"`
+	Cause    string `json:"cause"`
+}
+
+// RunEvent is one notable occurrence during a run.
+type RunEvent struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteFile writes the manifest as indented JSON via a temp-file rename, so
+// a crash mid-write never leaves a truncated manifest behind.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

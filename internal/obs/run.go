@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Flags are the shared observability flags of the autopilot, dse, and
+// trainsim commands.
+type Flags struct {
+	// Trace is the Chrome trace_event JSON output path; "" disables tracing.
+	Trace string
+	// Manifest is the run-manifest JSON output path; "" disables it.
+	Manifest string
+	// DebugAddr is the live-telemetry HTTP address (e.g. "localhost:6060");
+	// "" disables the endpoint.
+	DebugAddr string
+}
+
+// Register installs the -trace, -manifest, and -debug-addr flags on the
+// default flag set.
+func (f *Flags) Register() {
+	flag.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON file of phase/job spans")
+	flag.StringVar(&f.Manifest, "manifest", "", "write a machine-readable run-manifest JSON file")
+	flag.StringVar(&f.DebugAddr, "debug-addr", "", "serve live metrics, expvar, and pprof on this HTTP address")
+}
+
+// Run is one observed CLI invocation: the Observer the pipeline threads
+// through, plus the bookkeeping needed to write the trace and manifest at
+// exit. Construct it with Flags.Start and finish with Close.
+type Run struct {
+	// Obs is the run's observer: metrics always on, tracing on when the
+	// trace or manifest output was requested.
+	Obs *Observer
+
+	flags    Flags
+	tool     string
+	start    time.Time
+	stopSrv  func() error
+	warnings io.Writer
+
+	mu       sync.Mutex
+	config   map[string]any
+	seeds    map[string]int64
+	failures []FailureRecord
+	events   []RunEvent
+}
+
+// Start builds the run's observer from the parsed flags: the metrics
+// registry is always live (counters are cheap and feed the exit summary),
+// the tracer only when -trace or -manifest asked for span output, and the
+// debug HTTP endpoint only when -debug-addr was set.
+func (f Flags) Start(tool string) (*Run, error) {
+	r := &Run{
+		flags: f, tool: tool, start: time.Now(),
+		warnings: os.Stderr,
+		config:   map[string]any{},
+		seeds:    map[string]int64{},
+		Obs:      &Observer{Metrics: NewRegistry()},
+	}
+	if f.Trace != "" || f.Manifest != "" {
+		r.Obs.Trace = NewTracer()
+	}
+	if f.DebugAddr != "" {
+		addr, stop, err := ServeDebug(f.DebugAddr, r.Obs.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		r.stopSrv = stop
+		fmt.Fprintf(r.warnings, "%s: debug endpoint on http://%s/debug/metrics\n", tool, addr)
+	}
+	return r, nil
+}
+
+// SetConfig records one resolved configuration value for the manifest.
+func (r *Run) SetConfig(key string, value any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.config[key] = value
+}
+
+// SetSeed records one named random seed for the manifest.
+func (r *Run) SetSeed(name string, seed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seeds[name] = seed
+}
+
+// AddFailures appends terminally failed jobs to the manifest's failure
+// summary.
+func (r *Run) AddFailures(fs ...FailureRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures = append(r.failures, fs...)
+}
+
+// AddEvent records one notable run occurrence (checkpoint quarantine,
+// resume) for the manifest.
+func (r *Run) AddEvent(kind, detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, RunEvent{Kind: kind, Detail: detail})
+}
+
+// Summary returns the registry's one-line metrics summary, prefixed for CLI
+// output; "" when nothing was counted.
+func (r *Run) Summary() string {
+	s := r.Obs.Metrics.Summary()
+	if s == "" {
+		return ""
+	}
+	return "obs: " + s
+}
+
+// Close finishes the run: it stops the debug endpoint and writes the trace
+// and manifest files that were requested, stamping the manifest with the
+// run's terminal status. File-write problems are reported on stderr and via
+// the returned error, but never mask runErr — callers exit on their own
+// pipeline error first.
+func (r *Run) Close(runErr error) error {
+	if r.stopSrv != nil {
+		r.stopSrv() //nolint:errcheck // best-effort shutdown
+	}
+	var firstErr error
+	report := func(err error) {
+		if err != nil {
+			fmt.Fprintf(r.warnings, "%s: %v\n", r.tool, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if r.flags.Trace != "" {
+		f, err := os.Create(r.flags.Trace)
+		if err == nil {
+			err = r.Obs.Trace.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		report(err)
+	}
+	if r.flags.Manifest != "" {
+		end := time.Now()
+		r.mu.Lock()
+		m := &Manifest{
+			Tool: r.tool, Args: os.Args[1:],
+			Start: r.start, End: end, DurationSec: end.Sub(r.start).Seconds(),
+			Status: "ok",
+			Config: r.config, Seeds: r.seeds,
+			Phases:   r.Obs.Trace.Durations("phase"),
+			Metrics:  r.Obs.Metrics.Snapshot(),
+			Failures: r.failures, Events: r.events,
+		}
+		r.mu.Unlock()
+		if runErr != nil {
+			m.Status = "error"
+			m.Error = runErr.Error()
+		}
+		report(m.WriteFile(r.flags.Manifest))
+	}
+	return firstErr
+}

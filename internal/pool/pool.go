@@ -16,6 +16,10 @@
 // Map is fail-fast (the first error cancels the batch); MapEach isolates
 // per-item failures for sweeps that degrade gracefully instead of aborting.
 //
+// When the context carries an obs.Observer the pool reports per-batch
+// telemetry — completed jobs, recovered panics, and per-worker busy/idle
+// time — under the pool.* instruments; without one, no clocks are read.
+//
 // Work functions must be deterministic in their input alone (derive any
 // seeds from item identity, never from goroutine or completion order) for
 // the bitwise-determinism guarantee to hold across worker counts.
@@ -28,8 +32,10 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 )
 
 // Workers resolves a requested worker count: values <= 0 select
@@ -39,6 +45,50 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.NumCPU()
+}
+
+// metrics are the pool's per-batch instruments, resolved once per Map call
+// from the context's observer. The zero value (no observer) no-ops and skips
+// the clock reads entirely, keeping the uninstrumented fan-out path free of
+// timing overhead.
+type metrics struct {
+	jobs   *obs.Counter // completed work items
+	panics *obs.Counter // worker panics recovered into errors
+	busyNS *obs.Counter // worker time spent inside fn
+	idleNS *obs.Counter // worker time spent waiting for items
+	on     bool
+}
+
+// poolMetrics resolves the pool instruments carried by ctx.
+func poolMetrics(ctx context.Context) metrics {
+	o := obs.FromContext(ctx)
+	if o == nil || o.Metrics == nil {
+		return metrics{}
+	}
+	return metrics{
+		jobs:   o.Counter("pool.jobs"),
+		panics: o.Counter("pool.panics"),
+		busyNS: o.Counter("pool.busy_ns"),
+		idleNS: o.Counter("pool.idle_ns"),
+		on:     true,
+	}
+}
+
+// timed runs one item through call under the batch's instruments; with no
+// observer it is exactly call.
+func timed[I, O any](ctx context.Context, m metrics, i int, item I, fn func(context.Context, I) (O, error)) (O, error) {
+	if !m.on {
+		return call(ctx, i, item, fn)
+	}
+	start := time.Now()
+	o, err := call(ctx, i, item, fn)
+	m.busyNS.Add(time.Since(start).Nanoseconds())
+	m.jobs.Inc()
+	var pe *fault.PanicError
+	if errors.As(err, &pe) {
+		m.panics.Inc()
+	}
+	return o, err
 }
 
 // call runs fn on one item with panic isolation: a panic is recovered into a
@@ -88,12 +138,13 @@ func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.
 	if workers > len(items) {
 		workers = len(items)
 	}
+	m := poolMetrics(ctx)
 	if workers == 1 {
 		for i, item := range items {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("pool: cancelled: %w", err)
 			}
-			o, err := call(ctx, i, item, fn)
+			o, err := timed(ctx, m, i, item, fn)
 			if err != nil {
 				return nil, finish(ctx, err)
 			}
@@ -122,11 +173,21 @@ func Map[I, O any](ctx context.Context, workers int, items []I, fn func(context.
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var idleStart time.Time
+			if m.on {
+				idleStart = time.Now()
+			}
 			for i := range idx {
+				if m.on {
+					m.idleNS.Add(time.Since(idleStart).Nanoseconds())
+				}
 				if wctx.Err() != nil {
 					return
 				}
-				o, err := call(wctx, i, items[i], fn)
+				o, err := timed(wctx, m, i, items[i], fn)
+				if m.on {
+					idleStart = time.Now()
+				}
 				if err != nil {
 					fail(err)
 					return
@@ -173,8 +234,9 @@ func MapEach[I, O any](ctx context.Context, workers int, items []I, fn func(cont
 	if workers > len(items) {
 		workers = len(items)
 	}
+	m := poolMetrics(ctx)
 	run := func(i int) {
-		out[i], errs[i] = call(ctx, i, items[i], fn)
+		out[i], errs[i] = timed(ctx, m, i, items[i], fn)
 	}
 	if workers == 1 {
 		for i := range items {
@@ -192,11 +254,21 @@ func MapEach[I, O any](ctx context.Context, workers int, items []I, fn func(cont
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var idleStart time.Time
+			if m.on {
+				idleStart = time.Now()
+			}
 			for i := range idx {
+				if m.on {
+					m.idleNS.Add(time.Since(idleStart).Nanoseconds())
+				}
 				if ctx.Err() != nil {
 					return
 				}
 				run(i)
+				if m.on {
+					idleStart = time.Now()
+				}
 			}
 		}()
 	}

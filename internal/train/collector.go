@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/obs"
 	"autopilot/internal/pool"
 )
 
@@ -49,6 +50,18 @@ type Collector struct {
 	Workers int
 	// Batch is the lockstep width; <= 0 selects DefaultEvalBatch.
 	Batch int
+	// Obs, when non-nil, counts evaluation episodes, env steps, and batched
+	// network forwards on its registry. Nil collects with zero overhead.
+	Obs *obs.Observer
+}
+
+// collectMetrics are the collector's instruments, resolved once per Collect
+// so the lockstep loop touches no registry maps. All nil when Obs is nil.
+type collectMetrics struct {
+	episodes *obs.Counter // train.eval.episodes: validation episodes finished
+	steps    *obs.Counter // train.eval.env_steps: validation env steps
+	forwards *obs.Counter // nn.forward_batch.calls: batched network forwards
+	inputs   *obs.Counter // nn.forward_batch.inputs: observations per forward, summed
 }
 
 // Collect rolls the policy through n domain-randomized episodes and returns
@@ -71,8 +84,18 @@ func (c Collector) Collect(ctx context.Context, p airlearning.Policy, n int) ([]
 		}
 		chunks = append(chunks, chunk{start: s, n: size})
 	}
+	var m collectMetrics
+	if c.Obs != nil {
+		m = collectMetrics{
+			episodes: c.Obs.Counter("train.eval.episodes"),
+			steps:    c.Obs.Counter("train.eval.env_steps"),
+			forwards: c.Obs.Counter("nn.forward_batch.calls"),
+			inputs:   c.Obs.Counter("nn.forward_batch.inputs"),
+		}
+	}
+	ctx = obs.NewContext(ctx, c.Obs)
 	outs, err := pool.Map(ctx, c.Workers, chunks, func(ctx context.Context, ch chunk) ([]airlearning.EpisodeResult, error) {
-		return c.runChunk(ctx, p, ch.start, ch.n)
+		return c.runChunk(ctx, p, m, ch.start, ch.n)
 	})
 	if err != nil {
 		return nil, err
@@ -86,7 +109,7 @@ func (c Collector) Collect(ctx context.Context, p airlearning.Policy, n int) ([]
 
 // runChunk rolls episodes [start, start+n) in lockstep. Environments that
 // terminate drop out of the batch; the rest keep stepping until all are done.
-func (c Collector) runChunk(ctx context.Context, p airlearning.Policy, start, n int) ([]airlearning.EpisodeResult, error) {
+func (c Collector) runChunk(ctx context.Context, p airlearning.Policy, m collectMetrics, start, n int) ([]airlearning.EpisodeResult, error) {
 	envs := make([]*airlearning.Env, n)
 	obs := make([]airlearning.Observation, n)
 	results := make([]airlearning.EpisodeResult, n)
@@ -111,12 +134,15 @@ func (c Collector) runChunk(ctx context.Context, p airlearning.Policy, start, n 
 				liveObs = append(liveObs, obs[i])
 			}
 			acts = bp.ActBatch(liveObs)
+			m.forwards.Inc()
+			m.inputs.Add(int64(len(liveObs)))
 		} else {
 			acts = make([]int, len(live))
 			for k, i := range live {
 				acts[k] = p.Act(obs[i])
 			}
 		}
+		m.steps.Add(int64(len(live)))
 		next := live[:0]
 		for k, i := range live {
 			o, reward, done := envs[i].Step(acts[k])
@@ -125,6 +151,7 @@ func (c Collector) runChunk(ctx context.Context, p airlearning.Policy, start, n 
 			obs[i] = o
 			if done {
 				results[i].Outcome = envs[i].OutcomeNow()
+				m.episodes.Inc()
 				continue
 			}
 			next = append(next, i)

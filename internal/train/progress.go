@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 )
 
@@ -39,6 +40,22 @@ type SinkFunc func(Progress)
 
 // Report calls f.
 func (f SinkFunc) Report(p Progress) { f(p) }
+
+// SinkEvents adapts a legacy Sink over the obs event stream: the returned
+// sink forwards every train/progress event's Progress payload to s and
+// ignores everything else. This is how the engine keeps WithSink consumers
+// (cmd/trainsim's writer sink) working unchanged now that progress is an
+// obs.Event. A nil Sink yields a nil EventSink.
+func SinkEvents(s Sink) obs.EventSink {
+	if s == nil {
+		return nil
+	}
+	return obs.EventFunc(func(e obs.Event) {
+		if p, ok := e.Payload.(Progress); ok {
+			s.Report(p)
+		}
+	})
+}
 
 // writerSink prints one line per report.
 type writerSink struct{ w io.Writer }

@@ -19,7 +19,10 @@
 //     snapshotted atomically after every completed (hyper, scenario) record
 //     and a restarted sweep skips points the checkpoint already holds;
 //   - observability: per-run progress (episodes done, env steps, validated
-//     success rate, wall time) streams through a pluggable Sink.
+//     success rate, wall time) streams through the internal/obs event
+//     stream (Cat "train", Name "progress"); legacy Sinks ride on it as
+//     adapters, and with Config.Obs set the engine also records episode,
+//     step, and per-run latency instruments plus per-run trace spans.
 //
 // The concrete algorithms (DQN, REINFORCE) live in internal/rl and plug in
 // behind the Algorithm interface via a Factory; this package never imports
@@ -36,6 +39,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
 )
@@ -118,6 +122,14 @@ type Config struct {
 	// so whether a job draws a fault is a pure function of its identity (and
 	// retry attempt), never of worker count or scheduling.
 	Injector *fault.Injector
+
+	// Obs, when non-nil, instruments the engine: episode/step counters and
+	// per-run latency land in its registry, training runs and evaluation
+	// become trace spans, and progress reports are mirrored onto its event
+	// stream (Cat "train", Name "progress", Payload Progress). Nil disables
+	// all instrumentation at zero cost — results are bitwise identical
+	// either way.
+	Obs *obs.Observer
 }
 
 // Validate checks the training budgets.
@@ -158,8 +170,16 @@ type Engine struct {
 	factory Factory
 	cfg     Config
 
-	mu   sync.Mutex // serializes sink reports across sweep workers
-	sink Sink
+	mu     sync.Mutex // serializes event emission across sweep workers
+	sink   Sink
+	events obs.EventSink
+
+	// Instruments, resolved once in New so the episode loop touches no maps.
+	// All are nil when Config.Obs is nil — every method on them no-ops.
+	cEpisodes *obs.Counter   // train.episodes: training episodes completed
+	cSteps    *obs.Counter   // train.env_steps: training env steps taken
+	cRuns     *obs.Counter   // train.runs: (hyper, scenario) runs validated
+	hRunSec   *obs.Histogram // train.run_seconds: per-run wall time
 }
 
 // Option customizes an Engine.
@@ -167,6 +187,10 @@ type Option func(*Engine)
 
 // WithSink routes progress reports to s. The engine serializes calls, so
 // sinks need no locking of their own.
+//
+// Deprecated: progress now flows through the obs event stream — a Sink is
+// kept as a compatibility shim adapted over it via SinkEvents, and reports
+// arrive unchanged. New consumers should set Config.Obs.Events instead.
 func WithSink(s Sink) Option {
 	return func(e *Engine) { e.sink = s }
 }
@@ -177,16 +201,29 @@ func New(factory Factory, cfg Config, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	// Progress fans out to the observer's event stream and (for WithSink
+	// callers) the legacy sink, adapted over the same events.
+	var osink obs.EventSink
+	if cfg.Obs != nil {
+		osink = cfg.Obs.Events
+	}
+	e.events = obs.MultiSink(osink, SinkEvents(e.sink))
+	if cfg.Obs != nil {
+		e.cEpisodes = cfg.Obs.Counter("train.episodes")
+		e.cSteps = cfg.Obs.Counter("train.env_steps")
+		e.cRuns = cfg.Obs.Counter("train.runs")
+		e.hRunSec = cfg.Obs.Histogram("train.run_seconds", obs.ExpBuckets(0.001, 4, 12))
+	}
 	return e
 }
 
 func (e *Engine) report(p Progress) {
-	if e.sink == nil {
+	if e.events == nil {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.sink.Report(p)
+	e.events.Emit(obs.Event{Cat: "train", Name: "progress", Payload: p})
 }
 
 // Train runs one (hyper, scenario) training run with the config's base seed
@@ -194,7 +231,7 @@ func (e *Engine) report(p Progress) {
 // rl.TrainPolicy shim). Cancellation is checked between episodes and inside
 // the evaluation rollouts.
 func (e *Engine) Train(ctx context.Context, h policy.Hyper, s airlearning.Scenario) (airlearning.Record, airlearning.Policy, error) {
-	return e.train(ctx, h, s, e.cfg.Seed)
+	return e.train(obs.NewContext(ctx, e.cfg.Obs), h, s, e.cfg.Seed)
 }
 
 // train is one training run at an explicit seed.
@@ -206,6 +243,15 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 	if err != nil {
 		return airlearning.Record{}, nil, err
 	}
+	// One span per training run, forked onto its own trace lane so concurrent
+	// sweep jobs render side by side. The name is only built when tracing is
+	// live, keeping the disabled path allocation-free.
+	var sp *obs.Span
+	if obs.Tracing(ctx) {
+		sp = obs.StartJob(ctx, "train "+airlearning.Key(h, s), "train")
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	defer sp.End()
 	env := airlearning.NewEnv(s, seed)
 	start := time.Now()
 	prog := Progress{Hyper: h, Scenario: s, Algorithm: alg.Name(), Episodes: e.cfg.Episodes}
@@ -219,6 +265,8 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 			return airlearning.Record{}, nil, fmt.Errorf("train: %s on %s episode %d: %w", alg.Name(), s, ep, err)
 		}
 		steps += res.Steps
+		e.cEpisodes.Inc()
+		e.cSteps.Add(int64(res.Steps))
 		if e.cfg.ProgressEvery > 0 && (ep+1)%e.cfg.ProgressEvery == 0 {
 			prog.Episode, prog.Steps, prog.Return, prog.Elapsed = ep+1, steps, res.Return, time.Since(start)
 			e.report(prog)
@@ -231,8 +279,11 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 		Seed:     seed + evalSeedOffset,
 		Workers:  e.cfg.Workers,
 		Batch:    e.cfg.EvalBatch,
+		Obs:      e.cfg.Obs,
 	}
-	rate, err := col.SuccessRate(ctx, pol, e.cfg.EvalEpisodes)
+	esp := obs.StartStep(ctx, "eval", "train")
+	rate, err := col.SuccessRate(obs.ContextWithSpan(ctx, esp), pol, e.cfg.EvalEpisodes)
+	esp.End()
 	if err != nil {
 		return airlearning.Record{}, nil, err
 	}
@@ -252,6 +303,8 @@ func (e *Engine) train(ctx context.Context, h policy.Hyper, s airlearning.Scenar
 	}
 	prog.Episode, prog.Steps, prog.SuccessRate = e.cfg.Episodes, steps, rate
 	prog.Elapsed, prog.Done = time.Since(start), true
+	e.cRuns.Inc()
+	e.hRunSec.Observe(prog.Elapsed.Seconds())
 	e.report(prog)
 	return rec, pol, nil
 }
@@ -316,6 +369,10 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 	if err := e.cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx = obs.NewContext(ctx, e.cfg.Obs)
+	sp := obs.StartStep(ctx, "sweep "+s.String(), "train")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	report := &SweepReport{}
 	if e.cfg.Checkpoint != "" {
 		prev, err := airlearning.Load(e.cfg.Checkpoint)
@@ -331,6 +388,7 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 			// Damaged checkpoint: the loader already quarantined it; note
 			// where and restart from scratch.
 			report.CheckpointQuarantined = corrupt.Quarantined
+			e.cfg.Obs.Emit(obs.Event{Cat: "checkpoint", Name: "quarantined", Payload: corrupt.Quarantined})
 		default:
 			return nil, fmt.Errorf("train: resume checkpoint: %w", err)
 		}
@@ -342,6 +400,7 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 		}
 	}
 	report.Skipped = len(hypers) - len(todo)
+	e.cfg.Obs.Counter("train.jobs.skipped").Add(int64(report.Skipped))
 
 	run := func(ctx context.Context, h policy.Hyper) error {
 		rec, err := e.trainJob(ctx, h, s)
@@ -364,6 +423,7 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 			return nil, err
 		}
 		report.Trained = len(todo)
+		e.cfg.Obs.Counter("train.jobs.trained").Add(int64(report.Trained))
 		return report, nil
 	}
 
@@ -381,6 +441,8 @@ func (e *Engine) Sweep(ctx context.Context, hypers []policy.Hyper, s airlearning
 		}
 		report.Failures = append(report.Failures, fault.NewFailure(airlearning.Key(todo[i], s), jerr))
 	}
+	e.cfg.Obs.Counter("train.jobs.trained").Add(int64(report.Trained))
+	e.cfg.Obs.Counter("train.jobs.failed").Add(int64(len(report.Failures)))
 	if n := len(todo); n > 0 {
 		if frac := float64(len(report.Failures)) / float64(n); frac > e.cfg.FailureBudget {
 			return report, fmt.Errorf("train: %d/%d sweep jobs failed (%.0f%% > budget %.0f%%)\n%s",
