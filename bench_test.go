@@ -210,7 +210,10 @@ func BenchmarkAblationOptimizers(b *testing.B) {
 		b.Run(opt.String(), func(b *testing.B) {
 			var hv float64
 			for i := 0; i < b.N; i++ {
-				res, err := dse.RunWith(opt, space, db, airlearning.DenseObstacle, power.Default(), cfg)
+				res, err := dse.Execute(context.Background(), dse.Request{
+					Space: space, DB: db, Scenario: airlearning.DenseObstacle,
+					Power: power.Default(), Config: cfg, Optimizer: opt,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -8,6 +8,10 @@
 //	autopilot -uav nano -scenario dense [-sensor-fps 60] [-pool 2048]
 //	          [-bo-iters 72] [-seed 1] [-workers 0] [-train] [-train-db f] [-json]
 //
+// The flags assemble an api.CoDesignRequest — the same typed contract the
+// cmd/autopilotd job server accepts over HTTP — so a CLI run and a server
+// job with equivalent parameters are bitwise identical.
+//
 // The Phase-1 training sweep and Phase-2 evaluations fan out over -workers
 // goroutines (0 = all CPUs); results are bitwise deterministic for a given
 // seed regardless of the worker count. Ctrl-C cancels a long run cleanly;
@@ -29,40 +33,50 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
+	"time"
 
-	"autopilot/internal/airlearning"
+	"autopilot/internal/api"
 	"autopilot/internal/core"
 	"autopilot/internal/fault"
 	"autopilot/internal/obs"
-	"autopilot/internal/policy"
 	"autopilot/internal/uav"
 )
 
-func parseUAV(s string) (uav.Platform, error) {
-	switch strings.ToLower(s) {
-	case "mini", "pelican":
-		return uav.AscTecPelican(), nil
-	case "micro", "spark":
-		return uav.DJISpark(), nil
-	case "nano":
-		return uav.ZhangNano(), nil
-	default:
-		return uav.Platform{}, fmt.Errorf("unknown uav %q (want mini|micro|nano)", s)
-	}
+// options mirrors the command's flags; request translates them onto the
+// shared API contract.
+type options struct {
+	UAV, Scenario string
+	SensorFPS     float64
+	Pool, BOIters int
+	Seed          int64
+	Workers       int
+	Train         bool
+	Episodes      int
+	TrainDB       string
+	Retries       int
+	JobTimeout    time.Duration
+	FailureBudget float64
 }
 
-func parseScenario(s string) (airlearning.Scenario, error) {
-	switch strings.ToLower(s) {
-	case "low":
-		return airlearning.LowObstacle, nil
-	case "medium", "med":
-		return airlearning.MediumObstacle, nil
-	case "dense":
-		return airlearning.DenseObstacle, nil
-	default:
-		return 0, fmt.Errorf("unknown scenario %q (want low|medium|dense)", s)
+func (o options) request() api.CoDesignRequest {
+	req := api.CoDesignRequest{
+		UAVClass: o.UAV,
+		Scenario: o.Scenario,
+		Seed:     o.Seed,
+		Constraints: api.Constraints{
+			CandidatePool: o.Pool,
+			BOIterations:  o.BOIters,
+			SensorFPS:     o.SensorFPS,
+			Workers:       o.Workers,
+			Retries:       o.Retries,
+			JobTimeoutMS:  o.JobTimeout.Milliseconds(),
+			FailureBudget: o.FailureBudget,
+		},
 	}
+	if o.Train {
+		req.Train = &api.TrainSpec{Episodes: o.Episodes, Checkpoint: o.TrainDB}
+	}
+	return req
 }
 
 func describe(name string, s core.Selection) {
@@ -83,19 +97,20 @@ func describe(name string, s core.Selection) {
 }
 
 func main() {
-	uavName := flag.String("uav", "nano", "UAV class: mini|micro|nano")
-	scenName := flag.String("scenario", "dense", "deployment scenario: low|medium|dense")
-	sensorFPS := flag.Float64("sensor-fps", 0, "sensor frame rate (0 = platform maximum)")
-	pool := flag.Int("pool", 2048, "Phase-2 candidate pool size")
-	boIters := flag.Int("bo-iters", 72, "Phase-2 Bayesian-optimization iterations")
-	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "evaluation/training worker pool size (0 = all CPUs)")
-	train := flag.Bool("train", false, "Phase 1: actually train policies with RL instead of the surrogate (slow)")
-	episodes := flag.Int("episodes", 150, "RL episodes per policy with -train")
-	trainDB := flag.String("train-db", "", "with -train: checkpoint file making the Phase-1 sweep resumable")
-	retries := flag.Int("retries", 1, "attempt budget per training job / evaluation (1 = no retries)")
-	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt timeout (0 = unbounded)")
-	failureBudget := flag.Float64("failure-budget", 0, "fraction of jobs allowed to fail after retries (0 = fail-fast)")
+	var o options
+	flag.StringVar(&o.UAV, "uav", "nano", "UAV class: mini|micro|nano")
+	flag.StringVar(&o.Scenario, "scenario", "dense", "deployment scenario: low|medium|dense")
+	flag.Float64Var(&o.SensorFPS, "sensor-fps", 0, "sensor frame rate (0 = platform maximum)")
+	flag.IntVar(&o.Pool, "pool", 2048, "Phase-2 candidate pool size")
+	flag.IntVar(&o.BOIters, "bo-iters", 72, "Phase-2 Bayesian-optimization iterations")
+	flag.Int64Var(&o.Seed, "seed", 1, "random seed")
+	flag.IntVar(&o.Workers, "workers", 0, "evaluation/training worker pool size (0 = all CPUs)")
+	flag.BoolVar(&o.Train, "train", false, "Phase 1: actually train policies with RL instead of the surrogate (slow)")
+	flag.IntVar(&o.Episodes, "episodes", 150, "RL episodes per policy with -train")
+	flag.StringVar(&o.TrainDB, "train-db", "", "with -train: checkpoint file making the Phase-1 sweep resumable")
+	flag.IntVar(&o.Retries, "retries", 1, "attempt budget per training job / evaluation (1 = no retries)")
+	flag.DurationVar(&o.JobTimeout, "job-timeout", 0, "per-attempt timeout (0 = unbounded)")
+	flag.Float64Var(&o.FailureBudget, "failure-budget", 0, "fraction of jobs allowed to fail after retries (0 = fail-fast)")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
 	var obsFlags obs.Flags
 	obsFlags.Register()
@@ -104,12 +119,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	plat, err := parseUAV(*uavName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "autopilot:", err)
-		os.Exit(2)
-	}
-	scen, err := parseScenario(*scenName)
+	req := o.request()
+	spec, err := req.Spec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autopilot:", err)
 		os.Exit(2)
@@ -130,36 +141,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	run.SetSeed("seed", *seed)
-	run.SetConfig("uav", *uavName)
-	run.SetConfig("scenario", *scenName)
-	run.SetConfig("pool", *pool)
-	run.SetConfig("bo_iters", *boIters)
-	run.SetConfig("workers", *workers)
-	run.SetConfig("train", *train)
-	run.SetConfig("retries", *retries)
-	run.SetConfig("failure_budget", *failureBudget)
-
-	spec := core.DefaultSpec(plat, scen)
-	spec.Obs = run.Obs
-	spec.SensorFPS = *sensorFPS
-	spec.Phase2.CandidatePool = *pool
-	spec.Phase2.BO.Iterations = *boIters
-	spec.Phase2.Seed = *seed
-	spec.Phase2.BO.Seed = *seed
-	spec.Workers = *workers
-	spec.Retries = *retries
-	spec.JobTimeout = *jobTimeout
-	spec.FailureBudget = *failureBudget
-	if *train {
-		spec.Phase1Mode = core.Phase1Train
-		spec.TrainCfg.Episodes = *episodes
-		spec.TrainCheckpoint = *trainDB
-		// a small representative slice of the family keeps -train tractable
-		spec.TrainHypers = []policy.Hyper{
-			{Layers: 2, Filters: 32}, {Layers: 4, Filters: 48}, {Layers: 7, Filters: 48},
-		}
+	for k, v := range req.ManifestSeeds() {
+		run.SetSeed(k, v)
 	}
+	for k, v := range req.ManifestConfig() {
+		run.SetConfig(k, v)
+	}
+	spec.Obs = run.Obs
 
 	rep, err := core.Run(ctx, spec)
 	if err != nil {
@@ -185,7 +173,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("AutoPilot DSSoC co-design: %s, %s scenario\n", plat.Name, scen)
+	fmt.Printf("AutoPilot DSSoC co-design: %s, %s scenario\n", spec.Platform.Name, spec.Scenario)
 	fmt.Printf("Phase 1: %d validated policies in the Air Learning database\n", rep.Database.Len())
 	fmt.Printf("Phase 2: %d designs evaluated, %d on the Pareto front\n",
 		len(rep.Phase2.Evaluated), len(rep.Phase2.ParetoIdx))

@@ -2,48 +2,66 @@ package main
 
 import (
 	"testing"
+	"time"
 
-	"autopilot/internal/airlearning"
-	"autopilot/internal/uav"
+	"autopilot/internal/core"
 )
 
-func TestParseUAV(t *testing.T) {
-	cases := map[string]uav.Class{
-		"mini": uav.Mini, "Pelican": uav.Mini,
-		"micro": uav.Micro, "spark": uav.Micro,
-		"NANO": uav.Nano,
+// TestOptionsRequest pins the flag→contract translation: defaults produce
+// the canonical default request, aliases are accepted, and unknown values
+// are rejected through the shared api surface.
+func TestOptionsRequest(t *testing.T) {
+	defaults := options{UAV: "nano", Scenario: "dense", Pool: 2048, BOIters: 72, Seed: 1, Retries: 1}
+	req := defaults.request()
+	if err := req.Validate(); err != nil {
+		t.Fatalf("default flags invalid: %v", err)
 	}
-	for in, want := range cases {
-		p, err := parseUAV(in)
-		if err != nil {
-			t.Errorf("%q: %v", in, err)
-			continue
-		}
-		if p.Class != want {
-			t.Errorf("%q -> %v, want %v", in, p.Class, want)
-		}
+	if req.Train != nil {
+		t.Fatal("default flags must not train")
 	}
-	if _, err := parseUAV("blimp"); err == nil {
-		t.Error("expected error for unknown UAV")
+
+	alias := defaults
+	alias.UAV, alias.Scenario = "Pelican", "MED"
+	n := alias.request().Normalized()
+	if n.UAVClass != "mini" || n.Scenario != "medium" {
+		t.Fatalf("aliases normalized to uav=%q scenario=%q", n.UAVClass, n.Scenario)
+	}
+	if alias.request().Validate() != nil {
+		t.Fatal("alias flags rejected")
+	}
+
+	bad := defaults
+	bad.UAV = "blimp"
+	if bad.request().Validate() == nil {
+		t.Fatal("unknown uav accepted")
+	}
+	bad = defaults
+	bad.Scenario = "urban"
+	if bad.request().Validate() == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }
 
-func TestParseScenario(t *testing.T) {
-	cases := map[string]airlearning.Scenario{
-		"low": airlearning.LowObstacle, "medium": airlearning.MediumObstacle,
-		"med": airlearning.MediumObstacle, "DENSE": airlearning.DenseObstacle,
+// TestOptionsTrainSpec pins the trained-run wiring the CLI has always had:
+// -train enables Phase1Train with the episode budget, checkpoint path, and
+// the shared representative hyper slice.
+func TestOptionsTrainSpec(t *testing.T) {
+	o := options{UAV: "nano", Scenario: "dense", Pool: 2048, BOIters: 72, Seed: 1, Retries: 1,
+		Train: true, Episodes: 40, TrainDB: "ckpt.json", JobTimeout: 2 * time.Second}
+	spec, err := o.request().Spec()
+	if err != nil {
+		t.Fatal(err)
 	}
-	for in, want := range cases {
-		s, err := parseScenario(in)
-		if err != nil {
-			t.Errorf("%q: %v", in, err)
-			continue
-		}
-		if s != want {
-			t.Errorf("%q -> %v, want %v", in, s, want)
-		}
+	if spec.Phase1Mode != core.Phase1Train {
+		t.Fatal("-train did not enable Phase1Train")
 	}
-	if _, err := parseScenario("urban"); err == nil {
-		t.Error("expected error for unknown scenario")
+	if spec.TrainCfg.Episodes != 40 || spec.TrainCheckpoint != "ckpt.json" {
+		t.Fatalf("train wiring: cfg=%+v checkpoint=%q", spec.TrainCfg, spec.TrainCheckpoint)
+	}
+	if len(spec.TrainHypers) == 0 {
+		t.Fatal("no train hypers")
+	}
+	if spec.JobTimeout != 2*time.Second {
+		t.Fatalf("job timeout = %v", spec.JobTimeout)
 	}
 }

@@ -1,0 +1,87 @@
+// Command autopilotd serves AutoPilot co-design as a service: a long-lived
+// HTTP job server over the three-phase pipeline, speaking the typed
+// api.CoDesignRequest/api.Result contract that cmd/autopilot accepts as
+// flags. A job submitted over HTTP is bitwise identical to the same run via
+// the CLI.
+//
+// Usage:
+//
+//	autopilotd -addr :8080 [-job-workers 2] [-queue 64] [-tenant-quota 4]
+//	           [-cache 0] [-state-dir results/]
+//
+// Submit a job and poll it:
+//
+//	curl -s -XPOST localhost:8080/v1/jobs -d '{"uav":"nano","scenario":"dense"}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/v1/jobs/job-1/events     # NDJSON progress stream
+//	curl -s -XDELETE localhost:8080/v1/jobs/job-1   # cancel
+//
+// Identical requests (any tenant, any worker count) are answered from the
+// process-wide content-addressed result cache; -state-dir persists computed
+// results across restarts. Live metrics — including cache hits/misses —
+// are at /debug/metrics, with expvar and pprof alongside.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autopilot/internal/obs"
+	"autopilot/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
+	jobWorkers := flag.Int("job-workers", 2, "jobs executing concurrently")
+	queue := flag.Int("queue", 64, "job queue capacity (full = 503)")
+	tenantQuota := flag.Int("tenant-quota", 4, "live jobs per tenant (exceeded = 429)")
+	cacheCap := flag.Int("cache", 0, "result cache capacity in entries (0 = unbounded, <0 = disabled)")
+	stateDir := flag.String("state-dir", "", "persist computed results here and reload them on start")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc, err := server.New(server.Config{
+		Queue:       *queue,
+		JobWorkers:  *jobWorkers,
+		TenantQuota: *tenantQuota,
+		CacheCap:    *cacheCap,
+		StateDir:    *stateDir,
+		Metrics:     obs.NewRegistry(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilotd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilotd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("autopilotd: serving on http://%s (POST /v1/jobs)\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "autopilotd: shutting down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "autopilotd:", err)
+		svc.Close()
+		os.Exit(1)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
+	svc.Close()
+}

@@ -8,6 +8,10 @@
 //	dse -scenario dense [-pool 2048] [-iters 72] [-seed 1] [-workers 0]
 //	    [-db policies.json]
 //
+// The flags assemble an api.CoDesignRequest and run its Phase-2 projection,
+// so flag validation and request wiring are shared with cmd/autopilot and
+// the cmd/autopilotd job server.
+//
 // Evaluations fan out over -workers goroutines (0 = all CPUs); the result is
 // bitwise deterministic for a given seed regardless of the worker count.
 // Ctrl-C cancels the sweep cleanly.
@@ -24,13 +28,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/api"
 	"autopilot/internal/dse"
 	"autopilot/internal/fault"
 	"autopilot/internal/obs"
-	"autopilot/internal/power"
 )
 
 func main() {
@@ -50,16 +53,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var scen airlearning.Scenario
-	switch strings.ToLower(*scenName) {
-	case "low":
-		scen = airlearning.LowObstacle
-	case "medium", "med":
-		scen = airlearning.MediumObstacle
-	case "dense":
-		scen = airlearning.DenseObstacle
-	default:
-		fmt.Fprintf(os.Stderr, "dse: unknown scenario %q\n", *scenName)
+	req := api.CoDesignRequest{
+		Scenario: *scenName,
+		Seed:     *seed,
+		Constraints: api.Constraints{
+			CandidatePool: *pool,
+			BOIterations:  *iters,
+			Workers:       *workers,
+			Retries:       *retries,
+			JobTimeoutMS:  jobTimeout.Milliseconds(),
+			FailureBudget: *failureBudget,
+		},
+	}
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(2)
 	}
 
@@ -89,41 +96,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	run.SetSeed("seed", *seed)
-	run.SetConfig("scenario", *scenName)
-	run.SetConfig("pool", *pool)
-	run.SetConfig("iters", *iters)
-	run.SetConfig("workers", *workers)
-	run.SetConfig("retries", *retries)
-	run.SetConfig("failure_budget", *failureBudget)
-
-	cfg := dse.DefaultConfig()
-	cfg.CandidatePool = *pool
-	cfg.BO.Iterations = *iters
-	cfg.Seed = *seed
-	cfg.BO.Seed = *seed
-	space := dse.DefaultSpace()
-	fmt.Printf("design space: %d joint points; exploring %d candidates with %d+%d evaluations\n",
-		space.Size(), cfg.CandidatePool, cfg.BO.InitSamples, cfg.BO.Iterations)
-
-	retry := fault.Policy{}
-	if *retries > 1 || *jobTimeout > 0 {
-		retry = fault.DefaultPolicy()
-		retry.Attempts = *retries
-		retry.Timeout = *jobTimeout
+	for k, v := range req.ManifestSeeds() {
+		run.SetSeed(k, v)
 	}
-	res, err := dse.Execute(ctx, dse.Request{
-		Space:         space,
-		DB:            db,
-		Scenario:      scen,
-		Power:         power.Default(),
-		Config:        cfg,
-		Workers:       *workers,
-		Retry:         retry,
-		JobTimeout:    *jobTimeout,
-		FailureBudget: *failureBudget,
-		Obs:           run.Obs,
-	})
+	for k, v := range req.ManifestConfig() {
+		run.SetConfig(k, v)
+	}
+
+	p2, err := req.Phase2Request(db)
+	if err != nil {
+		finish(err)
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+	p2.Obs = run.Obs
+	// Preserve sub-millisecond precision the duration flag allows but the
+	// millisecond-granular wire contract rounds away.
+	if *jobTimeout > 0 {
+		p2.JobTimeout = *jobTimeout
+		p2.Retry.Timeout = *jobTimeout
+	}
+	fmt.Printf("design space: %d joint points; exploring %d candidates with %d+%d evaluations\n",
+		p2.Space.Size(), p2.Config.CandidatePool, p2.Config.BO.InitSamples, p2.Config.BO.Iterations)
+
+	res, err := dse.Execute(ctx, p2)
 	if err != nil {
 		finish(err)
 		fmt.Fprintln(os.Stderr, "dse:", err)

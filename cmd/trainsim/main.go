@@ -24,31 +24,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
-	"time"
 
 	"flag"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/api"
 	"autopilot/internal/fault"
 	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 	"autopilot/internal/rl"
 	"autopilot/internal/train"
 )
-
-// retryPolicy assembles the flag-level retry policy: the default backoff
-// schedule clipped to the requested attempt budget and per-attempt timeout.
-func retryPolicy(retries int, timeout time.Duration) fault.Policy {
-	if retries <= 1 && timeout <= 0 {
-		return fault.Policy{}
-	}
-	p := fault.DefaultPolicy()
-	p.Attempts = retries
-	p.Timeout = timeout
-	return p
-}
 
 func main() {
 	layers := flag.Int("layers", 4, "E2E template depth (2-10)")
@@ -69,26 +56,17 @@ func main() {
 	obsFlags.Register()
 	flag.Parse()
 
-	var scen airlearning.Scenario
-	switch strings.ToLower(*scenName) {
-	case "low":
-		scen = airlearning.LowObstacle
-	case "medium", "med":
-		scen = airlearning.MediumObstacle
-	case "dense":
-		scen = airlearning.DenseObstacle
-	default:
-		fmt.Fprintf(os.Stderr, "trainsim: unknown scenario %q\n", *scenName)
+	// Scenario and algorithm names resolve through the shared api contract,
+	// so trainsim accepts exactly the spellings cmd/autopilot and the job
+	// server do.
+	scen, err := api.ParseScenario(*scenName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(2)
 	}
-	var algorithm rl.Algorithm
-	switch strings.ToLower(*algo) {
-	case "dqn":
-		algorithm = rl.AlgDQN
-	case "reinforce":
-		algorithm = rl.AlgReinforce
-	default:
-		fmt.Fprintf(os.Stderr, "trainsim: unknown algorithm %q\n", *algo)
+	algorithm, err := api.ParseAlgorithm(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(2)
 	}
 	cfg := rl.TrainConfig{Algorithm: algorithm, Episodes: *episodes, EvalEpisodes: *evalEps, Seed: *seed}
@@ -119,9 +97,15 @@ func main() {
 	run.SetConfig("retries", *retries)
 	run.SetConfig("failure_budget", *failureBudget)
 
+	// The retry policy comes from the shared contract; restore the exact
+	// duration afterwards since the wire field is millisecond-granular.
+	retry := api.Constraints{Retries: *retries, JobTimeoutMS: jobTimeout.Milliseconds()}.RetryPolicy()
+	if retry.Attempts > 0 && *jobTimeout > 0 {
+		retry.Timeout = *jobTimeout
+	}
+
 	if *all {
-		runSweep(ctx, run, finish, scen, cfg, *workers, *progress, *dbPath,
-			retryPolicy(*retries, *jobTimeout), *failureBudget)
+		runSweep(ctx, run, finish, scen, cfg, *workers, *progress, *dbPath, retry, *failureBudget)
 		return
 	}
 
@@ -130,6 +114,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(2)
 	}
+	// Progress rides the obs event stream; the writer sink renders it to
+	// stdout alongside whatever the -trace/-manifest flags attached.
+	run.Obs.Events = obs.MultiSink(run.Obs.Events, train.SinkEvents(train.NewWriterSink(os.Stdout)))
 	eng := train.New(rl.Factory(cfg), train.Config{
 		Episodes:      cfg.Episodes,
 		EvalEpisodes:  cfg.EvalEpisodes,
@@ -137,7 +124,7 @@ func main() {
 		Workers:       *workers,
 		ProgressEvery: *progress,
 		Obs:           run.Obs,
-	}, train.WithSink(train.NewWriterSink(os.Stdout)))
+	})
 	fmt.Printf("training %s on %s with %s for %d episodes...\n", h, scen, algorithm, *episodes)
 	rec, pol, err := eng.Train(ctx, h, scen)
 	if err != nil {
@@ -172,6 +159,7 @@ func main() {
 // retry policy; a positive failure budget lets the sweep finish with a
 // failure report instead of aborting on the first exhausted job.
 func runSweep(ctx context.Context, run *obs.Run, finish func(error), scen airlearning.Scenario, cfg rl.TrainConfig, workers, progress int, dbPath string, retry fault.Policy, failureBudget float64) {
+	run.Obs.Events = obs.MultiSink(run.Obs.Events, train.SinkEvents(train.NewWriterSink(os.Stdout)))
 	eng := train.New(rl.Factory(cfg), train.Config{
 		Episodes:      cfg.Episodes,
 		EvalEpisodes:  cfg.EvalEpisodes,
@@ -182,7 +170,7 @@ func runSweep(ctx context.Context, run *obs.Run, finish func(error), scen airlea
 		Retry:         retry,
 		FailureBudget: failureBudget,
 		Obs:           run.Obs,
-	}, train.WithSink(train.NewWriterSink(os.Stdout)))
+	})
 	hypers := policy.AllHypers()
 	fmt.Printf("sweeping %d template points on %s with %s (%d episodes each)...\n",
 		len(hypers), scen, cfg.Algorithm, cfg.Episodes)

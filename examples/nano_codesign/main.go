@@ -30,12 +30,9 @@ func main() {
 	// ---- Phase 1: train and validate E2E policies -------------------------
 	fmt.Println("Phase 1: domain-specific front end")
 	fmt.Println("  training one small policy for real on the grid-world simulator...")
-	rec, _, err := rl.TrainPolicy(
-		ctx,
-		policy.Hyper{Layers: 2, Filters: 32},
-		airlearning.DenseObstacle,
+	rec, _, err := rl.Engine(
 		rl.TrainConfig{Algorithm: rl.AlgDQN, Episodes: 60, EvalEpisodes: 20, Seed: 7},
-	)
+	).Train(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.DenseObstacle)
 	if err != nil {
 		log.Fatal(err)
 	}

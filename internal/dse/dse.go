@@ -20,6 +20,7 @@ import (
 	"autopilot/internal/bayesopt"
 	"autopilot/internal/fault"
 	"autopilot/internal/hw"
+	"autopilot/internal/memo"
 	"autopilot/internal/obs"
 	"autopilot/internal/pareto"
 	"autopilot/internal/policy"
@@ -216,17 +217,9 @@ type evalKey struct {
 	design  DesignPoint
 }
 
-// inflight is one in-progress evaluation; waiters block on done and read
-// the result the leader stored (singleflight-style dedup).
-type inflight struct {
-	done chan struct{}
-	e    Evaluated
-	err  error
-}
-
 // Evaluator scores design points through a hw.Backend. It is safe for
 // concurrent use: built networks are shared per model, evaluations are
-// memoized in a mutex-guarded cache keyed by (backend, DesignPoint), and
+// memoized in a shared memo.Store keyed by (backend, DesignPoint), and
 // goroutines racing on the same uncached design are deduplicated
 // singleflight-style so each design simulates exactly once.
 type Evaluator struct {
@@ -249,17 +242,15 @@ type Evaluator struct {
 	netMu sync.Mutex
 	nets  map[policy.Hyper]*policy.Network
 
-	cacheMu sync.RWMutex
-	cache   map[evalKey]Evaluated
+	// store memoizes settled evaluations with LRU eviction and singleflight
+	// dedup — the same seam cmd/autopilotd uses process-wide for whole-job
+	// results. With an observer its counters are the registry's
+	// dse.cache.{hits,misses,dedup,evictions}; without one they are
+	// standalone so CacheStats (and Result.CacheHits/Misses) keep working
+	// either way.
+	store *memo.Store[evalKey, Evaluated]
 
-	flightMu sync.Mutex
-	flights  map[evalKey]*inflight
-
-	// Cache instruments. With an observer these are the registry's
-	// dse.cache.{hits,misses,dedup} counters; without one they are standalone
-	// so CacheStats (and Result.CacheHits/Misses) keep working either way.
-	hits, misses, dedups *obs.Counter
-	cFailures            *obs.Counter // dse.eval.failures; nil when obs off
+	cFailures *obs.Counter // dse.eval.failures; nil when obs off
 }
 
 // Option configures an Evaluator.
@@ -271,8 +262,9 @@ func WithWorkers(n int) Option {
 	return func(ev *Evaluator) { ev.workers = n }
 }
 
-// WithCache bounds the memoization cache to at most size entries; 0 means
-// unbounded, negative disables caching entirely.
+// WithCache bounds the memoization cache to at most size entries with
+// least-recently-used eviction; 0 means unbounded, negative disables caching
+// entirely.
 func WithCache(size int) Option {
 	return func(ev *Evaluator) { ev.cacheCap = size }
 }
@@ -329,10 +321,8 @@ func WithObs(o *obs.Observer) Option {
 func NewEvaluator(db *airlearning.Database, scen airlearning.Scenario, pm power.Model, opts ...Option) *Evaluator {
 	ev := &Evaluator{
 		db: db, scen: scen, model: pm,
-		tmpl:    policy.DefaultTemplate(),
-		nets:    map[policy.Hyper]*policy.Network{},
-		cache:   map[evalKey]Evaluated{},
-		flights: map[evalKey]*inflight{},
+		tmpl: policy.DefaultTemplate(),
+		nets: map[policy.Hyper]*policy.Network{},
 	}
 	ev.backendID = "systolic"
 	ev.backend = func(d DesignPoint) hw.Backend {
@@ -341,26 +331,22 @@ func NewEvaluator(db *airlearning.Database, scen airlearning.Scenario, pm power.
 	for _, opt := range opts {
 		opt(ev)
 	}
+	counters := memo.NewCounters()
 	if ev.o != nil {
-		ev.hits = ev.o.Counter("dse.cache.hits")
-		ev.misses = ev.o.Counter("dse.cache.misses")
-		ev.dedups = ev.o.Counter("dse.cache.dedup")
+		counters = memo.Counters{
+			Hits:      ev.o.Counter("dse.cache.hits"),
+			Misses:    ev.o.Counter("dse.cache.misses"),
+			Dedups:    ev.o.Counter("dse.cache.dedup"),
+			Evictions: ev.o.Counter("dse.cache.evictions"),
+		}
 		ev.cFailures = ev.o.Counter("dse.eval.failures")
 		sec := ev.o.Histogram("hw.estimate_seconds", obs.LatencyBuckets)
 		calls := ev.o.Counter("hw.estimate.calls")
 		errs := ev.o.Counter("hw.estimate.errors")
 		ev.instr = func(b hw.Backend) hw.Backend { return hw.Instrument(b, sec, calls, errs) }
-	} else {
-		ev.hits, ev.misses, ev.dedups = obs.NewCounter(), obs.NewCounter(), obs.NewCounter()
 	}
+	ev.store = memo.New[evalKey, Evaluated](ev.cacheCap, counters)
 	return ev
-}
-
-// NewSpaceEvaluator builds an evaluator using a space's model template.
-//
-// Deprecated: use NewEvaluator with WithTemplate(space.Template).
-func NewSpaceEvaluator(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model) *Evaluator {
-	return NewEvaluator(db, scen, pm, WithTemplate(space.Template))
 }
 
 // Workers returns the resolved worker-pool size.
@@ -368,7 +354,7 @@ func (ev *Evaluator) Workers() int { return pool.Workers(ev.workers) }
 
 // CacheStats reports memoization cache hits and misses so far.
 func (ev *Evaluator) CacheStats() (hits, misses int64) {
-	return ev.hits.Value(), ev.misses.Value()
+	return ev.store.Stats()
 }
 
 // network returns the shared deployment network for a model, building it on
@@ -385,30 +371,6 @@ func (ev *Evaluator) network(h policy.Hyper) (*policy.Network, error) {
 	}
 	ev.nets[h] = net
 	return net, nil
-}
-
-// cached looks a key up in the memoization cache without touching the
-// hit/miss counters.
-func (ev *Evaluator) cached(k evalKey) (Evaluated, bool) {
-	if ev.cacheCap < 0 {
-		return Evaluated{}, false
-	}
-	ev.cacheMu.RLock()
-	e, ok := ev.cache[k]
-	ev.cacheMu.RUnlock()
-	return e, ok
-}
-
-// store inserts an evaluation unless the cache is disabled or full.
-func (ev *Evaluator) store(k evalKey, e Evaluated) {
-	if ev.cacheCap < 0 {
-		return
-	}
-	ev.cacheMu.Lock()
-	if ev.cacheCap == 0 || len(ev.cache) < ev.cacheCap {
-		ev.cache[k] = e
-	}
-	ev.cacheMu.Unlock()
 }
 
 // FromEstimate converts a hardware cost-model estimate into a scored design
@@ -490,51 +452,10 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 // while the rest wait on its in-flight result (counted as hits), so misses
 // equals the number of designs actually simulated.
 func (ev *Evaluator) EvaluateContext(ctx context.Context, d DesignPoint) (Evaluated, error) {
-	if ev.cacheCap < 0 {
-		ev.misses.Inc()
+	e, _, err := ev.store.Do(ctx, evalKey{backend: ev.backendID, design: d}, func() (Evaluated, error) {
 		return ev.evaluateRetry(ctx, d)
-	}
-	k := evalKey{backend: ev.backendID, design: d}
-	if e, ok := ev.cached(k); ok {
-		ev.hits.Inc()
-		return e, nil
-	}
-	ev.flightMu.Lock()
-	// Re-check under the flight lock: the leader stores the result before
-	// retiring its flight, so a design is either cached or in flight here.
-	if e, ok := ev.cached(k); ok {
-		ev.flightMu.Unlock()
-		ev.hits.Inc()
-		return e, nil
-	}
-	if f, ok := ev.flights[k]; ok {
-		ev.flightMu.Unlock()
-		ev.dedups.Inc()
-		select {
-		case <-f.done:
-		case <-ctx.Done():
-			return Evaluated{}, fmt.Errorf("dse: evaluation cancelled: %w", ctx.Err())
-		}
-		if f.err != nil {
-			return Evaluated{}, f.err
-		}
-		ev.hits.Inc()
-		return f.e, nil
-	}
-	f := &inflight{done: make(chan struct{})}
-	ev.flights[k] = f
-	ev.flightMu.Unlock()
-
-	ev.misses.Inc()
-	f.e, f.err = ev.evaluateRetry(ctx, d)
-	if f.err == nil {
-		ev.store(k, f.e)
-	}
-	ev.flightMu.Lock()
-	delete(ev.flights, k)
-	ev.flightMu.Unlock()
-	close(f.done)
-	return f.e, f.err
+	})
+	return e, err
 }
 
 // EvaluateAll scores a batch of design points on the evaluator's bounded
@@ -638,18 +559,6 @@ func (r *Result) TopSuccess(eps float64) []int {
 		}
 	}
 	return out
-}
-
-// Run executes Phase 2: sample the space, explore it with SMS-EGO, and label
-// the conventional-DSE picks.
-//
-// Deprecated: use Execute with a Request, which adds context cancellation
-// and worker-pool control. Run is equivalent to
-// Execute(context.Background(), Request{Space: space, DB: db, ...}).
-func Run(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
-	return Execute(context.Background(), Request{
-		Space: space, DB: db, Scenario: scen, Power: pm, Config: cfg,
-	})
 }
 
 // finishResult applies the shared Phase-2 post-processing: probe-corner

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"testing"
 
 	"autopilot/internal/airlearning"
@@ -8,6 +9,21 @@ import (
 	"autopilot/internal/power"
 	"autopilot/internal/systolic"
 )
+
+// run executes Phase 2 through Execute with a background context — the
+// positional shorthand the tests share.
+func run(space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
+	return Execute(context.Background(), Request{
+		Space: space, DB: db, Scenario: scen, Power: pm, Config: cfg,
+	})
+}
+
+// runWith is run with an explicit optimizer.
+func runWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
+	return Execute(context.Background(), Request{
+		Space: space, DB: db, Scenario: scen, Power: pm, Config: cfg, Optimizer: opt,
+	})
+}
 
 func surrogateDB() *airlearning.Database {
 	db := airlearning.NewDatabase()
@@ -162,7 +178,7 @@ func TestEvaluatorMissingDBEntryZeroSuccess(t *testing.T) {
 }
 
 func TestRunProducesFrontAndLabels(t *testing.T) {
-	res, err := Run(DefaultSpace(), surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
+	res, err := run(DefaultSpace(), surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +211,7 @@ func TestRunProducesFrontAndLabels(t *testing.T) {
 }
 
 func TestRunParetoFrontConsistent(t *testing.T) {
-	res, err := Run(DefaultSpace(), surrogateDB(), airlearning.MediumObstacle, power.Default(), smallConfig())
+	res, err := run(DefaultSpace(), surrogateDB(), airlearning.MediumObstacle, power.Default(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,12 +245,12 @@ func TestRunParetoFrontConsistent(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	s := DefaultSpace()
 	s.PERows = nil
-	if _, err := Run(s, surrogateDB(), airlearning.LowObstacle, power.Default(), smallConfig()); err == nil {
+	if _, err := run(s, surrogateDB(), airlearning.LowObstacle, power.Default(), smallConfig()); err == nil {
 		t.Fatal("expected error for bad space")
 	}
 	cfg := smallConfig()
 	cfg.CandidatePool = 1
-	if _, err := Run(DefaultSpace(), surrogateDB(), airlearning.LowObstacle, power.Default(), cfg); err == nil {
+	if _, err := run(DefaultSpace(), surrogateDB(), airlearning.LowObstacle, power.Default(), cfg); err == nil {
 		t.Fatal("expected error for tiny pool")
 	}
 }

@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"autopilot/internal/airlearning"
 	"autopilot/internal/moea"
-	"autopilot/internal/power"
 )
 
 // Optimizer selects the Phase-2 search method. The paper uses Bayesian
@@ -99,16 +97,6 @@ func (s Space) Enumerate(limit int64) ([]DesignPoint, error) {
 		}
 	}
 	return out, nil
-}
-
-// RunWith executes Phase 2 with an explicit optimizer.
-//
-// Deprecated: use Execute with Request.Optimizer set. RunWith is equivalent
-// to Execute(context.Background(), Request{Optimizer: opt, ...}).
-func RunWith(opt Optimizer, space Space, db *airlearning.Database, scen airlearning.Scenario, pm power.Model, cfg Config) (*Result, error) {
-	return Execute(context.Background(), Request{
-		Space: space, DB: db, Scenario: scen, Power: pm, Config: cfg, Optimizer: opt,
-	})
 }
 
 // executeAlternate serves Execute for the non-Bayesian optimizers. The

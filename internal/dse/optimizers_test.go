@@ -67,7 +67,7 @@ func TestRunWithAllOptimizers(t *testing.T) {
 	space := DefaultSpace()
 	cfg := smallConfig()
 	for _, opt := range []Optimizer{OptBayesian, OptGenetic, OptAnnealing, OptReinforce, OptRandom} {
-		res, err := RunWith(opt, space, db, airlearning.DenseObstacle, power.Default(), cfg)
+		res, err := runWith(opt, space, db, airlearning.DenseObstacle, power.Default(), cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", opt, err)
 		}
@@ -86,7 +86,7 @@ func TestRunWithAllOptimizers(t *testing.T) {
 }
 
 func TestRunWithUnknownOptimizer(t *testing.T) {
-	if _, err := RunWith(Optimizer(42), DefaultSpace(), surrogateDB(), airlearning.LowObstacle, power.Default(), smallConfig()); err == nil {
+	if _, err := runWith(Optimizer(42), DefaultSpace(), surrogateDB(), airlearning.LowObstacle, power.Default(), smallConfig()); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -94,16 +94,16 @@ func TestRunWithUnknownOptimizer(t *testing.T) {
 func TestRunWithBayesianEquivalentToRun(t *testing.T) {
 	db := surrogateDB()
 	cfg := smallConfig()
-	a, err := RunWith(OptBayesian, DefaultSpace(), db, airlearning.MediumObstacle, power.Default(), cfg)
+	a, err := runWith(OptBayesian, DefaultSpace(), db, airlearning.MediumObstacle, power.Default(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(DefaultSpace(), db, airlearning.MediumObstacle, power.Default(), cfg)
+	b, err := run(DefaultSpace(), db, airlearning.MediumObstacle, power.Default(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a.Evaluated) != len(b.Evaluated) {
-		t.Fatal("RunWith(OptBayesian) must match Run")
+		t.Fatal("runWith(OptBayesian) must match Run")
 	}
 }
 
@@ -168,7 +168,7 @@ func TestExhaustiveConfirmsBOFindings(t *testing.T) {
 			bestFPS = e.FPS
 		}
 	}
-	res, err := Run(s, surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
+	res, err := run(s, surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,15 +50,15 @@ func TestExecuteDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-func TestExecuteMatchesDeprecatedRun(t *testing.T) {
+func TestExecuteDefaultWorkersMatchesExplicit(t *testing.T) {
 	s := DefaultSpace()
-	old, err := Run(s, surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
+	old, err := run(s, surrogateDB(), airlearning.DenseObstacle, power.Default(), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	res := execute(t, 4)
 	if !reflect.DeepEqual(old.ParetoIdx, res.ParetoIdx) {
-		t.Fatalf("shim and Execute disagree on the front:\n%v\n%v", old.ParetoIdx, res.ParetoIdx)
+		t.Fatalf("default and 4-worker Execute disagree on the front:\n%v\n%v", old.ParetoIdx, res.ParetoIdx)
 	}
 }
 
@@ -156,8 +156,8 @@ func TestWithCacheBoundsAndDisables(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(bounded.cache) > 2 {
-		t.Fatalf("cache grew to %d entries with cap 2", len(bounded.cache))
+	if bounded.store.Len() > 2 {
+		t.Fatalf("cache grew to %d entries with cap 2", bounded.store.Len())
 	}
 
 	disabled := NewEvaluator(surrogateDB(), airlearning.DenseObstacle, power.Default(),

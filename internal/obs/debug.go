@@ -6,22 +6,15 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
-// ServeDebug starts the live-telemetry HTTP endpoint on addr and returns
-// the bound address (useful with ":0") and a close function. It serves:
-//
-//	/debug/metrics  the registry snapshot as JSON (live counters)
-//	/debug/vars     the standard expvar dump (memstats, cmdline)
-//	/debug/pprof/   the standard net/http/pprof handlers
-//
-// The server runs until closed; Serve errors after close are swallowed.
-func ServeDebug(addr string, r *Registry) (string, func() error, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: debug endpoint: %w", err)
-	}
+// DebugMux returns the live-telemetry handler tree: the registry snapshot,
+// expvar, and pprof under /debug/. It is exported so long-lived servers
+// (cmd/autopilotd) can graft the same endpoints onto their own mux instead
+// of running a second listener.
+func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -33,7 +26,31 @@ func ServeDebug(addr string, r *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// ServeDebug starts the live-telemetry HTTP endpoint on addr and returns
+// the bound address (useful with ":0") and a close function. It serves:
+//
+//	/debug/metrics  the registry snapshot as JSON (live counters)
+//	/debug/vars     the standard expvar dump (memstats, cmdline)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// The server runs until closed. The returned close function is idempotent:
+// every call after the first is a no-op returning the first call's error,
+// so defer-plus-explicit-close call patterns are safe.
+func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(r), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // shutdown error is ErrServerClosed
-	return ln.Addr().String(), srv.Close, nil
+	var once sync.Once
+	var closeErr error
+	closeFn := func() error {
+		once.Do(func() { closeErr = srv.Close() })
+		return closeErr
+	}
+	return ln.Addr().String(), closeFn, nil
 }

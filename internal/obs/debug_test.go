@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugCloseIdempotent pins the shutdown contract long-lived
+// servers rely on: closing twice (defer plus explicit close) is safe, and
+// requests after close fail.
+func TestServeDebugCloseIdempotent(t *testing.T) {
+	addr, closeFn, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(addr, ":") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address %q not concrete", addr)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := closeFn(); err != nil {
+			t.Fatalf("close #%d after close: %v", i+2, err)
+		}
+	}
+	if _, err := http.Get("http://" + addr + "/debug/metrics"); err == nil {
+		t.Fatal("server still serving after close")
+	}
+}
+
+// TestDebugMuxStandalone checks the exported mux serves the metrics
+// snapshot when mounted on a caller-owned server.
+func TestDebugMuxStandalone(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs").Add(4)
+	rec := httptest.NewRecorder()
+	DebugMux(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "jobs") {
+		t.Fatalf("status %d body %q", rec.Code, rec.Body.String())
+	}
+}

@@ -167,9 +167,9 @@ func TestDQNLearnsOnNavigationTask(t *testing.T) {
 	}
 }
 
-func TestTrainPolicyProducesValidRecord(t *testing.T) {
+func TestEngineTrainProducesValidRecord(t *testing.T) {
 	cfg := TrainConfig{Algorithm: AlgDQN, Episodes: 5, EvalEpisodes: 5, Seed: 7}
-	rec, pol, err := TrainPolicy(context.Background(), policy.Hyper{Layers: 3, Filters: 32}, airlearning.MediumObstacle, cfg)
+	rec, pol, err := Engine(cfg).Train(context.Background(), policy.Hyper{Layers: 3, Filters: 32}, airlearning.MediumObstacle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,9 +184,9 @@ func TestTrainPolicyProducesValidRecord(t *testing.T) {
 	}
 }
 
-func TestTrainPolicyReinforce(t *testing.T) {
+func TestEngineTrainReinforce(t *testing.T) {
 	cfg := TrainConfig{Algorithm: AlgReinforce, Episodes: 3, EvalEpisodes: 3, Seed: 8}
-	rec, _, err := TrainPolicy(context.Background(), policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, cfg)
+	rec, _, err := Engine(cfg).Train(context.Background(), policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,25 +195,25 @@ func TestTrainPolicyReinforce(t *testing.T) {
 	}
 }
 
-func TestTrainPolicyRejectsBadConfig(t *testing.T) {
+func TestEngineTrainRejectsBadConfig(t *testing.T) {
 	ctx := context.Background()
-	if _, _, err := TrainPolicy(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, TrainConfig{}); err == nil {
+	if _, _, err := Engine(TrainConfig{}).Train(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle); err == nil {
 		t.Fatal("expected error for zero budget")
 	}
 	bad := TrainConfig{Algorithm: Algorithm(99), Episodes: 1, EvalEpisodes: 1}
-	if _, _, err := TrainPolicy(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, bad); err == nil {
+	if _, _, err := Engine(bad).Train(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle); err == nil {
 		t.Fatal("expected error for unknown algorithm")
 	}
 }
 
-func TestTrainPolicyHonorsCancellation(t *testing.T) {
+func TestEngineTrainHonorsCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	// A budget far beyond what could finish promptly: only cancellation
 	// between episodes can make this return quickly.
 	cfg := TrainConfig{Algorithm: AlgDQN, Episodes: 1_000_000, EvalEpisodes: 10, Seed: 9}
 	start := time.Now()
-	_, _, err := TrainPolicy(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle, cfg)
+	_, _, err := Engine(cfg).Train(ctx, policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -1,7 +1,6 @@
 package rl
 
 import (
-	"context"
 	"fmt"
 
 	"autopilot/internal/airlearning"
@@ -76,25 +75,16 @@ func Factory(cfg TrainConfig) train.Factory {
 }
 
 // Engine returns a single-worker training engine for cfg — the common
-// wiring behind TrainPolicy and cmd/trainsim's single-run path.
-func Engine(cfg TrainConfig, opts ...train.Option) *train.Engine {
+// wiring behind cmd/trainsim's single-run path. Call Train on it for one
+// (hyper, scenario) run, or build a custom train.Config with Factory for
+// sweeps.
+func Engine(cfg TrainConfig) *train.Engine {
 	return train.New(Factory(cfg), train.Config{
 		Episodes:     cfg.Episodes,
 		EvalEpisodes: cfg.EvalEpisodes,
 		Seed:         cfg.Seed,
 		Workers:      1,
-	}, opts...)
-}
-
-// TrainPolicy trains one E2E model variant on a scenario and returns the
-// validated database record plus the greedy policy. Cancel ctx to abandon
-// the run between episodes or mid-evaluation.
-//
-// Deprecated: TrainPolicy is a thin shim over the Phase-1 training engine;
-// use train.New with Factory (or rl.Engine) directly, which adds sweeps,
-// checkpoint resume, worker pooling, and progress sinks.
-func TrainPolicy(ctx context.Context, h policy.Hyper, s airlearning.Scenario, cfg TrainConfig) (airlearning.Record, airlearning.Policy, error) {
-	return Engine(cfg).Train(ctx, h, s)
+	})
 }
 
 // runEpisodes drives an agent through the engine's shared episode loop and

@@ -111,24 +111,27 @@ func TestSinkEventsAdapter(t *testing.T) {
 		t.Fatalf("adapter delivered %+v", direct)
 	}
 
-	// End to end: a sink passed via the deprecated option and an observer
-	// event sink both see the engine's progress events.
+	// End to end: a legacy sink adapted over the event stream and a raw
+	// observer event sink both see the engine's progress events.
 	var viaSink, viaEvents int
-	o := &obs.Observer{Events: obs.EventFunc(func(e obs.Event) {
-		if e.Cat == "train" && e.Name == "progress" {
-			if _, ok := e.Payload.(train.Progress); !ok {
-				t.Errorf("progress payload has type %T", e.Payload)
+	o := &obs.Observer{Events: obs.MultiSink(
+		obs.EventFunc(func(e obs.Event) {
+			if e.Cat == "train" && e.Name == "progress" {
+				if _, ok := e.Payload.(train.Progress); !ok {
+					t.Errorf("progress payload has type %T", e.Payload)
+				}
+				viaEvents++
 			}
-			viaEvents++
-		}
-	})}
+		}),
+		train.SinkEvents(train.SinkFunc(func(train.Progress) { viaSink++ })),
+	)}
 	cfg := rl.TrainConfig{Algorithm: rl.AlgDQN, Episodes: 20, EvalEpisodes: 5, Seed: 1}
 	eng := train.New(rl.Factory(cfg), train.Config{
 		Episodes:     cfg.Episodes,
 		EvalEpisodes: cfg.EvalEpisodes,
 		Seed:         cfg.Seed,
 		Obs:          o,
-	}, train.WithSink(train.SinkFunc(func(train.Progress) { viaSink++ })))
+	})
 	if _, _, err := eng.Train(context.Background(), policy.Hyper{Layers: 2, Filters: 32}, airlearning.LowObstacle); err != nil {
 		t.Fatal(err)
 	}

@@ -171,7 +171,6 @@ type Engine struct {
 	cfg     Config
 
 	mu     sync.Mutex // serializes event emission across sweep workers
-	sink   Sink
 	events obs.EventSink
 
 	// Instruments, resolved once in New so the episode loop touches no maps.
@@ -182,33 +181,13 @@ type Engine struct {
 	hRunSec   *obs.Histogram // train.run_seconds: per-run wall time
 }
 
-// Option customizes an Engine.
-type Option func(*Engine)
-
-// WithSink routes progress reports to s. The engine serializes calls, so
-// sinks need no locking of their own.
-//
-// Deprecated: progress now flows through the obs event stream — a Sink is
-// kept as a compatibility shim adapted over it via SinkEvents, and reports
-// arrive unchanged. New consumers should set Config.Obs.Events instead.
-func WithSink(s Sink) Option {
-	return func(e *Engine) { e.sink = s }
-}
-
 // New returns an engine that builds algorithms with factory under cfg.
-func New(factory Factory, cfg Config, opts ...Option) *Engine {
+// Progress flows through the obs event stream (Config.Obs.Events); legacy
+// Sinks attach by adapting over it with SinkEvents.
+func New(factory Factory, cfg Config) *Engine {
 	e := &Engine{factory: factory, cfg: cfg}
-	for _, o := range opts {
-		o(e)
-	}
-	// Progress fans out to the observer's event stream and (for WithSink
-	// callers) the legacy sink, adapted over the same events.
-	var osink obs.EventSink
 	if cfg.Obs != nil {
-		osink = cfg.Obs.Events
-	}
-	e.events = obs.MultiSink(osink, SinkEvents(e.sink))
-	if cfg.Obs != nil {
+		e.events = cfg.Obs.Events
 		e.cEpisodes = cfg.Obs.Counter("train.episodes")
 		e.cSteps = cfg.Obs.Counter("train.env_steps")
 		e.cRuns = cfg.Obs.Counter("train.runs")
@@ -227,9 +206,8 @@ func (e *Engine) report(p Progress) {
 }
 
 // Train runs one (hyper, scenario) training run with the config's base seed
-// — the single-policy entry point (cmd/trainsim, the deprecated
-// rl.TrainPolicy shim). Cancellation is checked between episodes and inside
-// the evaluation rollouts.
+// — the single-policy entry point (cmd/trainsim, rl.Engine). Cancellation is
+// checked between episodes and inside the evaluation rollouts.
 func (e *Engine) Train(ctx context.Context, h policy.Hyper, s airlearning.Scenario) (airlearning.Record, airlearning.Policy, error) {
 	return e.train(obs.NewContext(ctx, e.cfg.Obs), h, s, e.cfg.Seed)
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"autopilot/internal/airlearning"
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 	"autopilot/internal/rl"
 	"autopilot/internal/tensor"
@@ -61,10 +62,16 @@ func TestJobSeedMatchesSequentialAssignment(t *testing.T) {
 	}
 }
 
-func sweep(t *testing.T, cfg train.Config, opts ...train.Option) *airlearning.Database {
+// sinkObserver adapts a legacy progress sink onto an Observer's event stream
+// — the supported way to watch training after the WithSink option's removal.
+func sinkObserver(s train.Sink) *obs.Observer {
+	return &obs.Observer{Events: train.SinkEvents(s)}
+}
+
+func sweep(t *testing.T, cfg train.Config) *airlearning.Database {
 	t.Helper()
 	db := airlearning.NewDatabase()
-	eng := train.New(testFactory(), cfg, opts...)
+	eng := train.New(testFactory(), cfg)
 	if _, err := eng.Sweep(context.Background(), testHypers, airlearning.LowObstacle, db); err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +98,13 @@ func TestSweepResumeMatchesUninterrupted(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cfg := testConfig(1)
 	cfg.Checkpoint = ckpt
-	interrupted := train.New(testFactory(), cfg, train.WithSink(train.SinkFunc(func(p train.Progress) {
+	icfg := cfg
+	icfg.Obs = sinkObserver(train.SinkFunc(func(p train.Progress) {
 		if p.Done {
 			cancel()
 		}
-	})))
+	}))
+	interrupted := train.New(testFactory(), icfg)
 	db1 := airlearning.NewDatabase()
 	_, err := interrupted.Sweep(ctx, testHypers, airlearning.LowObstacle, db1)
 	if !errors.Is(err, context.Canceled) {
@@ -164,11 +173,12 @@ func TestSweepSkipsRecordsAlreadyInDatabase(t *testing.T) {
 func TestTrainCancelledBetweenEpisodes(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cfg := train.Config{Episodes: 1_000_000, EvalEpisodes: 3, Seed: 1, Workers: 1, ProgressEvery: 1}
-	eng := train.New(testFactory(), cfg, train.WithSink(train.SinkFunc(func(p train.Progress) {
+	cfg.Obs = sinkObserver(train.SinkFunc(func(p train.Progress) {
 		if p.Episode >= 2 {
 			cancel() // mid-run: training loop must notice before the budget ends
 		}
-	})))
+	}))
+	eng := train.New(testFactory(), cfg)
 	_, _, err := eng.Train(ctx, testHypers[0], airlearning.LowObstacle)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -179,9 +189,10 @@ func TestProgressSinkReports(t *testing.T) {
 	var got []train.Progress
 	cfg := testConfig(1)
 	cfg.ProgressEvery = 1
-	eng := train.New(testFactory(), cfg, train.WithSink(train.SinkFunc(func(p train.Progress) {
+	cfg.Obs = sinkObserver(train.SinkFunc(func(p train.Progress) {
 		got = append(got, p)
-	})))
+	}))
+	eng := train.New(testFactory(), cfg)
 	rec, _, err := eng.Train(context.Background(), testHypers[0], airlearning.LowObstacle)
 	if err != nil {
 		t.Fatal(err)
