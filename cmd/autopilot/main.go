@@ -7,6 +7,12 @@
 //
 //	autopilot -uav nano -scenario dense [-sensor-fps 60] [-pool 2048]
 //	          [-bo-iters 72] [-seed 1] [-workers 0] [-train] [-train-db f] [-json]
+//	          [-algorithms dqn,reinforce] [-axis layers=2,4,7] [-axis pe_rows=8,16,32]
+//
+// -algorithms widens Phase 2 into an algorithm–SoC co-search: the training
+// algorithm becomes a categorical search axis and the Pareto front reports
+// which algorithm each design trains with. -axis overrides any numeric axis
+// of the Table II grid (layers, filters, pe_rows, pe_cols, sram_kb).
 //
 // The flags assemble an api.CoDesignRequest — the same typed contract the
 // cmd/autopilotd job server accepts over HTTP — so a CLI run and a server
@@ -56,9 +62,20 @@ type options struct {
 	Retries       int
 	JobTimeout    time.Duration
 	FailureBudget float64
+	Algorithms    string
+	Axes          multiFlag
 }
 
-func (o options) request() api.CoDesignRequest {
+// multiFlag collects repeated flag occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func (o options) request() (api.CoDesignRequest, error) {
 	req := api.CoDesignRequest{
 		UAVClass: o.UAV,
 		Scenario: o.Scenario,
@@ -76,7 +93,12 @@ func (o options) request() api.CoDesignRequest {
 	if o.Train {
 		req.Train = &api.TrainSpec{Episodes: o.Episodes, Checkpoint: o.TrainDB}
 	}
-	return req
+	space, err := api.ParseSpaceFlags(o.Algorithms, o.Axes)
+	if err != nil {
+		return api.CoDesignRequest{}, err
+	}
+	req.Space = space
+	return req, nil
 }
 
 func describe(name string, s core.Selection) {
@@ -111,6 +133,8 @@ func main() {
 	flag.IntVar(&o.Retries, "retries", 1, "attempt budget per training job / evaluation (1 = no retries)")
 	flag.DurationVar(&o.JobTimeout, "job-timeout", 0, "per-attempt timeout (0 = unbounded)")
 	flag.Float64Var(&o.FailureBudget, "failure-budget", 0, "fraction of jobs allowed to fail after retries (0 = fail-fast)")
+	flag.StringVar(&o.Algorithms, "algorithms", "", "comma-separated training algorithms to co-search (e.g. dqn,reinforce)")
+	flag.Var(&o.Axes, "axis", "override a search-space axis as name=v1,v2,... (repeatable; axes: layers, filters, pe_rows, pe_cols, sram_kb)")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
 	var obsFlags obs.Flags
 	obsFlags.Register()
@@ -119,7 +143,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	req := o.request()
+	req, err := o.request()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilot:", err)
+		os.Exit(2)
+	}
 	spec, err := req.Spec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autopilot:", err)

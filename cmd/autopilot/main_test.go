@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"autopilot/internal/api"
 	"autopilot/internal/core"
 )
 
@@ -12,33 +13,73 @@ import (
 // are rejected through the shared api surface.
 func TestOptionsRequest(t *testing.T) {
 	defaults := options{UAV: "nano", Scenario: "dense", Pool: 2048, BOIters: 72, Seed: 1, Retries: 1}
-	req := defaults.request()
+	req := mustRequest(t, defaults)
 	if err := req.Validate(); err != nil {
 		t.Fatalf("default flags invalid: %v", err)
 	}
 	if req.Train != nil {
 		t.Fatal("default flags must not train")
 	}
+	if req.Space != nil {
+		t.Fatal("default flags must not set a space block")
+	}
 
 	alias := defaults
 	alias.UAV, alias.Scenario = "Pelican", "MED"
-	n := alias.request().Normalized()
+	n := mustRequest(t, alias).Normalized()
 	if n.UAVClass != "mini" || n.Scenario != "medium" {
 		t.Fatalf("aliases normalized to uav=%q scenario=%q", n.UAVClass, n.Scenario)
 	}
-	if alias.request().Validate() != nil {
+	if mustRequest(t, alias).Validate() != nil {
 		t.Fatal("alias flags rejected")
 	}
 
 	bad := defaults
 	bad.UAV = "blimp"
-	if bad.request().Validate() == nil {
+	if mustRequest(t, bad).Validate() == nil {
 		t.Fatal("unknown uav accepted")
 	}
 	bad = defaults
 	bad.Scenario = "urban"
-	if bad.request().Validate() == nil {
+	if mustRequest(t, bad).Validate() == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func mustRequest(t *testing.T, o options) api.CoDesignRequest {
+	t.Helper()
+	req, err := o.request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// TestOptionsSpaceFlags pins the co-search flag wiring: -algorithms and
+// -axis assemble the request's space block, and malformed axes are rejected
+// before the request is built.
+func TestOptionsSpaceFlags(t *testing.T) {
+	o := options{UAV: "nano", Scenario: "dense", Pool: 2048, BOIters: 72, Seed: 1, Retries: 1,
+		Algorithms: "dqn,reinforce", Axes: multiFlag{"layers=2,4,7"}}
+	req := mustRequest(t, o)
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := req.SearchSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Algorithms) != 2 {
+		t.Fatalf("algorithms = %v", sp.Algorithms)
+	}
+	if len(sp.Layers) != 3 || sp.Layers[0] != 2 {
+		t.Fatalf("layers = %v", sp.Layers)
+	}
+
+	bad := o
+	bad.Axes = multiFlag{"layers"}
+	if _, err := bad.request(); err == nil {
+		t.Fatal("malformed -axis accepted")
 	}
 }
 
@@ -48,7 +89,7 @@ func TestOptionsRequest(t *testing.T) {
 func TestOptionsTrainSpec(t *testing.T) {
 	o := options{UAV: "nano", Scenario: "dense", Pool: 2048, BOIters: 72, Seed: 1, Retries: 1,
 		Train: true, Episodes: 40, TrainDB: "ckpt.json", JobTimeout: 2 * time.Second}
-	spec, err := o.request().Spec()
+	spec, err := mustRequest(t, o).Spec()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,14 @@
 //	curl -s localhost:8080/v1/jobs/job-1/events     # NDJSON progress stream
 //	curl -s -XDELETE localhost:8080/v1/jobs/job-1   # cancel
 //
+// A request may carry an explicit search-space block — including the
+// categorical algorithm axis that turns Phase 2 into an algorithm–SoC
+// co-search; the Pareto points then report which training algorithm each
+// design uses:
+//
+//	curl -s -XPOST localhost:8080/v1/jobs -d '{"uav":"nano","scenario":"dense",
+//	  "space":{"axes":[{"name":"algorithm","choices":["dqn","reinforce"]}]}}'
+//
 // Identical requests (any tenant, any worker count) are answered from the
 // process-wide content-addressed result cache; -state-dir persists computed
 // results across restarts. Live metrics — including cache hits/misses —

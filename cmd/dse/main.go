@@ -6,7 +6,12 @@
 // Usage:
 //
 //	dse -scenario dense [-pool 2048] [-iters 72] [-seed 1] [-workers 0]
-//	    [-db policies.json]
+//	    [-db policies.json] [-algorithms dqn,reinforce] [-axis layers=2,4,7]
+//
+// -algorithms widens the sweep into an algorithm–SoC co-search (the
+// training algorithm becomes a categorical axis); -axis overrides any
+// numeric axis of the Table II grid (layers, filters, pe_rows, pe_cols,
+// sram_kb).
 //
 // The flags assemble an api.CoDesignRequest and run its Phase-2 projection,
 // so flag validation and request wiring are shared with cmd/autopilot and
@@ -36,6 +41,15 @@ import (
 	"autopilot/internal/obs"
 )
 
+// multiFlag collects repeated flag occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	scenName := flag.String("scenario", "dense", "deployment scenario: low|medium|dense")
 	pool := flag.Int("pool", 2048, "candidate pool size")
@@ -46,6 +60,9 @@ func main() {
 	retries := flag.Int("retries", 1, "attempt budget per design evaluation (1 = no retries)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt evaluation timeout (0 = unbounded)")
 	failureBudget := flag.Float64("failure-budget", 0, "fraction of evaluations allowed to fail after retries (0 = fail-fast)")
+	algorithms := flag.String("algorithms", "", "comma-separated training algorithms to co-search (e.g. dqn,reinforce)")
+	var axes multiFlag
+	flag.Var(&axes, "axis", "override a search-space axis as name=v1,v2,... (repeatable; axes: layers, filters, pe_rows, pe_cols, sram_kb)")
 	var obsFlags obs.Flags
 	obsFlags.Register()
 	flag.Parse()
@@ -65,6 +82,12 @@ func main() {
 			FailureBudget: *failureBudget,
 		},
 	}
+	space, err := api.ParseSpaceFlags(*algorithms, axes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(2)
+	}
+	req.Space = space
 	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(2)

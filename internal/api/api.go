@@ -94,6 +94,11 @@ type CoDesignRequest struct {
 	// Train, when non-nil, runs Phase 1 with real RL training instead of the
 	// surrogate.
 	Train *TrainSpec `json:"train,omitempty"`
+	// Space, when non-nil, overrides axes of the Phase-2 search space —
+	// including the categorical algorithm axis that turns the run into an
+	// algorithm–SoC co-search. nil (and any spelling of the default grid)
+	// normalizes to the legacy Table II space, preserving legacy hashes.
+	Space *SpaceSpec `json:"space,omitempty"`
 }
 
 // DefaultRequest returns the normalized default query: nano UAV, dense
@@ -207,6 +212,7 @@ func (r CoDesignRequest) Normalized() CoDesignRequest {
 		}
 		n.Train = &ts
 	}
+	n.Space = normalizedSpace(n.Space)
 	return n
 }
 
@@ -247,6 +253,21 @@ func (r CoDesignRequest) Validate() error {
 			return fmt.Errorf("api: non-positive training budget (episodes %d, eval %d)",
 				n.Train.Episodes, n.Train.EvalEpisodes)
 		}
+	}
+	// Duplicate axes are checked on the raw block: normalization may fold
+	// one duplicate into its default and hide the conflict.
+	if r.Space != nil {
+		seen := map[string]bool{}
+		for _, a := range r.Space.Axes {
+			name := strings.ToLower(strings.TrimSpace(a.Name))
+			if seen[name] {
+				return &SpaceError{Axis: name, Reason: "duplicate axis"}
+			}
+			seen[name] = true
+		}
+	}
+	if err := validateSpace(n.Space, n.Train != nil); err != nil {
+		return err
 	}
 	return nil
 }
@@ -314,6 +335,10 @@ func (r CoDesignRequest) Spec() (core.Spec, error) {
 		return core.Spec{}, err
 	}
 	spec := core.DefaultSpec(plat, scen)
+	spec.Space, err = r.SearchSpace()
+	if err != nil {
+		return core.Spec{}, err
+	}
 	spec.SensorFPS = n.Constraints.SensorFPS
 	spec.Phase2.CandidatePool = n.Constraints.CandidatePool
 	spec.Phase2.BO.Iterations = n.Constraints.BOIterations
@@ -354,8 +379,12 @@ func (r CoDesignRequest) Phase2Request(db *airlearning.Database) (dse.Request, e
 	cfg.BO.Iterations = n.Constraints.BOIterations
 	cfg.Seed = n.Seed
 	cfg.BO.Seed = n.Seed
+	sp, err := r.SearchSpace()
+	if err != nil {
+		return dse.Request{}, err
+	}
 	return dse.Request{
-		Space:         dse.DefaultSpace(),
+		Space:         sp,
 		DB:            db,
 		Scenario:      scen,
 		Power:         power.Default(),
@@ -373,6 +402,14 @@ func (r CoDesignRequest) Phase2Request(db *airlearning.Database) (dse.Request, e
 // sections of their manifests compare equal.
 func (r CoDesignRequest) ManifestConfig() map[string]any {
 	n := r.Normalized()
+	algorithms := ""
+	if n.Space != nil {
+		for _, a := range n.Space.Axes {
+			if a.Name == AxisAlgorithm {
+				algorithms = strings.Join(a.Choices, ",")
+			}
+		}
+	}
 	return map[string]any{
 		"uav":            n.UAVClass,
 		"scenario":       n.Scenario,
@@ -382,6 +419,7 @@ func (r CoDesignRequest) ManifestConfig() map[string]any {
 		"train":          n.Train != nil,
 		"retries":        n.Constraints.Retries,
 		"failure_budget": n.Constraints.FailureBudget,
+		"algorithms":     algorithms,
 	}
 }
 

@@ -1,0 +1,97 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"autopilot/internal/core"
+	"autopilot/internal/obs"
+)
+
+// legacyJSON is a pre-space-layer wire request: the 4-axis Table II grid
+// implied, no space block — exactly what existing clients send.
+const legacyJSON = `{
+  "uav": "nano",
+  "scenario": "dense",
+  "seed": 1,
+  "constraints": {"candidate_pool": 192, "bo_iterations": 6}
+}`
+
+// explicitJSON spells the same search space out axis by axis, including the
+// algorithm axis pinned to the legacy DQN calibration.
+const explicitJSON = `{
+  "uav": "nano",
+  "scenario": "dense",
+  "seed": 1,
+  "constraints": {"candidate_pool": 192, "bo_iterations": 6},
+  "space": {
+    "version": 1,
+    "axes": [
+      {"name": "algorithm", "choices": ["dqn"]},
+      {"name": "layers", "values": [2, 3, 4, 5, 6, 7, 8, 9, 10]},
+      {"name": "filters", "values": [32, 48, 64]},
+      {"name": "pe_rows", "values": [8, 16, 32, 64, 128, 256, 512, 1024]},
+      {"name": "pe_cols", "values": [8, 16, 32, 64, 128, 256, 512, 1024]},
+      {"name": "sram_kb", "values": [32, 64, 128, 256, 512, 1024, 2048, 4096]}
+    ]
+  }
+}`
+
+// TestLegacySpaceGolden is the compatibility contract of the parameter-space
+// layer: a legacy request and its explicit-space spelling share a content
+// hash and produce byte-identical results, at workers=1 and workers=8. This
+// is what lets old and new clients share the server's result cache.
+func TestLegacySpaceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs")
+	}
+	var legacy, explicit CoDesignRequest
+	if err := json.Unmarshal([]byte(legacyJSON), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(explicitJSON), &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Hash() != explicit.Hash() {
+		t.Fatalf("hash mismatch:\nlegacy   %s\nexplicit %s", legacy.Hash(), explicit.Hash())
+	}
+	if explicit.Normalized().Space != nil {
+		t.Fatal("explicit default space did not normalize away")
+	}
+
+	var golden []byte
+	for _, workers := range []int{1, 8} {
+		for name, req := range map[string]CoDesignRequest{"legacy": legacy, "explicit": explicit} {
+			req.Constraints.Workers = workers
+			spec, err := req.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := NewResult(req, rep, obs.Manifest{
+				Tool: "test", Status: "ok",
+				Config: req.ManifestConfig(), Seeds: req.ManifestSeeds(),
+			})
+			// The manifest records the worker count as run metadata; it is
+			// masked from the hash and not part of the deterministic payload.
+			res.Manifest.Config["workers"] = 0
+			data, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if golden == nil {
+				golden = data
+				continue
+			}
+			if !bytes.Equal(data, golden) {
+				t.Fatalf("%s at workers=%d is not bitwise-identical to the golden run:\n got %s\nwant %s",
+					name, workers, data, golden)
+			}
+		}
+	}
+}

@@ -48,6 +48,7 @@ type Job struct {
 // ParetoPoint is one Phase-2 Pareto-front design in wire form.
 type ParetoPoint struct {
 	Model          string  `json:"model"`
+	Algorithm      string  `json:"algorithm,omitempty"`
 	Hardware       string  `json:"hardware"`
 	SuccessRate    float64 `json:"success_rate"`
 	FPS            float64 `json:"fps"`
@@ -74,6 +75,7 @@ func ParetoFront(front []dse.Evaluated) []ParetoPoint {
 	for _, e := range front {
 		out = append(out, ParetoPoint{
 			Model:          e.Design.Hyper.String(),
+			Algorithm:      e.Design.Algo,
 			Hardware:       e.Design.HW.String(),
 			SuccessRate:    e.SuccessRate,
 			FPS:            e.FPS,

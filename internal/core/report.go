@@ -12,6 +12,7 @@ import (
 // SelectionSummary is the JSON-friendly digest of a full-system evaluation.
 type SelectionSummary struct {
 	Model        string  `json:"model"`
+	Algorithm    string  `json:"algorithm,omitempty"`
 	Hardware     string  `json:"hardware"`
 	NodeNM       int     `json:"node_nm"`
 	Tuned        string  `json:"tuned,omitempty"`
@@ -32,6 +33,7 @@ type SelectionSummary struct {
 func (s Selection) Summary() SelectionSummary {
 	return SelectionSummary{
 		Model:        s.Design.Design.Hyper.String(),
+		Algorithm:    s.Design.Design.Algo,
 		Hardware:     s.Design.Design.HW.String(),
 		NodeNM:       s.NodeNM,
 		Tuned:        s.Tuned,

