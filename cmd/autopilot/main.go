@@ -8,11 +8,19 @@
 //	autopilot -uav nano -scenario dense [-sensor-fps 60] [-pool 2048]
 //	          [-bo-iters 72] [-seed 1] [-workers 0] [-train] [-train-db f] [-json]
 //	          [-algorithms dqn,reinforce] [-axis layers=2,4,7] [-axis pe_rows=8,16,32]
+//	          [-vehicle-axes battery,sensor] [-catalog]
 //
 // -algorithms widens Phase 2 into an algorithm–SoC co-search: the training
 // algorithm becomes a categorical search axis and the Pareto front reports
 // which algorithm each design trains with. -axis overrides any numeric axis
 // of the Table II grid (layers, filters, pe_rows, pe_cols, sram_kb).
+//
+// -vehicle-axes opens catalog components (airframe, battery, sensor) as
+// additional categorical axes, turning the run into a SWaP-constrained
+// full-vehicle co-design: every design flies on its own loadout, infeasible
+// loadouts (overweight, under-thrust, over the battery's discharge limit)
+// are reported as typed skips rather than scored, and the selection carries
+// loadout columns. -catalog prints the component catalog and exits.
 //
 // The flags assemble an api.CoDesignRequest — the same typed contract the
 // cmd/autopilotd job server accepts over HTTP — so a CLI run and a server
@@ -42,7 +50,9 @@ import (
 	"time"
 
 	"autopilot/internal/api"
+	"autopilot/internal/catalog"
 	"autopilot/internal/core"
+	"autopilot/internal/dse"
 	"autopilot/internal/fault"
 	"autopilot/internal/obs"
 	"autopilot/internal/uav"
@@ -64,6 +74,7 @@ type options struct {
 	FailureBudget float64
 	Algorithms    string
 	Axes          multiFlag
+	VehicleAxes   string
 }
 
 // multiFlag collects repeated flag occurrences.
@@ -98,6 +109,11 @@ func (o options) request() (api.CoDesignRequest, error) {
 		return api.CoDesignRequest{}, err
 	}
 	req.Space = space
+	vehicle, err := api.ParseVehicleFlags(o.VehicleAxes)
+	if err != nil {
+		return api.CoDesignRequest{}, err
+	}
+	req.Vehicle = vehicle
 	return req, nil
 }
 
@@ -109,6 +125,9 @@ func describe(name string, s core.Selection) {
 	fmt.Printf("%-3s  %s\n", name, s.Design.Design)
 	if s.Tuned != "" {
 		fmt.Printf("     fine-tuned: %s\n", s.Tuned)
+	}
+	if s.Loadout != (dse.VehicleRef{}) {
+		fmt.Printf("     loadout: %s (%.0f g all-up)\n", s.Loadout, s.Design.Vehicle.TotalWeightG)
 	}
 	fmt.Printf("     success %.0f%%  %.1f FPS  %.2f W SoC  %.1f g payload\n",
 		100*s.Design.SuccessRate, s.Design.FPS, s.Design.SoCPowerW, s.PayloadG)
@@ -135,10 +154,20 @@ func main() {
 	flag.Float64Var(&o.FailureBudget, "failure-budget", 0, "fraction of jobs allowed to fail after retries (0 = fail-fast)")
 	flag.StringVar(&o.Algorithms, "algorithms", "", "comma-separated training algorithms to co-search (e.g. dqn,reinforce)")
 	flag.Var(&o.Axes, "axis", "override a search-space axis as name=v1,v2,... (repeatable; axes: layers, filters, pe_rows, pe_cols, sram_kb)")
+	flag.StringVar(&o.VehicleAxes, "vehicle-axes", "", "comma-separated catalog components to co-search (airframe, battery, sensor)")
+	printCatalog := flag.Bool("catalog", false, "print the component catalog and exit")
 	asJSON := flag.Bool("json", false, "emit the selected design as JSON")
 	var obsFlags obs.Flags
 	obsFlags.Register()
 	flag.Parse()
+
+	if *printCatalog {
+		if err := catalog.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "autopilot:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -208,6 +237,9 @@ func main() {
 	if n := len(rep.Phase2.Failures); n > 0 {
 		fmt.Printf("Phase 2: %d evaluation(s) failed within the %.0f%% budget:\n%s\n",
 			n, 100*spec.FailureBudget, fault.Summarize(rep.Phase2.Failures))
+	}
+	if n := len(rep.Phase2.Skips); n > 0 {
+		fmt.Printf("Phase 2: %d infeasible loadout(s) skipped\n", n)
 	}
 	fmt.Println()
 	describe("AP", rep.Selected)

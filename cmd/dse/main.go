@@ -7,11 +7,19 @@
 //
 //	dse -scenario dense [-pool 2048] [-iters 72] [-seed 1] [-workers 0]
 //	    [-db policies.json] [-algorithms dqn,reinforce] [-axis layers=2,4,7]
+//	    [-vehicle-axes battery,sensor] [-catalog]
 //
 // -algorithms widens the sweep into an algorithm–SoC co-search (the
 // training algorithm becomes a categorical axis); -axis overrides any
 // numeric axis of the Table II grid (layers, filters, pe_rows, pe_cols,
 // sram_kb).
+//
+// -vehicle-axes opens catalog components (airframe, battery, sensor) as
+// additional categorical axes: each design flies on its own loadout,
+// objectives switch to the full-vehicle metrics (success, vehicle power,
+// missions per charge), and loadouts failing the SWaP feasibility check are
+// reported as typed skips, never scored. -catalog prints the component
+// catalog and exits.
 //
 // The flags assemble an api.CoDesignRequest and run its Phase-2 projection,
 // so flag validation and request wiring are shared with cmd/autopilot and
@@ -36,6 +44,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/api"
+	"autopilot/internal/catalog"
 	"autopilot/internal/dse"
 	"autopilot/internal/fault"
 	"autopilot/internal/obs"
@@ -63,9 +72,19 @@ func main() {
 	algorithms := flag.String("algorithms", "", "comma-separated training algorithms to co-search (e.g. dqn,reinforce)")
 	var axes multiFlag
 	flag.Var(&axes, "axis", "override a search-space axis as name=v1,v2,... (repeatable; axes: layers, filters, pe_rows, pe_cols, sram_kb)")
+	vehicleAxes := flag.String("vehicle-axes", "", "comma-separated catalog components to co-search (airframe, battery, sensor)")
+	printCatalog := flag.Bool("catalog", false, "print the component catalog and exit")
 	var obsFlags obs.Flags
 	obsFlags.Register()
 	flag.Parse()
+
+	if *printCatalog {
+		if err := catalog.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -88,6 +107,12 @@ func main() {
 		os.Exit(2)
 	}
 	req.Space = space
+	vehicle, err := api.ParseVehicleFlags(*vehicleAxes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(2)
+	}
+	req.Vehicle = vehicle
 	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
 		os.Exit(2)
@@ -153,6 +178,12 @@ func main() {
 	if len(res.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "dse: %d evaluation(s) failed within the %.0f%% budget:\n%s\n",
 			len(res.Failures), 100**failureBudget, fault.Summarize(res.Failures))
+	}
+	if len(res.Skips) > 0 {
+		fmt.Printf("\ninfeasible loadouts skipped (%d):\n", len(res.Skips))
+		for _, s := range res.Skips {
+			fmt.Printf("  %-44s %s: %s\n", s.Design, s.Reason, s.Detail)
+		}
 	}
 	fmt.Printf("\nPareto frontier (%d of %d evaluated designs):\n", len(res.ParetoIdx), len(res.Evaluated))
 	fmt.Printf("%-44s %8s %8s %8s %8s\n", "design", "success", "FPS", "SoC W", "FPS/W")

@@ -99,6 +99,12 @@ type CoDesignRequest struct {
 	// algorithm–SoC co-search. nil (and any spelling of the default grid)
 	// normalizes to the legacy Table II space, preserving legacy hashes.
 	Space *SpaceSpec `json:"space,omitempty"`
+	// Vehicle, when non-nil, opens catalog components (airframe, battery,
+	// sensor) as Phase-2 vehicle axes, turning the run into a
+	// SWaP-constrained full-vehicle co-design. nil (and a block that opens
+	// no axis) normalizes to the legacy fixed-platform pipeline, preserving
+	// legacy hashes.
+	Vehicle *VehicleSpec `json:"vehicle,omitempty"`
 }
 
 // DefaultRequest returns the normalized default query: nano UAV, dense
@@ -213,6 +219,7 @@ func (r CoDesignRequest) Normalized() CoDesignRequest {
 		n.Train = &ts
 	}
 	n.Space = normalizedSpace(n.Space)
+	n.Vehicle = normalizedVehicle(n.Vehicle)
 	return n
 }
 
@@ -267,6 +274,9 @@ func (r CoDesignRequest) Validate() error {
 		}
 	}
 	if err := validateSpace(n.Space, n.Train != nil); err != nil {
+		return err
+	}
+	if err := validateVehicle(n.Vehicle); err != nil {
 		return err
 	}
 	return nil
@@ -420,6 +430,7 @@ func (r CoDesignRequest) ManifestConfig() map[string]any {
 		"retries":        n.Constraints.Retries,
 		"failure_budget": n.Constraints.FailureBudget,
 		"algorithms":     algorithms,
+		"vehicle_axes":   openVehicleAxes(n.Vehicle),
 	}
 }
 

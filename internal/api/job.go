@@ -45,7 +45,9 @@ type Job struct {
 	Result    *Result    `json:"result,omitempty"`
 }
 
-// ParetoPoint is one Phase-2 Pareto-front design in wire form.
+// ParetoPoint is one Phase-2 Pareto-front design in wire form. The loadout
+// columns appear only for full-vehicle co-design runs, so legacy results
+// stay byte-identical.
 type ParetoPoint struct {
 	Model          string  `json:"model"`
 	Algorithm      string  `json:"algorithm,omitempty"`
@@ -55,6 +57,23 @@ type ParetoPoint struct {
 	RuntimeSec     float64 `json:"runtime_sec"`
 	SoCPowerW      float64 `json:"soc_w"`
 	EfficiencyFPSW float64 `json:"fps_per_w"`
+
+	Airframe     string  `json:"airframe,omitempty"`
+	Battery      string  `json:"battery,omitempty"`
+	Sensor       string  `json:"sensor,omitempty"`
+	TotalWeightG float64 `json:"total_weight_g,omitempty"`
+	Missions     float64 `json:"missions,omitempty"`
+}
+
+// SkipRecord is one infeasible-loadout skip in wire form: a typed answer
+// about the design space, never a scored point.
+type SkipRecord struct {
+	Design   string `json:"design"`
+	Airframe string `json:"airframe"`
+	Battery  string `json:"battery"`
+	Sensor   string `json:"sensor"`
+	Reason   string `json:"reason"` // weight | thrust | power
+	Detail   string `json:"detail,omitempty"`
 }
 
 // Result is the deterministic payload of a completed co-design job: the
@@ -66,14 +85,17 @@ type Result struct {
 	RequestHash string             `json:"request_hash"`
 	Report      core.ReportSummary `json:"report"`
 	Pareto      []ParetoPoint      `json:"pareto"`
-	Manifest    obs.Manifest       `json:"manifest"`
+	// Skips lists designs whose loadout failed the catalog feasibility
+	// check (full-vehicle runs only; absent on legacy results).
+	Skips    []SkipRecord `json:"skips,omitempty"`
+	Manifest obs.Manifest `json:"manifest"`
 }
 
 // ParetoFront converts a Phase-2 front to wire form.
 func ParetoFront(front []dse.Evaluated) []ParetoPoint {
 	out := make([]ParetoPoint, 0, len(front))
 	for _, e := range front {
-		out = append(out, ParetoPoint{
+		p := ParetoPoint{
 			Model:          e.Design.Hyper.String(),
 			Algorithm:      e.Design.Algo,
 			Hardware:       e.Design.HW.String(),
@@ -82,6 +104,31 @@ func ParetoFront(front []dse.Evaluated) []ParetoPoint {
 			RuntimeSec:     e.RuntimeSec,
 			SoCPowerW:      e.SoCPowerW,
 			EfficiencyFPSW: e.EfficiencyFPSW(),
+		}
+		if v := e.Design.Vehicle; v != (dse.VehicleRef{}) {
+			p.Airframe, p.Battery, p.Sensor = v.Airframe, v.Battery, v.Sensor
+			p.TotalWeightG = e.Vehicle.TotalWeightG
+			p.Missions = e.Vehicle.Missions
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SkipRecords converts Phase-2 infeasible-loadout skips to wire form.
+func SkipRecords(skips []dse.Skip) []SkipRecord {
+	if len(skips) == 0 {
+		return nil
+	}
+	out := make([]SkipRecord, 0, len(skips))
+	for _, s := range skips {
+		out = append(out, SkipRecord{
+			Design:   s.Design,
+			Airframe: s.Loadout.Airframe,
+			Battery:  s.Loadout.Battery,
+			Sensor:   s.Loadout.Sensor,
+			Reason:   s.Reason,
+			Detail:   s.Detail,
 		})
 	}
 	return out
@@ -97,6 +144,7 @@ func NewResult(req CoDesignRequest, rep *core.Report, man obs.Manifest) Result {
 		RequestHash: req.Hash(),
 		Report:      rep.Summary(),
 		Pareto:      ParetoFront(rep.Phase2.Pareto()),
+		Skips:       SkipRecords(rep.Phase2.Skips),
 		Manifest:    man,
 	}
 }

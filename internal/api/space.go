@@ -288,6 +288,7 @@ func (r CoDesignRequest) SearchSpace() (dse.Space, error) {
 	}
 	n := r.Normalized()
 	sp := dse.DefaultSpace()
+	vehicleSpace(&sp, n.Vehicle, n.UAVClass)
 	if n.Space == nil {
 		return sp, nil
 	}

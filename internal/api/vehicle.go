@@ -1,0 +1,174 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+
+	"autopilot/internal/catalog"
+	"autopilot/internal/dse"
+)
+
+// This file is the contract surface of the component-catalog layer
+// (internal/catalog): a versioned, JSON-serializable vehicle block on
+// CoDesignRequest. A request without a vehicle block runs the legacy
+// fixed-platform pipeline and hashes identically to pre-catalog requests; a
+// request with one opens catalog components (airframe, battery, sensor) as
+// categorical Phase-2 axes, turning the run into a SWaP-constrained
+// full-vehicle co-design.
+
+// VehicleVersion is the current vehicle-block schema version.
+const VehicleVersion = 1
+
+// Vehicle axis names accepted by ParseVehicleFlags.
+const (
+	VehicleAxisAirframe = "airframe"
+	VehicleAxisBattery  = "battery"
+	VehicleAxisSensor   = "sensor"
+)
+
+// VehicleSpec opens catalog components as search axes. Each list names the
+// catalog entries the axis may choose from; an empty list leaves that
+// component anchored (airframe from the request's UAV class, battery and
+// sensor from the airframe's catalog defaults). Note a single-entry list is
+// still a meaningful block — pinning a battery changes the objectives to the
+// full-vehicle metrics even though nothing is searched on that axis — so
+// only a block with every list empty normalizes away.
+type VehicleSpec struct {
+	Version   int      `json:"version,omitempty"`
+	Airframes []string `json:"airframes,omitempty"`
+	Batteries []string `json:"batteries,omitempty"`
+	Sensors   []string `json:"sensors,omitempty"`
+}
+
+// VehicleError is the typed validation error for a malformed vehicle block.
+type VehicleError struct {
+	Axis   string
+	Reason string
+}
+
+func (e *VehicleError) Error() string {
+	if e.Axis == "" {
+		return "api: vehicle: " + e.Reason
+	}
+	return fmt.Sprintf("api: vehicle axis %q: %s", e.Axis, e.Reason)
+}
+
+// normalizedVehicle canonicalizes a vehicle block: entry names are
+// lowercased, deduped, and sorted, and a block that opens no axis at all
+// normalizes to nil so it hashes identically to a legacy request.
+func normalizedVehicle(v *VehicleSpec) *VehicleSpec {
+	if v == nil {
+		return nil
+	}
+	n := VehicleSpec{Version: v.Version}
+	if n.Version == 0 {
+		n.Version = VehicleVersion
+	}
+	n.Airframes = dedupeStrings(v.Airframes)
+	n.Batteries = dedupeStrings(v.Batteries)
+	n.Sensors = dedupeStrings(v.Sensors)
+	if len(n.Airframes) == 0 && len(n.Batteries) == 0 && len(n.Sensors) == 0 &&
+		n.Version == VehicleVersion {
+		return nil
+	}
+	return &n
+}
+
+// validateVehicle checks a normalized vehicle block with typed
+// *VehicleError values: the version must be current and every named
+// component must exist in the catalog.
+func validateVehicle(v *VehicleSpec) error {
+	if v == nil {
+		return nil
+	}
+	if v.Version != VehicleVersion {
+		return &VehicleError{Reason: fmt.Sprintf("unsupported vehicle version %d (want %d)", v.Version, VehicleVersion)}
+	}
+	for _, a := range v.Airframes {
+		if _, err := catalog.AirframeByName(a); err != nil {
+			return &VehicleError{Axis: VehicleAxisAirframe,
+				Reason: fmt.Sprintf("unknown airframe %q (want %s)", a, strings.Join(catalog.AirframeNames(), "|"))}
+		}
+	}
+	for _, b := range v.Batteries {
+		if _, err := catalog.BatteryByName(b); err != nil {
+			return &VehicleError{Axis: VehicleAxisBattery,
+				Reason: fmt.Sprintf("unknown battery %q (want %s)", b, strings.Join(catalog.BatteryNames(), "|"))}
+		}
+	}
+	for _, s := range v.Sensors {
+		if _, err := catalog.SensorByName(s); err != nil {
+			return &VehicleError{Axis: VehicleAxisSensor,
+				Reason: fmt.Sprintf("unknown sensor %q (want %s)", s, strings.Join(catalog.SensorNames(), "|"))}
+		}
+	}
+	return nil
+}
+
+// baseAirframeFor anchors the loadout for a canonical UAV class when the
+// airframe axis is not searched: the Table IV airframe of that class.
+func baseAirframeFor(uavClass string) string {
+	switch uavClass {
+	case "mini":
+		return "pelican"
+	case "micro":
+		return "spark"
+	default:
+		return "nano"
+	}
+}
+
+// vehicleSpace applies a normalized vehicle block onto a dse search space.
+func vehicleSpace(sp *dse.Space, v *VehicleSpec, uavClass string) {
+	if v == nil {
+		return
+	}
+	sp.Airframes = v.Airframes
+	sp.Batteries = v.Batteries
+	sp.Sensors = v.Sensors
+	sp.BaseAirframe = baseAirframeFor(uavClass)
+}
+
+// openVehicleAxes names the axes a normalized vehicle block searches, in
+// canonical order — what run manifests report as vehicle_axes.
+func openVehicleAxes(v *VehicleSpec) string {
+	if v == nil {
+		return ""
+	}
+	var open []string
+	if len(v.Airframes) > 0 {
+		open = append(open, VehicleAxisAirframe)
+	}
+	if len(v.Batteries) > 0 {
+		open = append(open, VehicleAxisBattery)
+	}
+	if len(v.Sensors) > 0 {
+		open = append(open, VehicleAxisSensor)
+	}
+	return strings.Join(open, ",")
+}
+
+// ParseVehicleFlags assembles a vehicle block from the comma-separated
+// -vehicle-axes flag: each named axis opens with the full catalog for that
+// component. Empty returns nil (the legacy fixed-platform pipeline).
+func ParseVehicleFlags(axes string) (*VehicleSpec, error) {
+	s := strings.TrimSpace(axes)
+	if s == "" {
+		return nil, nil
+	}
+	var spec VehicleSpec
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case VehicleAxisAirframe:
+			spec.Airframes = catalog.AirframeNames()
+		case VehicleAxisBattery:
+			spec.Batteries = catalog.BatteryNames()
+		case VehicleAxisSensor:
+			spec.Sensors = catalog.SensorNames()
+		default:
+			return nil, &VehicleError{Axis: strings.TrimSpace(name),
+				Reason: "unknown vehicle axis (want airframe|battery|sensor)"}
+		}
+	}
+	return &spec, nil
+}

@@ -1,0 +1,62 @@
+package catalog
+
+import "testing"
+
+// BenchmarkBuildLoadout measures full catalog composition (three map
+// lookups + default resolution) — the inner loop of vehicle-axis decoding.
+func BenchmarkBuildLoadout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLoadout("nano", "lipo-1s-500", "ov9755"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateLoadouts measures a full catalog enumeration: every
+// airframe × battery × sensor combination composed and weighed.
+func BenchmarkEnumerateLoadouts(b *testing.B) {
+	airframes, bats, sens := AirframeNames(), BatteryNames(), SensorNames()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, a := range airframes {
+			for _, bat := range bats {
+				for _, s := range sens {
+					lo, err := BuildLoadout(a, bat, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += lo.BaseWeightG()
+				}
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFeasible measures the full SWaP feasibility filter on a feasible
+// loadout (all three clauses evaluated).
+func BenchmarkFeasible(b *testing.B) {
+	lo, err := DefaultLoadout("nano")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := lo.Feasible(30, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeasibleInfeasible measures the filter's rejection path,
+// including the typed-error allocation.
+func BenchmarkFeasibleInfeasible(b *testing.B) {
+	lo, err := BuildLoadout("nano", "lipo-1s-250", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := lo.Feasible(30, 20); err == nil {
+			b.Fatal("want infeasible")
+		}
+	}
+}

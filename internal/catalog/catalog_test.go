@@ -1,0 +1,214 @@
+package catalog
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEveryEntryValidates: the shipped catalog must be internally consistent —
+// every entry passes its own Validate, and every airframe's default
+// battery/sensor resolves.
+func TestEveryEntryValidates(t *testing.T) {
+	for _, b := range Batteries() {
+		if err := b.Validate(); err != nil {
+			t.Errorf("battery %s: %v", b.Name, err)
+		}
+	}
+	for _, s := range Sensors() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("sensor %s: %v", s.Name, err)
+		}
+	}
+	for _, b := range Boards() {
+		if err := b.Validate(); err != nil {
+			t.Errorf("board %s: %v", b.Name, err)
+		}
+	}
+	for _, a := range Airframes() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("airframe %s: %v", a.Name, err)
+		}
+		lo, err := DefaultLoadout(a.Name)
+		if err != nil {
+			t.Errorf("airframe %s default loadout: %v", a.Name, err)
+			continue
+		}
+		if err := lo.Validate(); err != nil {
+			t.Errorf("default loadout %s: %v", lo, err)
+		}
+		// A bare default loadout (no compute payload) must fly.
+		if err := lo.FeasibleWeight(0); err != nil {
+			t.Errorf("default loadout %s cannot lift itself: %v", lo, err)
+		}
+	}
+}
+
+// TestDefaultLoadoutWeightsMatchTableIV: frame + default battery + default
+// sensor must reproduce the legacy Table IV base weights exactly. Integer
+// gram components sum without rounding in float64, so equality is ==.
+func TestDefaultLoadoutWeightsMatchTableIV(t *testing.T) {
+	for name, want := range map[string]float64{"pelican": 1650, "spark": 300, "nano": 50} {
+		lo, err := DefaultLoadout(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lo.BaseWeightG(); got != want {
+			t.Errorf("%s base weight = %v g, want %v g", name, got, want)
+		}
+	}
+}
+
+// TestBatteryEnergyExpression pins EnergyJ to the exact legacy arithmetic
+// (mAh/1000 * V * 3600, in that order), bitwise.
+func TestBatteryEnergyExpression(t *testing.T) {
+	for _, b := range Batteries() {
+		want := b.CapacitymAh / 1000 * b.VoltageV * 3600
+		if got := b.EnergyJ(); got != want {
+			t.Errorf("%s EnergyJ = %x, want %x", b.Name, got, want)
+		}
+	}
+}
+
+// TestFPSForGuard: the shared degenerate-model guard — zero or negative
+// weight footprints yield 0 FPS, never +Inf; pinned boards ignore the
+// footprint entirely.
+func TestFPSForGuard(t *testing.T) {
+	tx2, err := BoardByName("jetson-tx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bytes := range []int64{0, -1} {
+		if got := tx2.FPSFor(bytes); got != 0 || math.IsInf(got, 1) {
+			t.Errorf("FPSFor(%d) = %v, want 0", bytes, got)
+		}
+	}
+	if got := tx2.FPSFor(3e9); got != 1.0 {
+		t.Errorf("FPSFor(3e9) = %v, want 1", got)
+	}
+	dronet, err := BoardByName("pulp-dronet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bytes := range []int64{0, 1 << 20} {
+		if got := dronet.FPSFor(bytes); got != 6 {
+			t.Errorf("pinned FPSFor(%d) = %v, want 6", bytes, got)
+		}
+	}
+}
+
+// TestFeasibilityReasons drives each clause of the single feasibility check
+// and asserts the typed reason survives errors.As.
+func TestFeasibilityReasons(t *testing.T) {
+	nano, err := DefaultLoadout("nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		loadout  func() Loadout
+		payloadG float64
+		drawW    float64
+		reason   InfeasibleReason
+	}{
+		{"over-payload-budget", func() Loadout { return nano }, 251, 1, ReasonWeight},
+		{"under-thrust", func() Loadout {
+			lo, err := BuildLoadout("nano", "lipo-6s-10000", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lo
+		}, 10, 1, ReasonThrust},
+		{"over-discharge", func() Loadout {
+			lo, err := BuildLoadout("nano", "lipo-1s-250", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lo
+		}, 10, 15, ReasonPower},
+	}
+	for _, c := range cases {
+		err := c.loadout().Feasible(c.payloadG, c.drawW)
+		if err == nil {
+			t.Errorf("%s: feasible, want %s", c.name, c.reason)
+			continue
+		}
+		var inf *InfeasibleError
+		if !errors.As(err, &inf) {
+			t.Errorf("%s: untyped error %v", c.name, err)
+			continue
+		}
+		if inf.Reason != c.reason {
+			t.Errorf("%s: reason %s, want %s", c.name, inf.Reason, c.reason)
+		}
+	}
+	if err := nano.Feasible(100, 10); err != nil {
+		t.Errorf("nano +100 g at 10 W should fly: %v", err)
+	}
+}
+
+// TestMaxAccelNeverNegative: past the lift limit the acceleration clamps to
+// zero instead of going negative.
+func TestMaxAccelNeverNegative(t *testing.T) {
+	nano, err := DefaultLoadout("nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := nano.MaxAccelMS2(1e6); a != 0 {
+		t.Errorf("MaxAccelMS2(1e6 g) = %v, want 0", a)
+	}
+	if a := nano.MaxAccelMS2(0); a <= 0 {
+		t.Errorf("bare nano MaxAccelMS2 = %v, want > 0", a)
+	}
+}
+
+// TestBuildLoadoutDefaultsAndErrors: empty component names select the
+// airframe defaults; unknown names fail with the catalog's listing error.
+func TestBuildLoadoutDefaultsAndErrors(t *testing.T) {
+	lo, err := BuildLoadout("spark", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Battery.Name != "lipo-3s-1480" || lo.Sensor.Name != "ov9755" {
+		t.Errorf("spark defaults = %s, want spark/lipo-3s-1480/ov9755", lo)
+	}
+	for _, bad := range [][3]string{
+		{"hexacopter", "", ""},
+		{"nano", "lipo-9s", ""},
+		{"nano", "", "lidar"},
+	} {
+		if _, err := BuildLoadout(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("BuildLoadout(%q, %q, %q) succeeded, want error", bad[0], bad[1], bad[2])
+		} else if !strings.Contains(err.Error(), "unknown") {
+			t.Errorf("BuildLoadout(%q, %q, %q): %v, want an unknown-entry error", bad[0], bad[1], bad[2], err)
+		}
+	}
+}
+
+// TestListingsSortedAndComplete: name listings are sorted (deterministic
+// axis encodings depend on it) and round-trip through the ByName lookups.
+func TestListingsSortedAndComplete(t *testing.T) {
+	checkSorted := func(label string, names []string) {
+		for i := 1; i < len(names); i++ {
+			if names[i-1] >= names[i] {
+				t.Errorf("%s names not strictly sorted: %v", label, names)
+				return
+			}
+		}
+	}
+	checkSorted("battery", BatteryNames())
+	checkSorted("sensor", SensorNames())
+	checkSorted("board", BoardNames())
+	checkSorted("airframe", AirframeNames())
+	for _, n := range BatteryNames() {
+		if _, err := BatteryByName(n); err != nil {
+			t.Error(err)
+		}
+	}
+	for _, n := range AirframeNames() {
+		if _, err := AirframeByName(n); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package catalog
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTable renders the full component catalog for terminals — what the
+// CLIs print for -catalog.
+func WriteTable(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("airframes:\n")
+	p("  %-10s %-18s %-5s %8s %8s %10s %10s %s\n",
+		"name", "label", "class", "frame g", "thrust N", "payload g", "other W", "defaults")
+	for _, a := range Airframes() {
+		p("  %-10s %-18s %-5s %8.0f %8.2f %10.0f %10.2f %s+%s\n",
+			a.Name, a.Label, a.Class, a.FrameWeightG, a.MaxThrustN,
+			a.MaxPayloadG, a.OtherPowerW, a.DefaultBattery, a.DefaultSensor)
+	}
+	p("batteries:\n")
+	p("  %-14s %-18s %8s %6s %8s %10s %10s\n",
+		"name", "label", "mAh", "V", "g", "energy J", "max W")
+	for _, b := range Batteries() {
+		p("  %-14s %-18s %8.0f %6.1f %8.0f %10.0f %10.0f\n",
+			b.Name, b.Label, b.CapacitymAh, b.VoltageV, b.WeightG, b.EnergyJ(), b.MaxDischargeW)
+	}
+	p("sensors:\n")
+	p("  %-14s %-20s %8s %6s %s\n", "name", "label", "mW", "g", "modes")
+	for _, s := range Sensors() {
+		p("  %-14s %-20s %8.0f %6.1f ", s.Name, s.Label, 1000*s.PowerW, s.WeightG)
+		for i, m := range s.Modes {
+			if i > 0 {
+				p(", ")
+			}
+			p("%dx%d@%.0f", m.Width, m.Height, m.FPS)
+		}
+		p("\n")
+	}
+	p("boards:\n")
+	p("  %-14s %-14s %8s %6s %10s %10s\n", "name", "label", "W", "g", "GB/s", "pinned FPS")
+	for _, b := range Boards() {
+		p("  %-14s %-14s %8.3f %6.0f %10.2f %10.0f\n",
+			b.Name, b.Label, b.PowerW, b.WeightG, b.SustainedGBps, b.PinnedFPS)
+	}
+	return err
+}

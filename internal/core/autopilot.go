@@ -159,6 +159,9 @@ type Selection struct {
 	NodeNM   int
 	Tuned    string // human-readable tuning description, "" if untouched
 	PayloadG float64
+	// Loadout names the catalog loadout the design flew on; the zero value
+	// means the spec's fixed platform (the legacy pipeline).
+	Loadout dse.VehicleRef
 
 	ActionHz     float64
 	Bound        f1.Bound
@@ -293,6 +296,7 @@ func Phase2(ctx context.Context, spec Spec, db *airlearning.Database) (*dse.Resu
 		Power:         spec.PowerModel,
 		Config:        spec.Phase2,
 		Workers:       spec.Workers,
+		Vehicle:       dse.VehicleParams{Mission: spec.Mission, Params: spec.MissionParams, Thermal: spec.Thermal},
 		Retry:         spec.retryPolicy(),
 		JobTimeout:    spec.JobTimeout,
 		FailureBudget: spec.FailureBudget,
@@ -309,25 +313,26 @@ func (s Spec) sensorFPS() float64 {
 	return s.Platform.MaxSensorFPS()
 }
 
-// evaluateFullSystem is the single Phase-3 full-system path: it maps one
-// hardware cost-model estimate, flown at the given payload weight, onto the
-// F-1 roofline (knee point, effective action throughput, safe velocity) and
-// the Eq. 1–4 mission model. Every consumer — searched designs, fine-tuned
-// variants, and baseline boards — goes through this function, so any future
-// hw.Backend gets the Fig. 5-style comparison for free. Designs the UAV
-// cannot lift come back with Liftable=false.
-func evaluateFullSystem(spec Spec, est hw.Estimate, payloadG float64, model f1.Model) Selection {
+// evaluateFullSystemOn is the single Phase-3 full-system path: it maps one
+// hardware cost-model estimate, flown at the given payload weight on the
+// given platform, onto the F-1 roofline (knee point, effective action
+// throughput, safe velocity) and the Eq. 1–4 mission model. Every consumer —
+// searched designs, fine-tuned variants, baseline boards, and catalog
+// loadouts — goes through this function, so any future hw.Backend gets the
+// Fig. 5-style comparison for free. Designs the platform cannot lift come
+// back with Liftable=false.
+func evaluateFullSystemOn(spec Spec, plat uav.Platform, sensorFPS float64, est hw.Estimate, payloadG float64, model f1.Model) Selection {
 	sel := Selection{NodeNM: 28, PayloadG: payloadG}
-	if !spec.Platform.CanLift(payloadG) {
+	if !plat.CanLift(payloadG) {
 		return sel
 	}
 	sel.Liftable = true
-	accel := spec.Platform.MaxAccelMS2(payloadG)
+	accel := plat.MaxAccelMS2(payloadG)
 	sel.KneeHz = model.KneePoint(accel)
-	sel.ActionHz, sel.Bound = model.EffectiveThroughput(est.FPS, spec.sensorFPS(), accel)
+	sel.ActionHz, sel.Bound = model.EffectiveThroughput(est.FPS, sensorFPS, accel)
 	sel.Provisioning = model.Classify(sel.ActionHz, accel)
 	sel.VSafeMS = model.SafeVelocity(sel.ActionHz, accel)
-	prof, err := mission.Evaluate(spec.Platform, spec.MissionParams, spec.Mission,
+	prof, err := mission.Evaluate(plat, spec.MissionParams, spec.Mission,
 		payloadG, est.SoCPowerW, sel.VSafeMS)
 	if err != nil {
 		sel.Liftable = false
@@ -335,6 +340,11 @@ func evaluateFullSystem(spec Spec, est hw.Estimate, payloadG float64, model f1.M
 	}
 	sel.Profile = prof
 	return sel
+}
+
+// evaluateFullSystem runs the full-system path on the spec's fixed platform.
+func evaluateFullSystem(spec Spec, est hw.Estimate, payloadG float64, model f1.Model) Selection {
+	return evaluateFullSystemOn(spec, spec.Platform, spec.sensorFPS(), est, payloadG, model)
 }
 
 // payloadFor resolves the flown compute weight for an estimate: boards
@@ -358,13 +368,44 @@ func EvaluateEstimate(spec Spec, est hw.Estimate, success float64, model f1.Mode
 }
 
 // EvaluateOnPlatform performs the Phase-3 full-system evaluation of one
-// scored design on the spec's UAV: payload weight from the accelerator TDP,
-// F-1 safe velocity at the effective action throughput, and Eq. 1–4 mission
-// metrics. Designs the UAV cannot lift come back with Liftable=false.
+// scored design: payload weight from the accelerator TDP, F-1 safe velocity
+// at the effective action throughput, and Eq. 1–4 mission metrics. Designs
+// carrying a loadout reference fly on that catalog loadout (its platform
+// view, its sensor, its SoC sensor power) instead of the spec's fixed
+// platform — fine-tuned variants resolve the same loadout through the design
+// point, so tuning never silently reverts the vehicle. Designs the vehicle
+// cannot lift come back with Liftable=false.
 func EvaluateOnPlatform(spec Spec, e dse.Evaluated, model f1.Model) Selection {
 	est := hw.Estimate{FPS: e.FPS, RuntimeSec: e.RuntimeSec,
 		AccelPowerW: e.AccelPowerW, SoCPowerW: e.SoCPowerW, Breakdown: e.Breakdown}
-	sel := evaluateFullSystem(spec, est, spec.Thermal.ComputeWeightGrams(e.AccelPowerW), model)
+	plat, sensorFPS := spec.Platform, spec.sensorFPS()
+	if v := e.Design.Vehicle; v != (dse.VehicleRef{}) {
+		lo, err := v.Loadout()
+		if err != nil {
+			return Selection{NodeNM: 28, Design: e, Loadout: v}
+		}
+		plat = uav.FromLoadout(lo)
+		sensorFPS = lo.Sensor.MaxFPS()
+		if spec.SensorFPS > 0 {
+			sensorFPS = spec.SensorFPS
+		}
+		// Re-derive SoC power from the breakdown with the loadout's sensor,
+		// so fine-tuned estimates (built with the Table III sensor) score
+		// consistently with the searched design.
+		est.SoCPowerW = power.SoCWithSensor(e.Breakdown, lo.Sensor.PowerW)
+		sel := evaluateFullSystemOn(spec, plat, sensorFPS, est, spec.Thermal.ComputeWeightGrams(e.AccelPowerW), model)
+		sel.Design = e
+		sel.Design.SoCPowerW = est.SoCPowerW
+		// Rebuild the vehicle-eval block from this evaluation: fine-tuned
+		// variants arrive with it zeroed, and a tuned accelerator changes the
+		// payload weight anyway.
+		sel.Design.Vehicle = dse.VehicleEval{Loadout: v, PayloadG: sel.PayloadG,
+			TotalWeightG: lo.BaseWeightG() + sel.PayloadG, TotalPowerW: sel.Profile.TotalW,
+			VSafeMS: sel.VSafeMS, Missions: sel.Profile.Missions}
+		sel.Loadout = v
+		return sel
+	}
+	sel := evaluateFullSystemOn(spec, plat, sensorFPS, est, spec.Thermal.ComputeWeightGrams(e.AccelPowerW), model)
 	sel.Design = e
 	return sel
 }

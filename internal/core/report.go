@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"autopilot/internal/dse"
 	"autopilot/internal/uav"
 )
 
@@ -27,11 +28,18 @@ type SelectionSummary struct {
 	VSafeMS      float64 `json:"v_safe_ms"`
 	Missions     float64 `json:"missions"`
 	Liftable     bool    `json:"liftable"`
+
+	// Loadout columns: present only for full-vehicle co-design runs, so
+	// legacy summaries stay byte-identical.
+	Airframe     string  `json:"airframe,omitempty"`
+	Battery      string  `json:"battery,omitempty"`
+	Sensor       string  `json:"sensor,omitempty"`
+	TotalWeightG float64 `json:"total_weight_g,omitempty"`
 }
 
 // Summary converts a selection to its digest form.
 func (s Selection) Summary() SelectionSummary {
-	return SelectionSummary{
+	sum := SelectionSummary{
 		Model:        s.Design.Design.Hyper.String(),
 		Algorithm:    s.Design.Design.Algo,
 		Hardware:     s.Design.Design.HW.String(),
@@ -49,6 +57,11 @@ func (s Selection) Summary() SelectionSummary {
 		Missions:     s.Missions(),
 		Liftable:     s.Liftable,
 	}
+	if v := s.Loadout; v != (dse.VehicleRef{}) {
+		sum.Airframe, sum.Battery, sum.Sensor = v.Airframe, v.Battery, v.Sensor
+		sum.TotalWeightG = s.Design.Vehicle.TotalWeightG
+	}
+	return sum
 }
 
 // ReportSummary is the JSON-friendly digest of a pipeline run.

@@ -18,6 +18,7 @@ import (
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/bayesopt"
+	"autopilot/internal/catalog"
 	"autopilot/internal/fault"
 	"autopilot/internal/hw"
 	"autopilot/internal/memo"
@@ -50,6 +51,19 @@ type Space struct {
 	// fixed-algorithm (DQN-calibrated) space.
 	Algorithms []string
 
+	// Airframes, Batteries, and Sensors optionally add catalog components as
+	// categorical vehicle axes (SWaP co-search): each design point then
+	// carries a fully-resolved loadout reference, evaluation extends to the
+	// full-vehicle mission metrics, and infeasible loadouts surface as typed
+	// skips. All empty means the legacy SoC-only space; an axis left empty
+	// while another is set falls back to BaseAirframe (or its defaults).
+	Airframes []string
+	Batteries []string
+	Sensors   []string
+	// BaseAirframe anchors the loadout when the airframe axis is not
+	// searched; empty means "nano".
+	BaseAirframe string
+
 	Dataflow systolic.Dataflow
 	FreqMHz  float64
 	Template policy.TemplateConfig
@@ -65,7 +79,24 @@ const (
 	AxisSRAMIfmap  = "sram_ifmap_kb"
 	AxisSRAMFilter = "sram_filter_kb"
 	AxisSRAMOfmap  = "sram_ofmap_kb"
+	AxisAirframe   = "airframe"
+	AxisBattery    = "battery"
+	AxisSensor     = "sensor"
 )
+
+// HasVehicleAxes reports whether the space searches any catalog vehicle axis.
+func (s Space) HasVehicleAxes() bool {
+	return len(s.Airframes) > 0 || len(s.Batteries) > 0 || len(s.Sensors) > 0
+}
+
+// baseAirframe resolves the anchor airframe for loadouts when the airframe
+// axis is not searched.
+func (s Space) baseAirframe() string {
+	if s.BaseAirframe != "" {
+		return s.BaseAirframe
+	}
+	return "nano"
+}
 
 // ParamSpace materializes the generic parameter space backing this Table II
 // view: the optional algorithm axis first, then the model axes, then the
@@ -73,7 +104,7 @@ const (
 // (linear over the Table II model range, log2 over the power-of-two
 // hardware ranges).
 func (s Space) ParamSpace() space.Space {
-	axes := make([]space.Axis, 0, 8)
+	axes := make([]space.Axis, 0, 11)
 	if len(s.Algorithms) > 0 {
 		axes = append(axes, space.CatAxis(AxisAlgorithm, s.Algorithms...))
 	}
@@ -86,6 +117,18 @@ func (s Space) ParamSpace() space.Space {
 		space.Axis{Name: AxisSRAMFilter, Kind: space.KindInt, Ints: s.SRAMKB, Scale: space.ScaleLog2, Lo: 5, Hi: 12},
 		space.Axis{Name: AxisSRAMOfmap, Kind: space.KindInt, Ints: s.SRAMKB, Scale: space.ScaleLog2, Lo: 5, Hi: 12},
 	)
+	// Vehicle axes go strictly after the legacy axes: on a space without
+	// them the axis list — and with it the sampling RNG draw order, the
+	// enumeration order, and the feature layout — is exactly the legacy one.
+	if len(s.Airframes) > 0 {
+		axes = append(axes, space.CatAxis(AxisAirframe, s.Airframes...))
+	}
+	if len(s.Batteries) > 0 {
+		axes = append(axes, space.CatAxis(AxisBattery, s.Batteries...))
+	}
+	if len(s.Sensors) > 0 {
+		axes = append(axes, space.CatAxis(AxisSensor, s.Sensors...))
+	}
 	return space.New(axes...)
 }
 
@@ -106,7 +149,40 @@ func (s Space) FromPoint(p space.Point) (DesignPoint, error) {
 		s.SRAMKB[p[4]], s.SRAMKB[p[5]], s.SRAMKB[p[6]],
 	)
 	d.Algo = algo
+	if s.HasVehicleAxes() {
+		v, err := s.vehicleFromTail(p[7:])
+		if err != nil {
+			return DesignPoint{}, err
+		}
+		d.Vehicle = v
+	}
 	return d, nil
+}
+
+// vehicleFromTail resolves the trailing vehicle-axis indexes into a fully
+// concrete loadout reference: unsearched axes fall back to the base airframe
+// and its catalog defaults, so every design point with vehicle axes names a
+// complete (airframe, battery, sensor) triple.
+func (s Space) vehicleFromTail(tail []int) (VehicleRef, error) {
+	v := VehicleRef{Airframe: s.baseAirframe()}
+	i := 0
+	if len(s.Airframes) > 0 {
+		v.Airframe = s.Airframes[tail[i]]
+		i++
+	}
+	a, err := catalog.AirframeByName(v.Airframe)
+	if err != nil {
+		return VehicleRef{}, fmt.Errorf("dse: %w", err)
+	}
+	v.Battery, v.Sensor = a.DefaultBattery, a.DefaultSensor
+	if len(s.Batteries) > 0 {
+		v.Battery = s.Batteries[tail[i]]
+		i++
+	}
+	if len(s.Sensors) > 0 {
+		v.Sensor = s.Sensors[tail[i]]
+	}
+	return v, nil
 }
 
 // DefaultSpace returns the paper's Table II space.
@@ -142,6 +218,26 @@ func (s Space) Validate() error {
 			return fmt.Errorf("dse: unknown algorithm %q", a)
 		}
 	}
+	for _, a := range s.Airframes {
+		if _, err := catalog.AirframeByName(a); err != nil {
+			return fmt.Errorf("dse: %w", err)
+		}
+	}
+	for _, b := range s.Batteries {
+		if _, err := catalog.BatteryByName(b); err != nil {
+			return fmt.Errorf("dse: %w", err)
+		}
+	}
+	for _, sn := range s.Sensors {
+		if _, err := catalog.SensorByName(sn); err != nil {
+			return fmt.Errorf("dse: %w", err)
+		}
+	}
+	if s.HasVehicleAxes() {
+		if _, err := catalog.AirframeByName(s.baseAirframe()); err != nil {
+			return fmt.Errorf("dse: base airframe: %w", err)
+		}
+	}
 	if s.FreqMHz <= 0 {
 		return fmt.Errorf("dse: non-positive frequency")
 	}
@@ -158,20 +254,28 @@ func Bandwidth(pes int) float64 {
 
 // DesignPoint is one joint (model, accelerator) candidate — plus, when the
 // space co-searches training algorithms, the algorithm the policy is
-// trained with (empty means the legacy fixed-DQN calibration).
+// trained with (empty means the legacy fixed-DQN calibration), and, when it
+// co-searches vehicle axes, the fully-resolved loadout reference (the zero
+// VehicleRef means the legacy SoC-only evaluation). All fields are
+// comparable, so the point keys the memoization cache directly.
 type DesignPoint struct {
-	Hyper policy.Hyper
-	HW    systolic.Config
-	Algo  string
+	Hyper   policy.Hyper
+	HW      systolic.Config
+	Algo    string
+	Vehicle VehicleRef
 }
 
-// String renders the design compactly; the algorithm tag appears only for
-// co-search points so legacy renderings are byte-stable.
+// String renders the design compactly; the algorithm and loadout tags appear
+// only for co-search points so legacy renderings are byte-stable.
 func (d DesignPoint) String() string {
+	base := fmt.Sprintf("%s on %s", d.Hyper, d.HW)
 	if d.Algo != "" {
-		return fmt.Sprintf("%s/%s on %s", d.Hyper, d.Algo, d.HW)
+		base = fmt.Sprintf("%s/%s on %s", d.Hyper, d.Algo, d.HW)
 	}
-	return fmt.Sprintf("%s on %s", d.Hyper, d.HW)
+	if d.Vehicle != (VehicleRef{}) {
+		return base + " @ " + d.Vehicle.String()
+	}
+	return base
 }
 
 // design constructs the systolic config for raw choice values.
@@ -233,7 +337,16 @@ func (s Space) Features(d DesignPoint) []float64 {
 	out := make([]float64, len(ps.Axes))
 	for i, a := range ps.Axes {
 		if a.Kind == space.KindCat {
-			out[i] = a.CatFeature(d.Algo)
+			switch a.Name {
+			case AxisAirframe:
+				out[i] = a.CatFeature(d.Vehicle.Airframe)
+			case AxisBattery:
+				out[i] = a.CatFeature(d.Vehicle.Battery)
+			case AxisSensor:
+				out[i] = a.CatFeature(d.Vehicle.Sensor)
+			default:
+				out[i] = a.CatFeature(d.Algo)
+			}
 			continue
 		}
 		out[i] = a.Normalize(raw[a.Name])
@@ -241,7 +354,8 @@ func (s Space) Features(d DesignPoint) []float64 {
 	return out
 }
 
-// Evaluated is one scored design point.
+// Evaluated is one scored design point. Designs carrying vehicle axes also
+// hold the full-vehicle metrics in Vehicle (zero otherwise).
 type Evaluated struct {
 	Design      DesignPoint
 	SuccessRate float64
@@ -250,10 +364,17 @@ type Evaluated struct {
 	SoCPowerW   float64
 	AccelPowerW float64
 	Breakdown   power.Breakdown
+	Vehicle     VehicleEval
 }
 
-// Objectives returns the minimization vector [−success, power, runtime].
+// Objectives returns the minimization vector: the legacy
+// [−success, power, runtime] for SoC-only designs, and
+// [−success, total vehicle power, −missions] when the design carries a
+// loadout — the SWaP-level trade the vehicle co-search ranks by.
 func (e Evaluated) Objectives() []float64 {
+	if e.Vehicle.Loadout != (VehicleRef{}) {
+		return []float64{-e.SuccessRate, e.Vehicle.TotalPowerW, -e.Vehicle.Missions}
+	}
 	return []float64{-e.SuccessRate, e.SoCPowerW, e.RuntimeSec}
 }
 
@@ -297,6 +418,7 @@ type Evaluator struct {
 
 	retry    fault.Policy
 	injector *fault.Injector
+	vp       VehicleParams // mission/thermal context for vehicle-axis designs
 
 	o     *obs.Observer
 	instr func(hw.Backend) hw.Backend // estimate-latency wrapper; nil when obs off
@@ -393,6 +515,9 @@ func NewEvaluator(db *airlearning.Database, scen airlearning.Scenario, pm power.
 	for _, opt := range opts {
 		opt(ev)
 	}
+	if ev.vp == (VehicleParams{}) {
+		ev.vp = DefaultVehicleParams()
+	}
 	counters := memo.NewCounters()
 	if ev.o != nil {
 		counters = memo.Counters{
@@ -485,20 +610,32 @@ func (ev *Evaluator) evaluate(d DesignPoint, attempt int) (Evaluated, error) {
 		e.FPS, e.RuntimeSec, e.SoCPowerW, e.AccelPowerW, e.SuccessRate); err != nil {
 		return Evaluated{}, fmt.Errorf("dse: %v: %w", d, err)
 	}
+	if d.Vehicle != (VehicleRef{}) {
+		return ev.vehicleFinish(d, e)
+	}
 	return e, nil
 }
 
 // evaluateRetry runs the uncached evaluation under the evaluator's retry
 // policy with panic isolation. The zero policy performs exactly one attempt.
 func (ev *Evaluator) evaluateRetry(ctx context.Context, d DesignPoint) (Evaluated, error) {
+	policy := ev.retry
+	if d.Vehicle != (VehicleRef{}) {
+		// A typed infeasibility verdict is a definitive answer about the
+		// loadout, not a transient fault: never burn retry attempts on it.
+		policy = policy.NonRetryable(isInfeasible)
+	}
 	var e Evaluated
-	err := fault.Retry(ctx, ev.retry, func(_ context.Context, attempt int) error {
+	err := fault.Retry(ctx, policy, func(_ context.Context, attempt int) error {
 		var aerr error
 		e, aerr = ev.evaluate(d, attempt)
 		return aerr
 	})
 	if err != nil {
-		ev.cFailures.Inc()
+		if !isInfeasible(err) {
+			// Skips are answers, not faults; only real failures count.
+			ev.cFailures.Inc()
+		}
 		return Evaluated{}, err
 	}
 	return e, nil
@@ -576,27 +713,60 @@ func (s Space) ProbeDesigns(h policy.Hyper) []DesignPoint {
 	return out
 }
 
+// probeVehicleRef anchors probe designs inside a vehicle-axis space: the
+// first choice of each searched axis (axis lists are normalized, so this is
+// deterministic), defaults from the base airframe otherwise.
+func (s Space) probeVehicleRef() (VehicleRef, error) {
+	v := VehicleRef{Airframe: s.baseAirframe()}
+	if len(s.Airframes) > 0 {
+		v.Airframe = s.Airframes[0]
+	}
+	a, err := catalog.AirframeByName(v.Airframe)
+	if err != nil {
+		return VehicleRef{}, fmt.Errorf("dse: %w", err)
+	}
+	v.Battery, v.Sensor = a.DefaultBattery, a.DefaultSensor
+	if len(s.Batteries) > 0 {
+		v.Battery = s.Batteries[0]
+	}
+	if len(s.Sensors) > 0 {
+		v.Sensor = s.Sensors[0]
+	}
+	return v, nil
+}
+
 // probeSweep returns the deterministic probe designs for the run: the
 // legacy single sweep for the database's best model, or — when the space
 // co-searches training algorithms — one sweep per algorithm anchored at
 // that algorithm's best model, so every algorithm's power/performance range
-// is represented in the evaluated set.
+// is represented in the evaluated set. In a vehicle-axis space every probe
+// carries the anchor loadout, so probe objectives live in the same
+// (success, vehicle power, missions) space as the searched designs.
 func probeSweep(space Space, db *airlearning.Database, scen airlearning.Scenario) []DesignPoint {
+	var out []DesignPoint
 	if len(space.Algorithms) == 0 {
 		if best, ok := db.Best(scen); ok {
-			return space.ProbeDesigns(best.Hyper)
+			out = space.ProbeDesigns(best.Hyper)
 		}
-		return nil
+	} else {
+		for _, alg := range space.Algorithms {
+			h, _, ok := airlearning.BestHyperFor(db, scen, alg)
+			if !ok {
+				continue
+			}
+			for _, d := range space.ProbeDesigns(h) {
+				d.Algo = alg
+				out = append(out, d)
+			}
+		}
 	}
-	var out []DesignPoint
-	for _, alg := range space.Algorithms {
-		h, _, ok := airlearning.BestHyperFor(db, scen, alg)
-		if !ok {
-			continue
+	if space.HasVehicleAxes() && len(out) > 0 {
+		v, err := space.probeVehicleRef()
+		if err != nil {
+			return nil
 		}
-		for _, d := range space.ProbeDesigns(h) {
-			d.Algo = alg
-			out = append(out, d)
+		for i := range out {
+			out[i].Vehicle = v
 		}
 	}
 	return out
@@ -623,6 +793,13 @@ type Result struct {
 	// instead). Failed designs appear nowhere in Evaluated; Pareto
 	// extraction and the optimizer's models are built from survivors only.
 	Failures []fault.Failure
+
+	// Skips records every design whose loadout failed the catalog
+	// feasibility check, in deterministic record order. A skip is a typed
+	// answer about the design space — "this loadout cannot fly this
+	// accelerator" — not a fault: skipped designs are never scored, never
+	// retried, never in Failures, and don't count against failure budgets.
+	Skips []Skip
 }
 
 // Pareto returns the Pareto-front designs.
@@ -665,21 +842,34 @@ func finishResult(ctx context.Context, res *Result, req Request, ev *Evaluator) 
 			for _, e := range res.Evaluated {
 				seen[e.Design.String()] = true
 			}
+			for _, s := range res.Skips {
+				seen[s.Design] = true
+			}
 			var probes []DesignPoint
 			for _, d := range sweep {
 				if !seen[d.String()] {
 					probes = append(probes, d)
 				}
 			}
-			if req.FailureBudget > 0 {
+			if req.FailureBudget > 0 || space.HasVehicleAxes() {
+				// Per-design isolation: infeasible probe loadouts become
+				// typed skips; real failures degrade under a budget and stay
+				// fatal without one.
 				es, errs, err := ev.EvaluateEach(ctx, probes)
 				if err != nil {
 					return nil, err
 				}
 				for i, e := range es {
 					if errs[i] != nil {
-						res.Failures = append(res.Failures, fault.NewFailure("probe "+probes[i].String(), errs[i]))
-						continue
+						if sk, ok := asSkip(probes[i], errs[i]); ok {
+							res.Skips = append(res.Skips, sk)
+							continue
+						}
+						if req.FailureBudget > 0 {
+							res.Failures = append(res.Failures, fault.NewFailure("probe "+probes[i].String(), errs[i]))
+							continue
+						}
+						return nil, errs[i]
 					}
 					res.Evaluated = append(res.Evaluated, e)
 				}

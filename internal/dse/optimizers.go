@@ -92,6 +92,9 @@ func (s Space) Enumerate(limit int64) ([]DesignPoint, error) {
 // random searcher — whose sample set is fixed up front — fans out over the
 // worker pool.
 func executeAlternate(ctx context.Context, req Request) (*Result, error) {
+	if req.Space.HasVehicleAxes() {
+		return nil, fmt.Errorf("dse: vehicle axes require the Bayesian optimizer")
+	}
 	space, cfg, scen := req.Space, req.Config, req.Scenario
 	ev := req.evaluator()
 	budget := cfg.BO.InitSamples + cfg.BO.Iterations

@@ -33,6 +33,10 @@ type Request struct {
 	// Results are bitwise deterministic regardless of the worker count.
 	Workers int
 
+	// Vehicle is the mission/thermal context for spaces with vehicle axes;
+	// the zero value selects the defaults. SoC-only spaces never consult it.
+	Vehicle VehicleParams
+
 	// Retry is the per-design retry policy; the zero value performs a single
 	// attempt per design (identical to the pre-retry engine).
 	Retry fault.Policy
@@ -71,6 +75,9 @@ func (r Request) Validate() error {
 // evaluator builds the request's shared concurrent evaluator.
 func (r Request) evaluator() *Evaluator {
 	opts := []Option{WithTemplate(r.Space.Template), WithWorkers(r.Workers), WithRetry(r.Retry)}
+	if r.Vehicle != (VehicleParams{}) {
+		opts = append(opts, WithVehicle(r.Vehicle))
+	}
 	if r.JobTimeout > 0 {
 		opts = append(opts, WithJobTimeout(r.JobTimeout))
 	}
@@ -123,6 +130,7 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 	defer cancel()
 	results := make(map[int]Evaluated, cfg.BO.InitSamples+cfg.BO.Iterations)
 	var failures []fault.Failure
+	var skips []Skip
 	var evalErr error
 	fail := func(err error) {
 		if evalErr == nil {
@@ -139,12 +147,25 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		failures = append(failures, fault.NewFailure(cands[i].String(), err))
 		return true
 	}
+	// skip records a typed infeasible-loadout verdict: the candidate is
+	// consumed with a nil objective vector (never scored, never modeled) and
+	// lands in Result.Skips rather than Failures, budget or not.
+	skip := func(i int, err error) bool {
+		sk, ok := asSkip(cands[i], err)
+		if ok {
+			skips = append(skips, sk)
+		}
+		return ok
+	}
 	problem := bayesopt.Problem{
 		Candidates: feats,
 		// Evaluate serves the sequential model-guided iterations.
 		Evaluate: func(i int) []float64 {
 			e, err := ev.EvaluateContext(ectx, cands[i])
 			if err != nil {
+				if skip(i, err) {
+					return nil
+				}
 				if req.FailureBudget > 0 && degrade(i, err) {
 					return nil
 				}
@@ -163,7 +184,7 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 				ds[j] = cands[i]
 			}
 			ys := make([][]float64, len(indices))
-			if req.FailureBudget > 0 {
+			if req.FailureBudget > 0 || req.Space.HasVehicleAxes() {
 				es, errs, err := ev.EvaluateEach(ectx, ds)
 				if err != nil {
 					fail(err)
@@ -171,11 +192,14 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 				}
 				for j, i := range indices {
 					if errs[j] != nil {
-						if !degrade(i, errs[j]) {
-							fail(errs[j])
-							return ys
+						if skip(i, errs[j]) {
+							continue
 						}
-						continue
+						if req.FailureBudget > 0 && degrade(i, errs[j]) {
+							continue
+						}
+						fail(errs[j])
+						return ys
 					}
 					results[i] = es[j]
 					ys[j] = es[j].Objectives()
@@ -195,8 +219,13 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		},
 		NumObjectives: 3,
 		// ref: success can only improve hypervolume down to -1; power tops
-		// out near the biggest SoC; runtime near the slowest design.
+		// out near the biggest SoC; runtime near the slowest design. In a
+		// vehicle space the power objective is the full-vehicle draw (rotors
+		// dominate, hundreds of watts) and the third objective is −missions.
 		Ref: []float64{0, 30, 1},
+	}
+	if req.Space.HasVehicleAxes() {
+		problem.Ref = []float64{0, 600, 0}
 	}
 	boRes, err := bayesopt.OptimizeContext(ectx, problem, cfg.BO)
 	if evalErr != nil {
@@ -206,7 +235,7 @@ func Execute(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Scenario: req.Scenario, Failures: failures}
+	res := &Result{Scenario: req.Scenario, Failures: failures, Skips: skips}
 	for _, e := range boRes.Evaluations {
 		res.Evaluated = append(res.Evaluated, results[e.Index])
 	}

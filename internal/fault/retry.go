@@ -112,6 +112,21 @@ func (p Policy) retryable(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
+// NonRetryable returns a copy of the policy that never retries errors
+// matched by match, deferring to the original classifier otherwise. Use it to
+// declare a class of errors (e.g. a typed infeasibility verdict) a definitive
+// answer rather than a transient fault.
+func (p Policy) NonRetryable(match func(error) bool) Policy {
+	out := p
+	out.Retryable = func(err error) bool {
+		if match(err) {
+			return false
+		}
+		return p.retryable(err)
+	}
+	return out
+}
+
 // Retry runs fn with panic isolation under the policy: up to Attempts tries,
 // each bounded by Timeout, separated by the deterministic capped-exponential
 // backoff. fn receives the attempt index (0-based) so it can re-derive its

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"autopilot/internal/catalog"
 	"autopilot/internal/uav"
 )
 
@@ -87,19 +88,46 @@ func Evaluate(p uav.Platform, params Params, spec Spec, payloadG, computeW, vSaf
 		return Profile{}, fmt.Errorf("mission: %s cannot lift %.0f g payload", p.Name, payloadG)
 	}
 	rotor := params.RotorHoverPowerW(p.TotalMassKg(payloadG), p.RotorDiscAreaM2)
-	total := rotor + computeW + p.OtherPowerW
+	return profileFor(params, spec, p.BatteryJ(), rotor, computeW, p.OtherPowerW, vSafe), nil
+}
+
+// profileFor assembles Eq. 1–4 from the already-resolved power terms. Both
+// the legacy platform path and the catalog loadout path end here, so the
+// mission arithmetic (and its float expression order) lives in one place.
+func profileFor(params Params, spec Spec, batteryJ, rotor, computeW, othersW, vSafe float64) Profile {
+	total := rotor + computeW + othersW
 	t := spec.DistanceM / vSafe
 	e := total * t
 	return Profile{
 		VSafeMS:     vSafe,
 		RotorPowerW: rotor,
 		ComputeW:    computeW,
-		OthersW:     p.OtherPowerW,
+		OthersW:     othersW,
 		TotalW:      total,
 		MissionTime: t,
 		MissionJ:    e,
-		Missions:    params.EffectiveBatteryJ(p.BatteryJ(), total) / e,
-	}, nil
+		Missions:    params.EffectiveBatteryJ(batteryJ, total) / e,
+	}
+}
+
+// EvaluateLoadout computes Eq. 1–4 for a catalog loadout carrying payloadG
+// grams of compute drawing computeW watts at safe velocity vSafe. Unlike the
+// legacy platform path it runs the catalog's full feasibility check — weight
+// budget, thrust floor, and battery discharge limit against the total draw —
+// and returns a typed *catalog.InfeasibleError when the loadout cannot fly.
+func EvaluateLoadout(lo catalog.Loadout, params Params, spec Spec, payloadG, computeW, vSafe float64) (Profile, error) {
+	if spec.DistanceM <= 0 {
+		return Profile{}, fmt.Errorf("mission: non-positive distance %g", spec.DistanceM)
+	}
+	if vSafe <= 0 {
+		return Profile{}, fmt.Errorf("mission: non-positive safe velocity %g", vSafe)
+	}
+	rotor := params.RotorHoverPowerW(lo.TotalMassKg(payloadG), lo.Airframe.RotorDiscAreaM2)
+	total := rotor + computeW + lo.Airframe.OtherPowerW
+	if err := lo.Feasible(payloadG, total); err != nil {
+		return Profile{}, err
+	}
+	return profileFor(params, spec, lo.Battery.EnergyJ(), rotor, computeW, lo.Airframe.OtherPowerW, vSafe), nil
 }
 
 // FlightTimeMin returns the hover endurance in minutes for the platform with
@@ -111,4 +139,15 @@ func FlightTimeMin(p uav.Platform, params Params, payloadG, computeW float64) fl
 		return 0
 	}
 	return p.BatteryJ() / total / 60
+}
+
+// EnduranceMin returns the hover endurance in minutes for a catalog loadout
+// with the payload — the loadout analog of FlightTimeMin.
+func EnduranceMin(lo catalog.Loadout, params Params, payloadG, computeW float64) float64 {
+	rotor := params.RotorHoverPowerW(lo.TotalMassKg(payloadG), lo.Airframe.RotorDiscAreaM2)
+	total := rotor + computeW + lo.Airframe.OtherPowerW
+	if total <= 0 {
+		return 0
+	}
+	return lo.Battery.EnergyJ() / total / 60
 }

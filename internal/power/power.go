@@ -117,6 +117,17 @@ func SoCTotal(b Breakdown) float64 {
 	return b.Total() + FixedComponentsW
 }
 
+// SoCWithSensor returns total SoC power with a catalog sensor in place of the
+// Table III OV9755. The default sensor routes through SoCTotal so legacy
+// runs stay bitwise identical; only a genuinely different sensor power
+// changes the arithmetic.
+func SoCWithSensor(b Breakdown, sensorW float64) float64 {
+	if sensorW == SensorPowerW {
+		return SoCTotal(b)
+	}
+	return b.Total() + MCUPowerW + sensorW + MIPIPowerW
+}
+
 // SoC returns total SoC power: accelerator plus the fixed Table III
 // components.
 func (m Model) SoC(rep *systolic.Report) float64 {

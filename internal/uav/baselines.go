@@ -1,6 +1,10 @@
 package uav
 
-import "fmt"
+import (
+	"fmt"
+
+	"autopilot/internal/catalog"
+)
 
 // ComputeBaseline is a fixed compute platform the paper compares against.
 // The E2E workloads in this study are dominated by streaming tens of MB of
@@ -18,47 +22,63 @@ type ComputeBaseline struct {
 	NeedsActiveCool bool
 }
 
-// FPSFor returns the achievable inference rate for a model with the given
-// weight footprint in bytes.
-func (b ComputeBaseline) FPSFor(modelWeightBytes int64) float64 {
-	if b.PinnedFPS > 0 {
-		return b.PinnedFPS
+// board reconstructs the catalog view of the baseline so throughput and
+// validation share the catalog's single implementation.
+func (b ComputeBaseline) board() catalog.ComputeBoard {
+	return catalog.ComputeBoard{
+		Name: b.Name, Label: b.Name,
+		PowerW: b.PowerW, WeightG: b.WeightG,
+		SustainedGBps: b.SustainedGBps, PinnedFPS: b.PinnedFPS,
+		NeedsActiveCool: b.NeedsActiveCool,
 	}
-	if modelWeightBytes <= 0 {
-		return 0
-	}
-	return b.SustainedGBps * 1e9 / float64(modelWeightBytes)
 }
 
-// Validate checks the baseline definition.
+// FPSFor returns the achievable inference rate for a model with the given
+// weight footprint in bytes. The degenerate-model guard (non-positive
+// footprint yields 0 FPS, never +Inf) lives in the shared catalog board.
+func (b ComputeBaseline) FPSFor(modelWeightBytes int64) float64 {
+	return b.board().FPSFor(modelWeightBytes)
+}
+
+// Validate checks the baseline definition via the shared catalog validation.
 func (b ComputeBaseline) Validate() error {
-	if b.PowerW <= 0 || b.WeightG <= 0 || (b.SustainedGBps <= 0 && b.PinnedFPS <= 0) {
-		return fmt.Errorf("uav: implausible baseline %+v", b)
+	if err := b.board().Validate(); err != nil {
+		return fmt.Errorf("uav: %w", err)
 	}
 	return nil
 }
 
-// JetsonTX2 is the NVIDIA Jetson TX2 as flown (module + carrier + heatsink).
-func JetsonTX2() ComputeBaseline {
-	return ComputeBaseline{Name: "Jetson TX2", PowerW: 12, WeightG: 185, SustainedGBps: 3.0, NeedsActiveCool: true}
+// FromBoard materializes the legacy baseline view of a catalog board.
+func FromBoard(b catalog.ComputeBoard) ComputeBaseline {
+	return ComputeBaseline{
+		Name: b.Label, PowerW: b.PowerW, WeightG: b.WeightG,
+		SustainedGBps: b.SustainedGBps, PinnedFPS: b.PinnedFPS,
+		NeedsActiveCool: b.NeedsActiveCool,
+	}
 }
+
+// fromBoardName builds the baseline view for a catalog board key.
+func fromBoardName(name string) ComputeBaseline {
+	b, err := catalog.BoardByName(name)
+	if err != nil {
+		panic(err) // the baseline boards are always in the catalog
+	}
+	return FromBoard(b)
+}
+
+// JetsonTX2 is the NVIDIA Jetson TX2 as flown (module + carrier + heatsink).
+func JetsonTX2() ComputeBaseline { return fromBoardName("jetson-tx2") }
 
 // XavierNX is the NVIDIA Xavier NX in a stripped flight configuration
 // (module + minimal carrier + heatsink).
-func XavierNX() ComputeBaseline {
-	return ComputeBaseline{Name: "Xavier NX", PowerW: 15, WeightG: 150, SustainedGBps: 4.5, NeedsActiveCool: true}
-}
+func XavierNX() ComputeBaseline { return fromBoardName("xavier-nx") }
 
 // PULPDroNet is the 64 mW PULP visual-navigation chip; the paper reports its
 // published 6 FPS as-is even for the much larger AutoPilot models.
-func PULPDroNet() ComputeBaseline {
-	return ComputeBaseline{Name: "PULP-DroNet", PowerW: 0.064, WeightG: 5, PinnedFPS: 6}
-}
+func PULPDroNet() ComputeBaseline { return fromBoardName("pulp-dronet") }
 
 // IntelNCS is the Intel Neural Compute Stick (Table V).
-func IntelNCS() ComputeBaseline {
-	return ComputeBaseline{Name: "Intel NCS", PowerW: 1.2, WeightG: 30, SustainedGBps: 0.45}
-}
+func IntelNCS() ComputeBaseline { return fromBoardName("intel-ncs") }
 
 // Baselines returns the Fig. 5 comparison platforms (TX2, NX, PULP).
 func Baselines() []ComputeBaseline {

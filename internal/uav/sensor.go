@@ -1,6 +1,10 @@
 package uav
 
-import "fmt"
+import (
+	"fmt"
+
+	"autopilot/internal/catalog"
+)
 
 // Sensor is an onboard camera (paper Table III: the OV9755 RGB sensor with
 // its 30–90 FPS operating modes). Sensors are fixed components of the DSSoC
@@ -18,17 +22,23 @@ type SensorMode struct {
 	FPS           float64
 }
 
+// FromCatalogSensor materializes the legacy sensor view of a catalog entry.
+func FromCatalogSensor(s catalog.Sensor) Sensor {
+	out := Sensor{Name: s.Label, PowerW: s.PowerW, WeightG: s.WeightG}
+	for _, m := range s.Modes {
+		out.Modes = append(out.Modes, SensorMode{Width: m.Width, Height: m.Height, FPS: m.FPS})
+	}
+	return out
+}
+
 // OV9755 is the paper's camera: 720p HD at 30/60 FPS and a reduced-field
 // 90 FPS mode, 100 mW, 6.24 mm × 3.84 mm module.
 func OV9755() Sensor {
-	return Sensor{
-		Name: "OV9755", PowerW: 0.100, WeightG: 1.0,
-		Modes: []SensorMode{
-			{Width: 1280, Height: 720, FPS: 30},
-			{Width: 1280, Height: 720, FPS: 60},
-			{Width: 640, Height: 480, FPS: 90},
-		},
+	s, err := catalog.SensorByName("ov9755")
+	if err != nil {
+		panic(err) // the Table III sensor is always in the catalog
 	}
+	return FromCatalogSensor(s)
 }
 
 // ModeAt returns the sensor mode with the given frame rate.

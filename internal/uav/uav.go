@@ -5,7 +5,11 @@
 // against (Jetson TX2, Xavier NX, PULP-DroNet, Intel NCS).
 package uav
 
-import "fmt"
+import (
+	"fmt"
+
+	"autopilot/internal/catalog"
+)
 
 // Class is the UAV size category.
 type Class int
@@ -31,8 +35,9 @@ func (c Class) String() string {
 	}
 }
 
-// Gravity is standard gravitational acceleration (m/s²).
-const Gravity = 9.81
+// Gravity is standard gravitational acceleration (m/s²), shared with the
+// component-catalog layer so the lift arithmetic cannot drift.
+const Gravity = catalog.Gravity
 
 // Platform is one base UAV system (frame + rotors + battery + flight
 // controller), fixed per Table IV; only the autonomy components (compute,
@@ -53,9 +58,10 @@ type Platform struct {
 	SensorFPS    []float64 // available RGB sensor frame rates
 }
 
-// BatteryJ returns the battery energy in joules.
+// BatteryJ returns the battery energy in joules, via the catalog's single
+// battery-energy conversion.
 func (p Platform) BatteryJ() float64 {
-	return p.BatteryCapacitymAh / 1000 * p.BatteryVoltage * 3600
+	return catalog.Battery{CapacitymAh: p.BatteryCapacitymAh, VoltageV: p.BatteryVoltage}.EnergyJ()
 }
 
 // TotalMassKg returns the all-up mass with a compute payload in grams.
@@ -76,9 +82,10 @@ func (p Platform) MaxAccelMS2(payloadG float64) float64 {
 }
 
 // CanLift reports whether the platform can hover with the payload with at
-// least 15% thrust margin for control authority.
+// least 15% thrust margin for control authority (the catalog's shared
+// thrust-to-weight floor).
 func (p Platform) CanLift(payloadG float64) bool {
-	return p.MaxThrustN >= 1.15*p.TotalMassKg(payloadG)*Gravity
+	return catalog.LiftOK(p.MaxThrustN, p.TotalMassKg(payloadG))
 }
 
 // MaxSensorFPS returns the fastest available sensor mode.
@@ -104,42 +111,59 @@ func (p Platform) Validate() error {
 	return nil
 }
 
-// AscTecPelican is the mini-UAV (Table IV): 6250 mAh, 1650 g base weight.
-func AscTecPelican() Platform {
-	return Platform{
-		Name: "AscTec Pelican", Class: Mini,
-		BatteryCapacitymAh: 6250, BatteryVoltage: 11.1,
-		BaseWeightG: 1650,
-		MaxThrustN:  32.4, RotorDiscAreaM2: 0.203,
-		OtherPowerW:  2.0,
-		ControllerHz: 1000, SensorFPS: []float64{30, 60},
+// ClassFromString resolves a catalog class name to the Table IV class.
+func ClassFromString(s string) (Class, error) {
+	switch s {
+	case "mini":
+		return Mini, nil
+	case "micro":
+		return Micro, nil
+	case "nano":
+		return Nano, nil
+	default:
+		return 0, fmt.Errorf("uav: unknown class %q", s)
 	}
 }
 
-// DJISpark is the micro-UAV (Table IV): 1480 mAh, 300 g base weight.
-func DJISpark() Platform {
+// FromLoadout materializes the legacy Platform view of a catalog loadout:
+// the base weight is the loadout's (frame + battery + sensor), the battery
+// is the loadout's pack, and everything else comes from the airframe. For
+// the Table IV airframes with their default loadouts this reproduces the
+// historical platforms bitwise.
+func FromLoadout(lo catalog.Loadout) Platform {
+	class, err := ClassFromString(lo.Airframe.Class)
+	if err != nil {
+		class = Nano // catalog entries validate their class; unreachable
+	}
 	return Platform{
-		Name: "DJI Spark", Class: Micro,
-		BatteryCapacitymAh: 1480, BatteryVoltage: 11.4,
-		BaseWeightG: 300,
-		MaxThrustN:  7.05, RotorDiscAreaM2: 0.0182,
-		OtherPowerW:  0.8,
-		ControllerHz: 1000, SensorFPS: []float64{30, 60},
+		Name: lo.Airframe.Label, Class: class,
+		BatteryCapacitymAh: lo.Battery.CapacitymAh, BatteryVoltage: lo.Battery.VoltageV,
+		BaseWeightG: lo.BaseWeightG(),
+		MaxThrustN:  lo.Airframe.MaxThrustN, RotorDiscAreaM2: lo.Airframe.RotorDiscAreaM2,
+		OtherPowerW:  lo.Airframe.OtherPowerW,
+		ControllerHz: lo.Airframe.ControllerHz,
+		SensorFPS:    append([]float64(nil), lo.Airframe.SensorFPS...),
 	}
 }
+
+// fromAirframe builds the default-loadout platform for a catalog airframe.
+func fromAirframe(name string) Platform {
+	lo, err := catalog.DefaultLoadout(name)
+	if err != nil {
+		panic(err) // the Table IV airframes are always in the catalog
+	}
+	return FromLoadout(lo)
+}
+
+// AscTecPelican is the mini-UAV (Table IV): 6250 mAh, 1650 g base weight.
+func AscTecPelican() Platform { return fromAirframe("pelican") }
+
+// DJISpark is the micro-UAV (Table IV): 1480 mAh, 300 g base weight.
+func DJISpark() Platform { return fromAirframe("spark") }
 
 // ZhangNano is the nano-UAV from Zhang et al. (Table IV): 500 mAh, 50 g base
 // weight, high thrust-to-weight (the agile platform of Fig. 11).
-func ZhangNano() Platform {
-	return Platform{
-		Name: "Zhang et al. nano", Class: Nano,
-		BatteryCapacitymAh: 500, BatteryVoltage: 3.7,
-		BaseWeightG: 50,
-		MaxThrustN:  2.9, RotorDiscAreaM2: 0.00665,
-		OtherPowerW:  0.15,
-		ControllerHz: 1000, SensorFPS: []float64{30, 60},
-	}
-}
+func ZhangNano() Platform { return fromAirframe("nano") }
 
 // Platforms returns the three Table IV UAVs in mini/micro/nano order.
 func Platforms() []Platform {
