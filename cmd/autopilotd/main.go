@@ -7,7 +7,11 @@
 // Usage:
 //
 //	autopilotd -addr :8080 [-job-workers 2] [-queue 64] [-tenant-quota 4]
-//	           [-cache 0] [-state-dir results/]
+//	           [-cache 0] [-state-dir results/] [-drain-timeout 30s]
+//
+// SIGTERM/SIGINT triggers a graceful shutdown: new submissions are refused
+// with 503 while queued and running jobs get -drain-timeout to finish (and
+// persist their results), after which stragglers are cancelled.
 //
 // Submit a job and poll it:
 //
@@ -52,6 +56,7 @@ func main() {
 	tenantQuota := flag.Int("tenant-quota", 4, "live jobs per tenant (exceeded = 429)")
 	cacheCap := flag.Int("cache", 0, "result cache capacity in entries (0 = unbounded, <0 = disabled)")
 	stateDir := flag.String("state-dir", "", "persist computed results here and reload them on start")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, let running jobs finish this long before cancelling them")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,14 +87,22 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "autopilotd: shutting down")
+		fmt.Fprintln(os.Stderr, "autopilotd: draining (new jobs refused; running jobs get", *drainTimeout, "to finish)")
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "autopilotd:", err)
 		svc.Close()
 		os.Exit(1)
 	}
+	// Graceful shutdown: refuse new submissions immediately, let queued and
+	// running jobs complete within the drain budget (their results are
+	// persisted to -state-dir as they finish), cancel stragglers, then close
+	// the HTTP listener.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "autopilotd: drain deadline hit; remaining jobs cancelled")
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
-	svc.Close()
 }

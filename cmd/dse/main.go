@@ -21,6 +21,12 @@
 // reported as typed skips, never scored. -catalog prints the component
 // catalog and exits.
 //
+// -grid-workers N shards the sweep across N in-process grid workers through
+// the lease-based coordinator (internal/grid); -grid-listen ADDR serves the
+// coordinator for external cmd/gridworker processes instead. Either way the
+// optimizer loop stays in this process and the result is bitwise identical
+// to the single-process run at any worker count or kill schedule.
+//
 // The flags assemble an api.CoDesignRequest and run its Phase-2 projection,
 // so flag validation and request wiring are shared with cmd/autopilot and
 // the cmd/autopilotd job server.
@@ -39,14 +45,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"time"
 
 	"autopilot/internal/airlearning"
 	"autopilot/internal/api"
 	"autopilot/internal/catalog"
 	"autopilot/internal/dse"
 	"autopilot/internal/fault"
+	"autopilot/internal/grid"
 	"autopilot/internal/obs"
 )
 
@@ -74,6 +85,13 @@ func main() {
 	flag.Var(&axes, "axis", "override a search-space axis as name=v1,v2,... (repeatable; axes: layers, filters, pe_rows, pe_cols, sram_kb)")
 	vehicleAxes := flag.String("vehicle-axes", "", "comma-separated catalog components to co-search (airframe, battery, sensor)")
 	printCatalog := flag.Bool("catalog", false, "print the component catalog and exit")
+	gridWorkers := flag.Int("grid-workers", 0, "shard the sweep across N in-process grid workers (0 = single-process)")
+	gridListen := flag.String("grid-listen", "", "serve the grid coordinator on this address for external gridworker processes (implies grid mode)")
+	gridBatch := flag.Int("grid-batch", 0, "grid: jobs granted per lease call (0 = default)")
+	gridLeaseTTL := flag.Duration("grid-lease-ttl", 0, "grid: lease deadline before a lost job is reclaimed (0 = default 10s)")
+	gridHeartbeat := flag.Duration("grid-heartbeat", 0, "grid: worker heartbeat period (0 = lease TTL / 4)")
+	gridMaxLeases := flag.Int("grid-max-leases", 0, "grid: max concurrent leases per job, the work-stealing width (0 = default 2)")
+	gridMaxAttempts := flag.Int("grid-max-attempts", 0, "grid: lease attempts per job before it fails (0 = default 6)")
 	var obsFlags obs.Flags
 	obsFlags.Register()
 	flag.Parse()
@@ -113,8 +131,28 @@ func main() {
 		os.Exit(2)
 	}
 	req.Vehicle = vehicle
+	gridMode := *gridWorkers > 0 || *gridListen != ""
+	if gridMode {
+		req.Grid = &api.GridSpec{
+			Workers:     *gridWorkers,
+			BatchSize:   *gridBatch,
+			LeaseTTLMS:  gridLeaseTTL.Milliseconds(),
+			HeartbeatMS: gridHeartbeat.Milliseconds(),
+			MaxLeases:   *gridMaxLeases,
+			MaxAttempts: *gridMaxAttempts,
+		}
+		if *gridWorkers == 0 {
+			// External-worker mode: the normalized default (3) is only a
+			// sizing hint, the coordinator serves however many connect.
+			req.Grid.Workers = 1
+		}
+	}
 	if err := req.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(2)
+	}
+	if *gridListen != "" && *dbPath != "" {
+		fmt.Fprintln(os.Stderr, "dse: -db is unsupported with -grid-listen: external grid workers rebuild the built-in surrogate database")
 		os.Exit(2)
 	}
 
@@ -167,7 +205,56 @@ func main() {
 	fmt.Printf("design space: %d joint points; exploring %d candidates with %d+%d evaluations\n",
 		p2.Space.Size(), p2.Config.CandidatePool, p2.Config.BO.InitSamples, p2.Config.BO.Iterations)
 
+	// Grid mode: the optimizer loop stays in this process; every uncached
+	// evaluation is delegated to the coordinator's lease pool and scored by
+	// grid workers — in-process goroutines here, external gridworker
+	// processes via -grid-listen. Grid status goes to stderr so stdout stays
+	// byte-comparable with a single-process run.
+	gridShutdown := func() {}
+	if gridMode {
+		cfg := grid.ConfigFromSpec(req.Normalized().Grid)
+		cfg.Obs = run.Obs
+		coord := grid.NewCoordinator(req, cfg)
+		addr := *gridListen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, lerr := net.Listen("tcp", addr)
+		if lerr != nil {
+			finish(lerr)
+			fmt.Fprintln(os.Stderr, "dse:", lerr)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln) //nolint:errcheck // closed on shutdown
+		url := "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "dse: grid coordinator listening on %s\n", url)
+		p2.Delegate = coord.Evaluate
+		var wg sync.WaitGroup
+		for i := 0; i < *gridWorkers; i++ {
+			id := fmt.Sprintf("w%d", i)
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if werr := grid.Run(ctx, grid.WorkerConfig{URL: url, ID: id, DB: db}); werr != nil && ctx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "dse: grid worker %s: %v\n", id, werr)
+				}
+			}(id)
+		}
+		gridShutdown = func() {
+			// Close the job table first so workers see Done on their next
+			// lease or heartbeat and exit cleanly; only then tear the
+			// listener down.
+			coord.Close()
+			wg.Wait()
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx) //nolint:errcheck // best-effort drain
+		}
+	}
+
 	res, err := dse.Execute(ctx, p2)
+	gridShutdown()
 	if err != nil {
 		finish(err)
 		fmt.Fprintln(os.Stderr, "dse:", err)

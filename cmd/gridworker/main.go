@@ -1,0 +1,117 @@
+// Command gridworker joins a distributed Phase-2 sweep as one worker
+// process: it fetches the co-design request from the coordinator (a cmd/dse
+// run started with -grid-listen), rebuilds the exact evaluator a local run
+// would use, and evaluates leased design points until the sweep completes.
+//
+// Usage:
+//
+//	gridworker -coordinator http://127.0.0.1:7070 [-id w0] [-batch 4]
+//	    [-parallel 1] [-chaos-seed 1 -chaos-drop 0.1 -chaos-dup 0.05
+//	     -chaos-stale 0.05 -chaos-delay 0.1 -chaos-delay-for 20ms]
+//	    [-estimate-addr 127.0.0.1:0]
+//
+// The -chaos-* flags deterministically inject network faults into this
+// worker's RPCs (dropped, delayed, duplicated, and stale-attempt
+// deliveries); because they corrupt delivery and never payloads, the merged
+// sweep result stays bitwise identical to a fault-free run. -estimate-addr
+// additionally serves this worker's hardware backend over HTTP
+// (hw.EstimateHandler) so it can double as a cost-model fleet node for
+// hw.RemoteBackend clients.
+//
+// The worker exits 0 when the coordinator reports the sweep done, and
+// non-zero when the coordinator stays unreachable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"autopilot/internal/dse"
+	"autopilot/internal/fault"
+	"autopilot/internal/grid"
+	"autopilot/internal/hw"
+	"autopilot/internal/obs"
+	"autopilot/internal/power"
+	"autopilot/internal/systolic"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator base URL (required), e.g. http://127.0.0.1:7070")
+	id := flag.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker id (must be unique per coordinator)")
+	batch := flag.Int("batch", 0, "jobs requested per lease call (0 = coordinator default)")
+	parallel := flag.Int("parallel", 1, "concurrent evaluations")
+	heartbeat := flag.Duration("heartbeat", 0, "lease-renewal period (0 = coordinator's grid block)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "idle backoff between empty lease calls")
+	chaosSeed := flag.Int64("chaos-seed", 1, "network-chaos decision seed")
+	chaosDrop := flag.Float64("chaos-drop", 0, "probability an RPC is dropped on the wire")
+	chaosDup := flag.Float64("chaos-dup", 0, "probability an RPC is delivered twice")
+	chaosStale := flag.Float64("chaos-stale", 0, "probability a result is re-delivered with a stale attempt rank")
+	chaosDelay := flag.Float64("chaos-delay", 0, "probability an RPC is delayed")
+	chaosDelayFor := flag.Duration("chaos-delay-for", 20*time.Millisecond, "injected RPC delay duration")
+	estimateAddr := flag.String("estimate-addr", "", "also serve this worker's hw backend over HTTP on this address")
+	flag.Parse()
+
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "gridworker: -coordinator is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var net_ *fault.Injector
+	if *chaosDrop > 0 || *chaosDup > 0 || *chaosStale > 0 || *chaosDelay > 0 {
+		net_ = &fault.Injector{
+			Seed:      *chaosSeed,
+			DropRate:  *chaosDrop,
+			DupRate:   *chaosDup,
+			StaleRate: *chaosStale,
+			DelayRate: *chaosDelay,
+			Delay:     *chaosDelayFor,
+		}
+	}
+
+	if *estimateAddr != "" {
+		// A fixed mid-grid accelerator config: the wire workload carries the
+		// network recipe, and this node prices it on this configuration.
+		backend := hw.SystolicBackend{
+			Config: systolic.Config{
+				Rows: 16, Cols: 16, IfmapKB: 64, FilterKB: 64, OfmapKB: 64,
+				FreqMHz: 500, BandwidthGBps: dse.Bandwidth(16 * 16),
+			},
+			Power: power.Default(),
+		}
+		ln, err := net.Listen("tcp", *estimateAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridworker:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gridworker: estimate backend on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: http.NewServeMux()}
+		srv.Handler.(*http.ServeMux).Handle("/grid/v1/estimate", hw.EstimateHandler(backend))
+		go srv.Serve(ln) //nolint:errcheck // closed with the process
+		defer srv.Close()
+	}
+
+	err := grid.Run(ctx, grid.WorkerConfig{
+		URL:       *coordinator,
+		ID:        *id,
+		Batch:     *batch,
+		Parallel:  *parallel,
+		Heartbeat: *heartbeat,
+		Poll:      *poll,
+		Net:       net_,
+		Obs:       &obs.Observer{Metrics: obs.NewRegistry()},
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "gridworker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gridworker: %s done\n", *id)
+}

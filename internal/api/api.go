@@ -105,6 +105,11 @@ type CoDesignRequest struct {
 	// no axis) normalizes to the legacy fixed-platform pipeline, preserving
 	// legacy hashes.
 	Vehicle *VehicleSpec `json:"vehicle,omitempty"`
+	// Grid, when non-nil, shards the Phase-2 sweep across worker processes
+	// through the internal/grid coordinator. Like Workers it is pure
+	// execution topology — results are bitwise identical with or without it —
+	// so it is masked out of the request hash.
+	Grid *GridSpec `json:"grid,omitempty"`
 }
 
 // DefaultRequest returns the normalized default query: nano UAV, dense
@@ -220,6 +225,7 @@ func (r CoDesignRequest) Normalized() CoDesignRequest {
 	}
 	n.Space = normalizedSpace(n.Space)
 	n.Vehicle = normalizedVehicle(n.Vehicle)
+	n.Grid = normalizedGrid(n.Grid)
 	return n
 }
 
@@ -279,6 +285,9 @@ func (r CoDesignRequest) Validate() error {
 	if err := validateVehicle(n.Vehicle); err != nil {
 		return err
 	}
+	if err := validateGrid(n.Grid); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -290,6 +299,9 @@ func (r CoDesignRequest) Validate() error {
 func (r CoDesignRequest) Hash() string {
 	n := r.Normalized()
 	n.Constraints.Workers = 0
+	// The grid block only describes how the sweep is executed, never what it
+	// computes; sharded and single-process runs share a cache entry.
+	n.Grid = nil
 	data, err := json.Marshal(n)
 	if err != nil {
 		// Marshaling a plain struct of scalars cannot fail; guard anyway.

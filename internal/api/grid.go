@@ -1,0 +1,122 @@
+package api
+
+import "fmt"
+
+// This file is the contract surface of the distributed-execution layer
+// (internal/grid): a versioned, JSON-serializable description of how a
+// request's Phase-2 sweep is sharded across worker processes. Like the worker
+// count, the grid block is pure execution topology — the pipeline guarantees
+// bitwise-identical results at any worker count, lease schedule, or kill
+// pattern — so the block is masked out of the request hash and two requests
+// differing only in their grid blocks share a cache entry.
+
+// GridVersion is the current grid-description schema version.
+const GridVersion = 1
+
+// GridSpec configures distributed sweep execution: how many workers the
+// coordinator expects, how jobs are batched into leases, and the lease
+// timing that drives fault recovery. The zero value of every field selects
+// the documented default.
+type GridSpec struct {
+	// Version is the schema version; 0 normalizes to GridVersion.
+	Version int `json:"version,omitempty"`
+	// Workers is the number of worker processes the sweep is sharded across
+	// (default 3). It bounds nothing on the coordinator — extra workers are
+	// welcome, missing workers just slow the sweep — but CLIs use it to size
+	// the fleet they spawn.
+	Workers int `json:"workers,omitempty"`
+	// BatchSize is the number of jobs granted per lease call (default 4).
+	BatchSize int `json:"batch_size,omitempty"`
+	// LeaseTTLMS is the lease deadline in milliseconds (default 10000): a
+	// worker that neither completes nor heartbeats a job within the TTL loses
+	// it, and the coordinator re-issues it with the next attempt seed.
+	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+	// HeartbeatMS is the worker heartbeat period in milliseconds (default
+	// LeaseTTLMS/4). Each heartbeat renews every lease the worker holds.
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// MaxLeases caps concurrent leases per job (default 2): once the pending
+	// queue drains, idle workers steal duplicate leases on the slowest
+	// outstanding jobs up to this cap; the first valid delivery wins.
+	MaxLeases int `json:"max_leases,omitempty"`
+	// MaxAttempts caps lease re-issues per job (default 6) before the
+	// coordinator declares the job failed.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// GridError is the typed validation error for a malformed grid block.
+type GridError struct {
+	Field  string
+	Reason string
+}
+
+func (e *GridError) Error() string {
+	if e.Field == "" {
+		return "api: grid: " + e.Reason
+	}
+	return fmt.Sprintf("api: grid %s: %s", e.Field, e.Reason)
+}
+
+// normalizedGrid fills the documented defaults into a grid block. nil stays
+// nil: a request without a grid block runs single-process, and normalization
+// never invents distribution.
+func normalizedGrid(g *GridSpec) *GridSpec {
+	if g == nil {
+		return nil
+	}
+	n := *g
+	if n.Version == 0 {
+		n.Version = GridVersion
+	}
+	if n.Workers == 0 {
+		n.Workers = 3
+	}
+	if n.BatchSize == 0 {
+		n.BatchSize = 4
+	}
+	if n.LeaseTTLMS == 0 {
+		n.LeaseTTLMS = 10000
+	}
+	if n.HeartbeatMS == 0 {
+		n.HeartbeatMS = n.LeaseTTLMS / 4
+	}
+	if n.MaxLeases == 0 {
+		n.MaxLeases = 2
+	}
+	if n.MaxAttempts == 0 {
+		n.MaxAttempts = 6
+	}
+	return &n
+}
+
+// validateGrid checks a normalized grid block.
+func validateGrid(g *GridSpec) error {
+	if g == nil {
+		return nil
+	}
+	if g.Version != GridVersion {
+		return &GridError{Field: "version", Reason: fmt.Sprintf("unsupported version %d (want %d)", g.Version, GridVersion)}
+	}
+	if g.Workers < 1 {
+		return &GridError{Field: "workers", Reason: fmt.Sprintf("need >= 1, got %d", g.Workers)}
+	}
+	if g.BatchSize < 1 {
+		return &GridError{Field: "batch_size", Reason: fmt.Sprintf("need >= 1, got %d", g.BatchSize)}
+	}
+	if g.LeaseTTLMS < 1 {
+		return &GridError{Field: "lease_ttl_ms", Reason: fmt.Sprintf("need >= 1ms, got %dms", g.LeaseTTLMS)}
+	}
+	if g.HeartbeatMS < 1 {
+		return &GridError{Field: "heartbeat_ms", Reason: fmt.Sprintf("need >= 1ms, got %dms", g.HeartbeatMS)}
+	}
+	if g.HeartbeatMS >= g.LeaseTTLMS {
+		return &GridError{Field: "heartbeat_ms", Reason: fmt.Sprintf(
+			"heartbeat %dms must beat the lease TTL %dms or every lease expires", g.HeartbeatMS, g.LeaseTTLMS)}
+	}
+	if g.MaxLeases < 1 || g.MaxLeases > 8 {
+		return &GridError{Field: "max_leases", Reason: fmt.Sprintf("need 1..8, got %d", g.MaxLeases)}
+	}
+	if g.MaxAttempts < 1 {
+		return &GridError{Field: "max_attempts", Reason: fmt.Sprintf("need >= 1, got %d", g.MaxAttempts)}
+	}
+	return nil
+}

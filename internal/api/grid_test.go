@@ -1,0 +1,94 @@
+package api
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGridNormalizeDefaults pins the documented defaults and that
+// normalization never invents distribution: a nil grid block stays nil.
+func TestGridNormalizeDefaults(t *testing.T) {
+	if normalizedGrid(nil) != nil {
+		t.Fatal("nil grid block gained defaults")
+	}
+	req := CoDesignRequest{Grid: &GridSpec{}}
+	g := req.Normalized().Grid
+	if g == nil {
+		t.Fatal("empty grid block normalized away")
+	}
+	want := GridSpec{Version: 1, Workers: 3, BatchSize: 4, LeaseTTLMS: 10000, HeartbeatMS: 2500, MaxLeases: 2, MaxAttempts: 6}
+	if *g != want {
+		t.Errorf("defaults = %+v, want %+v", *g, want)
+	}
+	// Heartbeat default follows an explicit TTL.
+	g = (CoDesignRequest{Grid: &GridSpec{LeaseTTLMS: 400}}).Normalized().Grid
+	if g.HeartbeatMS != 100 {
+		t.Errorf("HeartbeatMS = %d, want LeaseTTLMS/4 = 100", g.HeartbeatMS)
+	}
+	// Explicit values survive normalization.
+	g = (CoDesignRequest{Grid: &GridSpec{Workers: 7, MaxLeases: 5}}).Normalized().Grid
+	if g.Workers != 7 || g.MaxLeases != 5 {
+		t.Errorf("explicit values rewritten: %+v", *g)
+	}
+}
+
+// TestGridValidate pins the typed validation errors, field by field.
+func TestGridValidate(t *testing.T) {
+	ok := func(g GridSpec) CoDesignRequest { return CoDesignRequest{Grid: &g} }
+	if err := ok(GridSpec{}).Validate(); err != nil {
+		t.Fatalf("default grid block invalid: %v", err)
+	}
+	if err := (CoDesignRequest{}).Validate(); err != nil {
+		t.Fatalf("no grid block invalid: %v", err)
+	}
+	cases := []struct {
+		name  string
+		g     GridSpec
+		field string
+	}{
+		{"future version", GridSpec{Version: 2}, "version"},
+		{"negative workers", GridSpec{Workers: -1}, "workers"},
+		{"negative batch", GridSpec{BatchSize: -4}, "batch_size"},
+		{"negative ttl", GridSpec{LeaseTTLMS: -1}, "lease_ttl_ms"},
+		{"heartbeat past ttl", GridSpec{LeaseTTLMS: 100, HeartbeatMS: 100}, "heartbeat_ms"},
+		{"too many leases", GridSpec{MaxLeases: 9}, "max_leases"},
+		{"negative attempts", GridSpec{MaxAttempts: -2}, "max_attempts"},
+	}
+	for _, tc := range cases {
+		err := ok(tc.g).Validate()
+		var ge *GridError
+		if !errors.As(err, &ge) {
+			t.Errorf("%s: err = %v, want *GridError", tc.name, err)
+			continue
+		}
+		if ge.Field != tc.field {
+			t.Errorf("%s: field = %q, want %q (%v)", tc.name, ge.Field, tc.field, err)
+		}
+	}
+}
+
+// TestGridHashMasked pins cache identity: the grid block is execution
+// topology, so requests differing only in grid (or its absence) must share a
+// hash — distributed and single-process runs hit the same cache entry.
+func TestGridHashMasked(t *testing.T) {
+	base := CoDesignRequest{Scenario: "dense"}
+	h := base.Hash()
+	variants := []*GridSpec{
+		{},
+		{Workers: 5},
+		{Workers: 11, BatchSize: 1, LeaseTTLMS: 50, HeartbeatMS: 10, MaxLeases: 8, MaxAttempts: 2},
+	}
+	for _, g := range variants {
+		req := base
+		req.Grid = g
+		if got := req.Hash(); got != h {
+			t.Errorf("grid %+v changed the request hash: %s != %s", *g, got, h)
+		}
+	}
+	// The mask must not leak into a hash-visible field.
+	other := base
+	other.Scenario = "sparse"
+	if other.Hash() == h {
+		t.Error("scenario change did not change the hash; mask too broad")
+	}
+}

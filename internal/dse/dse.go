@@ -420,6 +420,13 @@ type Evaluator struct {
 	injector *fault.Injector
 	vp       VehicleParams // mission/thermal context for vehicle-axis designs
 
+	// delegate, when non-nil, replaces the local uncached evaluation with a
+	// remote one (the grid coordinator's lease pool). Memoization, dedup and
+	// skip/failure accounting stay coordinator-side; retries, chaos
+	// injection and the actual cost-model run happen wherever the delegate
+	// executes.
+	delegate func(ctx context.Context, d DesignPoint) (Evaluated, error)
+
 	o     *obs.Observer
 	instr func(hw.Backend) hw.Backend // estimate-latency wrapper; nil when obs off
 
@@ -487,6 +494,16 @@ func WithJobTimeout(d time.Duration) Option {
 // nothing.
 func WithInjector(in *fault.Injector) Option {
 	return func(ev *Evaluator) { ev.injector = in }
+}
+
+// WithDelegate routes every uncached evaluation through fn instead of the
+// local backend — the hook distributed sweeps (internal/grid) plug the
+// coordinator's lease pool into. The evaluator still memoizes and
+// singleflight-dedups around fn, so duplicate designs cost one remote job,
+// and still classifies returned errors (typed infeasibility verdicts become
+// skips exactly as locally). nil restores local evaluation.
+func WithDelegate(fn func(ctx context.Context, d DesignPoint) (Evaluated, error)) Option {
+	return func(ev *Evaluator) { ev.delegate = fn }
 }
 
 // WithObs instruments the evaluator: cache hits/misses/singleflight dedups
@@ -618,7 +635,12 @@ func (ev *Evaluator) evaluate(d DesignPoint, attempt int) (Evaluated, error) {
 
 // evaluateRetry runs the uncached evaluation under the evaluator's retry
 // policy with panic isolation. The zero policy performs exactly one attempt.
-func (ev *Evaluator) evaluateRetry(ctx context.Context, d DesignPoint) (Evaluated, error) {
+// base offsets every attempt index — a job re-issued under grid lease
+// attempt n evaluates attempts n, n+1, ... so its fault surfaces (injector
+// keys, fault.AttemptSeed derivations) are re-keyed instead of
+// deterministically re-hitting the fault that killed the previous lease.
+// base 0 is bitwise the pre-grid behavior.
+func (ev *Evaluator) evaluateRetry(ctx context.Context, d DesignPoint, base int) (Evaluated, error) {
 	policy := ev.retry
 	if d.Vehicle != (VehicleRef{}) {
 		// A typed infeasibility verdict is a definitive answer about the
@@ -628,12 +650,29 @@ func (ev *Evaluator) evaluateRetry(ctx context.Context, d DesignPoint) (Evaluate
 	var e Evaluated
 	err := fault.Retry(ctx, policy, func(_ context.Context, attempt int) error {
 		var aerr error
-		e, aerr = ev.evaluate(d, attempt)
+		e, aerr = ev.evaluate(d, base+attempt)
 		return aerr
 	})
 	if err != nil {
+		return Evaluated{}, err
+	}
+	return e, nil
+}
+
+// compute performs one uncached evaluation — locally under the retry policy,
+// or through the remote delegate when one is installed — and keeps the
+// terminal-failure accounting identical either way (skips are answers, not
+// faults; only real failures count).
+func (ev *Evaluator) compute(ctx context.Context, d DesignPoint, base int) (Evaluated, error) {
+	var e Evaluated
+	var err error
+	if ev.delegate != nil {
+		e, err = ev.delegate(ctx, d)
+	} else {
+		e, err = ev.evaluateRetry(ctx, d, base)
+	}
+	if err != nil {
 		if !isInfeasible(err) {
-			// Skips are answers, not faults; only real failures count.
 			ev.cFailures.Inc()
 		}
 		return Evaluated{}, err
@@ -654,8 +693,19 @@ func (ev *Evaluator) Evaluate(d DesignPoint) (Evaluated, error) {
 // while the rest wait on its in-flight result (counted as hits), so misses
 // equals the number of designs actually simulated.
 func (ev *Evaluator) EvaluateContext(ctx context.Context, d DesignPoint) (Evaluated, error) {
+	return ev.EvaluateAttempt(ctx, d, 0)
+}
+
+// EvaluateAttempt scores one design point with its attempt indices offset by
+// base — the entry point grid workers run re-issued leases through, so lease
+// attempt n re-keys the design's fault surfaces deterministically. base 0 is
+// exactly EvaluateContext. The memoization cache is shared across bases: a
+// settled success from an earlier lease answers a re-lease for free, and
+// errors are never cached, so a re-lease after a faulted attempt genuinely
+// re-evaluates.
+func (ev *Evaluator) EvaluateAttempt(ctx context.Context, d DesignPoint, base int) (Evaluated, error) {
 	e, _, err := ev.store.Do(ctx, evalKey{backend: ev.backendID, design: d}, func() (Evaluated, error) {
-		return ev.evaluateRetry(ctx, d)
+		return ev.compute(ctx, d, base)
 	})
 	return e, err
 }

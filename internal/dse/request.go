@@ -52,6 +52,11 @@ type Request struct {
 	// Injector deterministically injects faults into backend evaluations for
 	// chaos testing; nil injects nothing.
 	Injector *fault.Injector
+	// Delegate, when non-nil, routes every uncached design evaluation
+	// through a remote executor (the grid coordinator's lease pool) instead
+	// of the local backend. Memoization, dedup and skip/failure accounting
+	// stay local; see dse.WithDelegate.
+	Delegate func(ctx context.Context, d DesignPoint) (Evaluated, error)
 	// Obs, when non-nil, instruments the run: cache and estimate telemetry on
 	// its registry, search/eval trace spans, retry counters. nil disables
 	// instrumentation; scores are bitwise identical either way.
@@ -84,11 +89,21 @@ func (r Request) evaluator() *Evaluator {
 	if r.Injector != nil {
 		opts = append(opts, WithInjector(r.Injector))
 	}
+	if r.Delegate != nil {
+		opts = append(opts, WithDelegate(r.Delegate))
+	}
 	if r.Obs != nil {
 		opts = append(opts, WithObs(r.Obs))
 	}
 	return NewEvaluator(r.DB, r.Scenario, r.Power, opts...)
 }
+
+// NewEvaluator builds the request's evaluator without running a search. Grid
+// workers use it to score individual design points with exactly the engine a
+// local Execute would have used (same retry policy, injector keys, memoization
+// and telemetry), which is what keeps remote evaluation bitwise identical to
+// local evaluation.
+func (r Request) NewEvaluator() *Evaluator { return r.evaluator() }
 
 // Execute runs Phase 2 for a request: sample the space, explore it with the
 // requested optimizer, and label the conventional-DSE picks. Design

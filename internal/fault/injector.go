@@ -25,6 +25,20 @@ const (
 	InjectError
 	InjectNaN
 	InjectDelay
+
+	// Network fault classes, drawn per RPC key by distributed-execution
+	// transports (internal/grid, hw.RemoteBackend). They corrupt delivery,
+	// never payloads, so surviving results stay bitwise-comparable.
+
+	// InjectDrop loses the RPC: the request is never delivered and the
+	// caller sees a transport error.
+	InjectDrop
+	// InjectDup delivers the RPC twice, exercising receiver-side
+	// deduplication.
+	InjectDup
+	// InjectStale re-delivers the payload tagged with an earlier attempt
+	// rank alongside the real delivery, exercising attempt arbitration.
+	InjectStale
 )
 
 // String names the injection.
@@ -40,6 +54,12 @@ func (i Injection) String() string {
 		return "nan"
 	case InjectDelay:
 		return "delay"
+	case InjectDrop:
+		return "drop"
+	case InjectDup:
+		return "dup"
+	case InjectStale:
+		return "stale"
 	default:
 		return fmt.Sprintf("Injection(%d)", int(i))
 	}
@@ -60,6 +80,12 @@ type Injector struct {
 	// PanicRate, ErrorRate, NaNRate and DelayRate are stacked probabilities
 	// in [0,1]; their sum is the total fault rate.
 	PanicRate, ErrorRate, NaNRate, DelayRate float64
+	// DropRate, DupRate and StaleRate stack after the job-fault rates and
+	// drive the network fault classes RPC transports consult (drop, delayed
+	// delivery shares DelayRate, duplicate delivery, stale-attempt
+	// re-delivery). Zero rates leave every legacy (Seed, key) decision
+	// bitwise unchanged.
+	DropRate, DupRate, StaleRate float64
 	// Delay is slept on InjectDelay hits before the wrapped work runs.
 	Delay time.Duration
 	// Metrics, when non-nil, counts applied injections under
@@ -104,6 +130,11 @@ func (in *Injector) Decide(key string) Injection {
 		{in.ErrorRate, InjectError},
 		{in.NaNRate, InjectNaN},
 		{in.DelayRate, InjectDelay},
+		// Network classes stack strictly after the legacy job classes, so
+		// enabling them never re-rolls an existing chaos suite's decisions.
+		{in.DropRate, InjectDrop},
+		{in.DupRate, InjectDup},
+		{in.StaleRate, InjectStale},
 	} {
 		if u < c.rate {
 			return c.inj
@@ -111,6 +142,43 @@ func (in *Injector) Decide(key string) Injection {
 		u -= c.rate
 	}
 	return InjectNone
+}
+
+// RPC runs one remote call under the key's network-fault decision: InjectDrop
+// fails the call with a wrapped ErrInjected before send is invoked (the
+// request is "lost on the wire"), InjectDelay sleeps Delay first, InjectDup
+// invokes send twice (both deliveries must be idempotent at the receiver;
+// the second result is discarded), and every other decision — including the
+// job-fault classes, which belong to job keys, not RPC keys — passes through
+// untouched. InjectStale is reported to the caller via StaleRPC, because only
+// the transport knows how to forge a stale-attempt re-delivery.
+func (in *Injector) RPC(key string, send func() error) error {
+	inj := in.Decide(key)
+	switch inj {
+	case InjectDrop:
+		in.count(inj)
+		return fmt.Errorf("%w rpc drop (%s)", ErrInjected, key)
+	case InjectDelay:
+		in.count(inj)
+		time.Sleep(in.Delay)
+	case InjectDup:
+		in.count(inj)
+		if err := send(); err != nil {
+			return err
+		}
+	}
+	return send()
+}
+
+// StaleRPC reports whether the key draws a stale-attempt re-delivery; the
+// transport is responsible for forging the extra delivery (the decision is
+// counted here so chaos runs report their stale pressure).
+func (in *Injector) StaleRPC(key string) bool {
+	if in.Decide(key) != InjectStale {
+		return false
+	}
+	in.count(InjectStale)
+	return true
 }
 
 // Invoke runs fn under the key's injection decision: InjectPanic panics

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffCancelReturnsImmediately pins the backoff-vs-context fix:
+// a deadline expiring during a backoff sleep must abort the sleep at once —
+// not run out the full schedule — and come back as a *RetryError carrying
+// the attempts actually spent, with the context error still visible to
+// errors.Is.
+func TestRetryBackoffCancelReturnsImmediately(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: 10 * time.Second} // schedule far beyond any test budget
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+
+	calls := 0
+	start := time.Now()
+	err := Retry(ctx, p, func(context.Context, int) error {
+		calls++
+		return fmt.Errorf("transient")
+	})
+	elapsed := time.Since(start)
+
+	if elapsed > 2*time.Second {
+		t.Fatalf("retry slept out the backoff: returned after %v", elapsed)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (deadline hit during first backoff)", calls)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", re.Attempts)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if AttemptsOf(err) != 1 {
+		t.Errorf("AttemptsOf = %d, want 1", AttemptsOf(err))
+	}
+}
+
+// TestInjectorNetworkClassesStackAfterLegacy pins injection-surface
+// compatibility: enabling the network fault classes must not re-roll any
+// decision an existing (Seed, key) chaos suite already made — legacy rates
+// keep their exact outcomes, and the new classes only claim keys that were
+// previously InjectNone.
+func TestInjectorNetworkClassesStackAfterLegacy(t *testing.T) {
+	legacy := &Injector{Seed: 11, PanicRate: 0.05, ErrorRate: 0.05, NaNRate: 0.05, DelayRate: 0.05}
+	stacked := &Injector{Seed: 11, PanicRate: 0.05, ErrorRate: 0.05, NaNRate: 0.05, DelayRate: 0.05,
+		DropRate: 0.1, DupRate: 0.1, StaleRate: 0.1}
+
+	counts := map[Injection]int{}
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("rpc%d", i)
+		was, now := legacy.Decide(key), stacked.Decide(key)
+		counts[now]++
+		if was != InjectNone && now != was {
+			t.Fatalf("key %q: legacy decision %v re-rolled to %v", key, was, now)
+		}
+		if was == InjectNone && !(now == InjectNone || now == InjectDrop || now == InjectDup || now == InjectStale) {
+			t.Fatalf("key %q: network rates promoted a None key to job class %v", key, now)
+		}
+	}
+	for _, inj := range []Injection{InjectDrop, InjectDup, InjectStale} {
+		if counts[inj] == 0 {
+			t.Errorf("no %v decisions in 4000 keys at 10%% rate", inj)
+		}
+	}
+}
+
+// TestInjectorRPC pins the transport hooks: drop fails before send, dup
+// invokes send twice, delay sleeps then sends once, and a clean key passes
+// through exactly once. Nil injectors are inert.
+func TestInjectorRPC(t *testing.T) {
+	var nilIn *Injector
+	sends := 0
+	if err := nilIn.RPC("any", func() error { sends++; return nil }); err != nil || sends != 1 {
+		t.Fatalf("nil injector: err=%v sends=%d", err, sends)
+	}
+	if nilIn.StaleRPC("any") {
+		t.Fatal("nil injector drew a stale delivery")
+	}
+
+	// With DropRate 1 every key drops; send must never run.
+	drop := &Injector{Seed: 3, DropRate: 1}
+	sends = 0
+	err := drop.RPC("k", func() error { sends++; return nil })
+	if !errors.Is(err, ErrInjected) || sends != 0 {
+		t.Fatalf("drop: err=%v sends=%d, want ErrInjected and 0 sends", err, sends)
+	}
+
+	dup := &Injector{Seed: 3, DupRate: 1}
+	sends = 0
+	if err := dup.RPC("k", func() error { sends++; return nil }); err != nil || sends != 2 {
+		t.Fatalf("dup: err=%v sends=%d, want nil and 2 sends", err, sends)
+	}
+	// A failing first delivery short-circuits the duplicate.
+	sends = 0
+	wantErr := fmt.Errorf("boom")
+	if err := dup.RPC("k", func() error { sends++; return wantErr }); !errors.Is(err, wantErr) || sends != 1 {
+		t.Fatalf("dup-fail: err=%v sends=%d, want boom and 1 send", err, sends)
+	}
+
+	stale := &Injector{Seed: 3, StaleRate: 1}
+	if !stale.StaleRPC("k") {
+		t.Fatal("StaleRate 1 did not draw a stale delivery")
+	}
+	sends = 0
+	if err := stale.RPC("k", func() error { sends++; return nil }); err != nil || sends != 1 {
+		t.Fatalf("stale passes RPC through: err=%v sends=%d", err, sends)
+	}
+}

@@ -187,7 +187,15 @@ func Retry(ctx context.Context, p Policy, fn func(ctx context.Context, attempt i
 			select {
 			case <-ctx.Done():
 				t.Stop()
-				return fmt.Errorf("fault: retry cancelled: %w", ctx.Err())
+				// A caller deadline (or cancellation) arriving mid-backoff is
+				// terminal: return immediately — never sleep out the rest of
+				// the schedule — and wrap in *RetryError so the attempt count
+				// spent so far survives (AttemptsOf, failure records). The
+				// cause chain keeps both the context error (errors.Is on
+				// Canceled/DeadlineExceeded still holds) and the last
+				// attempt's error for the report.
+				return &RetryError{Attempts: a + 1, Last: fmt.Errorf(
+					"fault: retry cancelled during backoff (last attempt: %v): %w", last, ctx.Err())}
 			case <-t.C:
 			}
 		}

@@ -1,0 +1,87 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"autopilot/internal/dse"
+)
+
+// benchJobs enqueues n jobs directly (mirroring Evaluate's bookkeeping
+// without a waiting goroutine per job — completion just closes j.done) so
+// benchmarks can scale b.N without goroutine-per-job setup cost.
+func benchJobs(c *Coordinator, n int) []Job {
+	designs := dse.DefaultSpace().Sample(64, 7)
+	c.mu.Lock()
+	for i := 0; i < n; i++ {
+		id := c.nextID
+		c.nextID++
+		d := designs[i%len(designs)]
+		c.jobs[id] = &job{
+			id:     id,
+			design: d,
+			seed:   JobSeed(fmt.Sprintf("%s#%d", d.String(), i), c.req.Seed),
+			queued: true,
+			leases: make(map[int]lease),
+			issued: make(map[int]string),
+			done:   make(chan struct{}),
+		}
+		c.pending = append(c.pending, id)
+	}
+	c.mu.Unlock()
+	jobs := make([]Job, 0, n)
+	for len(jobs) < n {
+		lr := c.lease(LeaseRequest{Worker: "w0", Max: 256})
+		if len(lr.Jobs) == 0 {
+			break
+		}
+		jobs = append(jobs, lr.Jobs...)
+	}
+	return jobs
+}
+
+// BenchmarkLeaseGrant measures one lease call granting one job from a deep
+// pending queue — the coordinator's hot path while workers poll.
+func BenchmarkLeaseGrant(b *testing.B) {
+	c := NewCoordinator(tinyRequest(), Config{})
+	benchJobs(c, b.N)
+	// Put every job back on the pending queue so the timed loop only grants.
+	c.mu.Lock()
+	c.pending = c.pending[:0]
+	for id := int64(0); id < int64(b.N); id++ {
+		j := c.jobs[id]
+		j.queued = true
+		j.leases = make(map[int]lease)
+		c.pending = append(c.pending, id)
+	}
+	c.mu.Unlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lr := c.lease(LeaseRequest{Worker: "w1", Max: 1}); len(lr.Jobs) != 1 {
+			b.Fatalf("lease %d granted %d jobs", i, len(lr.Jobs))
+		}
+	}
+}
+
+// BenchmarkResultMerge measures one result delivery end to end: stale and
+// duplicate arbitration, CRC verification, payload decode and job
+// completion.
+func BenchmarkResultMerge(b *testing.B) {
+	c := NewCoordinator(tinyRequest(), Config{})
+	jobs := benchJobs(c, b.N)
+	posts := make([]ResultPost, len(jobs))
+	for i, jb := range jobs {
+		payload, err := json.Marshal(dse.Evaluated{Design: jb.Design, SuccessRate: 0.5, FPS: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		posts[i] = ResultPost{Worker: "w0", Job: jb.ID, Attempt: jb.Attempt, CRC: Checksum(payload), Result: payload}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rr := c.result(posts[i]); !rr.Accepted || rr.Duplicate {
+			b.Fatalf("delivery %d: %+v", i, rr)
+		}
+	}
+}

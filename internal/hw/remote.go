@@ -1,0 +1,186 @@
+package hw
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"autopilot/internal/policy"
+)
+
+// This file puts the hw.Backend seam on the wire: EstimateHandler serves any
+// local backend as an HTTP+JSON estimate endpoint, and RemoteBackend is the
+// matching client-side Backend. Because every backend is a deterministic pure
+// function of its workload, a remote estimate is bit-identical to a local one
+// — JSON float64 round-trips are exact in Go — so a cost-model fleet can be
+// scaled out independently of the search process without touching the
+// determinism contract.
+//
+// The wire form carries the workload's *recipe* rather than its expanded
+// layer geometry: an E2E network workload is (hyper, template) and the server
+// re-runs policy.Build, which is itself deterministic. Hand-assembled
+// networks that did not come from policy.Build cannot be expressed remotely;
+// SPA workloads serialize their op count directly.
+
+// remoteWorkload is the wire form of a Workload.
+type remoteWorkload struct {
+	Name           string                 `json:"name"`
+	Kind           string                 `json:"kind"` // "network" | "spa"
+	Hyper          *policy.Hyper          `json:"hyper,omitempty"`
+	Template       *policy.TemplateConfig `json:"template,omitempty"`
+	OpsPerDecision float64                `json:"ops_per_decision,omitempty"`
+}
+
+// remoteError is the wire form of a backend failure.
+type remoteError struct {
+	Error string `json:"error"`
+}
+
+// EncodeWorkload lowers a workload into its wire form. Network workloads must
+// have been built by policy.Build (they carry their hyper/template recipe);
+// anything else is rejected before it can silently mis-serialize.
+func EncodeWorkload(w Workload) ([]byte, error) {
+	rw := remoteWorkload{Name: w.Name}
+	switch w.Kind {
+	case WorkloadNetwork:
+		if w.Net == nil {
+			return nil, fmt.Errorf("hw: remote: network workload %q has no network", w.Name)
+		}
+		rw.Kind = "network"
+		h, tmpl := w.Net.Hyper, w.Net.Template
+		rw.Hyper, rw.Template = &h, &tmpl
+	case WorkloadSPA:
+		rw.Kind = "spa"
+		rw.OpsPerDecision = w.OpsPerDecision
+	default:
+		return nil, fmt.Errorf("hw: remote: unsupported workload kind %v", w.Kind)
+	}
+	return json.Marshal(rw)
+}
+
+// DecodeWorkload rebuilds a workload from its wire form, re-expanding network
+// recipes through policy.Build so the server-side workload is bit-identical
+// to the client's.
+func DecodeWorkload(data []byte) (Workload, error) {
+	var rw remoteWorkload
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rw); err != nil {
+		return Workload{}, fmt.Errorf("hw: remote: malformed workload: %w", err)
+	}
+	switch rw.Kind {
+	case "network":
+		if rw.Hyper == nil || rw.Template == nil {
+			return Workload{}, fmt.Errorf("hw: remote: network workload %q missing hyper/template", rw.Name)
+		}
+		net, err := policy.Build(*rw.Hyper, *rw.Template)
+		if err != nil {
+			return Workload{}, fmt.Errorf("hw: remote: rebuild %q: %w", rw.Name, err)
+		}
+		return NetworkWorkload(rw.Name, net), nil
+	case "spa":
+		return SPAWorkload(rw.Name, rw.OpsPerDecision), nil
+	default:
+		return Workload{}, fmt.Errorf("hw: remote: unknown workload kind %q", rw.Kind)
+	}
+}
+
+// EstimateHandler serves backend b over HTTP: POST a wire workload, receive
+// the backend's Estimate as JSON (200), a backend error (422), or a malformed
+// -request error (400). Mount it wherever the fleet listens, e.g.
+// mux.Handle("/grid/v1/estimate", hw.EstimateHandler(backend)).
+func EstimateHandler(b Backend) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeRemoteJSON(w, http.StatusBadRequest, remoteError{Error: err.Error()})
+			return
+		}
+		wl, err := DecodeWorkload(body)
+		if err != nil {
+			writeRemoteJSON(w, http.StatusBadRequest, remoteError{Error: err.Error()})
+			return
+		}
+		est, err := b.Estimate(wl)
+		if err != nil {
+			writeRemoteJSON(w, http.StatusUnprocessableEntity, remoteError{Error: err.Error()})
+			return
+		}
+		writeRemoteJSON(w, http.StatusOK, est)
+	})
+}
+
+func writeRemoteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// RemoteBackend scores workloads on a remote estimate fleet serving
+// EstimateHandler. It implements Backend; ID names the *remote* backend
+// family for memoization keying (two fleets running different templates must
+// carry different IDs, or their cached estimates would collide).
+type RemoteBackend struct {
+	// URL is the estimate endpoint (e.g. "http://fleet:9090/grid/v1/estimate").
+	URL string
+	// ID keys the memoization cache; empty means "remote".
+	ID string
+	// Client is the HTTP client; nil uses a shared default with a 30s
+	// timeout.
+	Client *http.Client
+}
+
+// defaultRemoteClient bounds remote estimates that would otherwise hang a
+// sweep on a dead fleet.
+var defaultRemoteClient = &http.Client{Timeout: 30 * time.Second}
+
+// Name identifies the remote backend family for cache keying.
+func (b RemoteBackend) Name() string {
+	if b.ID != "" {
+		return b.ID
+	}
+	return "remote"
+}
+
+// Estimate posts the workload to the fleet and decodes its estimate. Errors
+// distinguish transport faults (retryable by the caller's fault.Policy) from
+// the backend's own typed rejection (422, surfaced verbatim).
+func (b RemoteBackend) Estimate(w Workload) (Estimate, error) {
+	payload, err := EncodeWorkload(w)
+	if err != nil {
+		return Estimate{}, err
+	}
+	client := b.Client
+	if client == nil {
+		client = defaultRemoteClient
+	}
+	resp, err := client.Post(b.URL, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return Estimate{}, fmt.Errorf("hw: remote %s: %w", b.Name(), err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Estimate{}, fmt.Errorf("hw: remote %s: read: %w", b.Name(), err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var re remoteError
+		if json.Unmarshal(body, &re) == nil && re.Error != "" {
+			return Estimate{}, fmt.Errorf("hw: remote %s: %s", b.Name(), re.Error)
+		}
+		return Estimate{}, fmt.Errorf("hw: remote %s: status %d", b.Name(), resp.StatusCode)
+	}
+	var est Estimate
+	if err := json.Unmarshal(body, &est); err != nil {
+		return Estimate{}, fmt.Errorf("hw: remote %s: malformed estimate: %w", b.Name(), err)
+	}
+	return est, nil
+}

@@ -1,0 +1,153 @@
+package hw
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"autopilot/internal/power"
+)
+
+// TestRemoteBackendBitwiseParity pins the wire contract: an estimate scored
+// through EstimateHandler + RemoteBackend is bitwise identical to the local
+// backend, for both workload kinds. Go's encoding/json round-trips float64
+// exactly, so any divergence here is a serialization bug, not float noise.
+func TestRemoteBackendBitwiseParity(t *testing.T) {
+	local := SystolicBackend{Config: testConfig(), Power: power.Default()}
+	ts := httptest.NewServer(EstimateHandler(local))
+	defer ts.Close()
+	remote := RemoteBackend{URL: ts.URL, ID: "test-fleet"}
+
+	for _, w := range []Workload{
+		NetworkWorkload("L5F32", testNetwork(t)),
+		SPAWorkload("spa", 1.75e9),
+	} {
+		want, err := local.Estimate(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := remote.Estimate(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for name, pair := range map[string][2]float64{
+			"FPS":           {got.FPS, want.FPS},
+			"RuntimeSec":    {got.RuntimeSec, want.RuntimeSec},
+			"AccelPowerW":   {got.AccelPowerW, want.AccelPowerW},
+			"SoCPowerW":     {got.SoCPowerW, want.SoCPowerW},
+			"EnergyPerInfJ": {got.EnergyPerInfJ, want.EnergyPerInfJ},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Errorf("%s: %s = %x, want %x", w.Name, name, pair[0], pair[1])
+			}
+		}
+		if got != want {
+			t.Errorf("%s: estimate differs:\n got %+v\nwant %+v", w.Name, got, want)
+		}
+	}
+}
+
+// TestRemoteBackendName pins cache keying: distinct fleet IDs must produce
+// distinct Backend names, or their memoized estimates would collide.
+func TestRemoteBackendName(t *testing.T) {
+	if got := (RemoteBackend{}).Name(); got != "remote" {
+		t.Errorf("default name = %q", got)
+	}
+	if got := (RemoteBackend{ID: "fleet-a"}).Name(); got != "fleet-a" {
+		t.Errorf("ID name = %q", got)
+	}
+}
+
+// TestEncodeWorkloadRejectsHandAssembled pins the encode guard: only
+// policy.Build-derived networks carry a recipe the server can re-expand;
+// everything else must fail loudly instead of mis-serializing.
+func TestEncodeWorkloadRejectsHandAssembled(t *testing.T) {
+	if _, err := EncodeWorkload(Workload{Name: "bare", Kind: WorkloadNetwork}); err == nil {
+		t.Error("nil-net network workload encoded")
+	}
+	if _, err := EncodeWorkload(Workload{Name: "odd", Kind: WorkloadKind(99)}); err == nil {
+		t.Error("unknown workload kind encoded")
+	}
+}
+
+// TestEstimateHandlerErrors pins the endpoint's error contract: 405 for
+// non-POST, 400 for malformed or undecodable workloads, 422 for workloads
+// the backend itself rejects.
+func TestEstimateHandlerErrors(t *testing.T) {
+	local := SystolicBackend{Config: testConfig(), Power: power.Default()}
+	ts := httptest.NewServer(EstimateHandler(local))
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d, want 400", code)
+	}
+	if code := post(`{"name":"x","kind":"warp"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown kind status = %d, want 400", code)
+	}
+	if code := post(`{"name":"x","kind":"network"}`); code != http.StatusBadRequest {
+		t.Errorf("recipe-less network status = %d, want 400", code)
+	}
+	// The systolic backend cannot score SPA workloads of zero ops? It can —
+	// drive a genuine backend rejection instead: a network whose recipe fails
+	// policy.Build.
+	if code := post(`{"name":"x","kind":"network","hyper":{"layers":-3,"filters":0},"template":{}}`); code != http.StatusBadRequest {
+		t.Errorf("unbuildable recipe status = %d, want 400", code)
+	}
+
+	// 422: the backend rejects what the wire layer accepted. SPABackend
+	// requires an SPA workload; feed its handler a network one.
+	spa := httptest.NewServer(EstimateHandler(SPABackend{Compute: local}))
+	defer spa.Close()
+	wire, err := EncodeWorkload(NetworkWorkload("L5F32", testNetwork(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(spa.URL, "application/json", strings.NewReader(string(wire)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("backend rejection status = %d, want 422", resp.StatusCode)
+	}
+
+	// The client surfaces the server's typed error text.
+	remote := RemoteBackend{URL: spa.URL}
+	if _, err := remote.Estimate(NetworkWorkload("L5F32", testNetwork(t))); err == nil {
+		t.Error("client accepted a 422")
+	} else if !strings.Contains(err.Error(), "hw: remote") {
+		t.Errorf("error lacks remote prefix: %v", err)
+	}
+}
+
+// BenchmarkRemoteBackendRoundtrip measures one estimate over the wire —
+// encode, HTTP round-trip on loopback, backend evaluation, decode.
+func BenchmarkRemoteBackendRoundtrip(b *testing.B) {
+	local := SystolicBackend{Config: testConfig(), Power: power.Default()}
+	ts := httptest.NewServer(EstimateHandler(local))
+	defer ts.Close()
+	remote := RemoteBackend{URL: ts.URL}
+	w := SPAWorkload("spa", 1.75e9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.Estimate(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,11 +76,12 @@ type Server struct {
 	cSubmitted, cDone, cFailed, cCancelled *obs.Counter
 	cRejectQuota, cRejectQueue             *obs.Counter
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	live   map[string]int // tenant -> queued+running jobs
-	seq    int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	live     map[string]int // tenant -> queued+running jobs
+	seq      int
+	closed   bool
+	draining bool
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -151,6 +152,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		draining := s.draining || s.closed
+		s.mu.Unlock()
+		if draining {
+			// Load balancers stop routing here while in-flight jobs drain.
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.Handle("/debug/", obs.DebugMux(reg))
@@ -179,6 +188,47 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// Drain performs a graceful shutdown: intake stops immediately (submissions
+// are refused with 503 while draining), queued and running jobs get until ctx
+// expires to complete — their results landing in the cache and the state dir
+// exactly as in normal operation — and whatever is still running afterwards
+// is cancelled via Close. Returns nil when every job finished inside the
+// deadline, and ctx.Err() when the deadline cut live jobs off. Idempotent
+// with Close in either order.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	var err error
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+wait:
+	for {
+		s.mu.Lock()
+		n := 0
+		for _, v := range s.live {
+			n += v
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break wait
+		case <-t.C:
+		}
+	}
+	s.Close()
+	return err
 }
 
 // CacheStats reports the shared result store's hit/miss counters.
@@ -279,7 +329,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tn := tenant(r)
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
