@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Benchmark is one benchmark line of a BENCH_<pr>.json record.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Record is the committed benchmark record of one PR.
+type Record struct {
+	PR         int         `json:"pr"`
+	Package    string      `json:"package"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// LoadRecord reads and validates one record file.
+func LoadRecord(path string) (Record, error) {
+	var r Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks", path)
+	}
+	for _, b := range r.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			return r, fmt.Errorf("%s: malformed benchmark entry %+v", path, b)
+		}
+	}
+	return r, nil
+}
+
+// Delta is one shared benchmark's comparison.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Change    float64 // fractional ns/op change; +0.10 = 10% slower
+	Regressed bool
+}
+
+// Report is the full comparison of two records.
+type Report struct {
+	OldPR, NewPR int
+	Threshold    float64
+	Shared       []Delta
+	OnlyOld      []string // benchmarks retired in the new record
+	OnlyNew      []string // benchmarks introduced in the new record
+}
+
+// Compare diffs every benchmark shared by name; threshold is the allowed
+// fractional ns/op regression (0.25 = fail beyond +25%).
+func Compare(oldRec, newRec Record, threshold float64) Report {
+	rep := Report{OldPR: oldRec.PR, NewPR: newRec.PR, Threshold: threshold}
+	oldByName := map[string]Benchmark{}
+	for _, b := range oldRec.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range newRec.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			rep.OnlyNew = append(rep.OnlyNew, nb.Name)
+			continue
+		}
+		change := nb.NsPerOp/ob.NsPerOp - 1
+		rep.Shared = append(rep.Shared, Delta{
+			Name: nb.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			Change: change, Regressed: change > threshold,
+		})
+	}
+	for _, ob := range oldRec.Benchmarks {
+		if !seen[ob.Name] {
+			rep.OnlyOld = append(rep.OnlyOld, ob.Name)
+		}
+	}
+	sort.Slice(rep.Shared, func(i, j int) bool { return rep.Shared[i].Name < rep.Shared[j].Name })
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	return rep
+}
+
+// Failed reports whether any shared benchmark regressed past the threshold.
+func (r Report) Failed() bool {
+	for _, d := range r.Shared {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the human-readable gate report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchdiff: PR %d vs PR %d (threshold +%.0f%% ns/op)\n",
+		r.OldPR, r.NewPR, 100*r.Threshold)
+	if len(r.Shared) == 0 {
+		b.WriteString("  no shared benchmarks; nothing to gate\n")
+	}
+	for _, d := range r.Shared {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSION"
+		}
+		fmt.Fprintf(&b, "  %-40s %10.0f -> %10.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.OldNs, d.NewNs, 100*d.Change, verdict)
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Fprintf(&b, "  %-40s retired\n", name)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Fprintf(&b, "  %-40s new (no history)\n", name)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(pr int, benches ...Benchmark) Record {
+	return Record{PR: pr, Package: "test", Benchmarks: benches}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1000, NsPerOp: ns}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	r := Compare(
+		rec(9, bench("BenchmarkA", 1000), bench("BenchmarkB", 2000)),
+		rec(10, bench("BenchmarkA", 1200), bench("BenchmarkB", 1500)),
+		0.25)
+	if r.Failed() {
+		t.Fatalf("20%% slower within a 25%% threshold must pass:\n%s", r)
+	}
+	if len(r.Shared) != 2 {
+		t.Fatalf("shared = %d, want 2", len(r.Shared))
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	r := Compare(
+		rec(9, bench("BenchmarkA", 1000)),
+		rec(10, bench("BenchmarkA", 1300)),
+		0.25)
+	if !r.Failed() {
+		t.Fatalf("30%% slower past a 25%% threshold must fail:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "REGRESSION") {
+		t.Fatalf("report must flag the regression:\n%s", r)
+	}
+}
+
+func TestCompareOnlySharedBenchmarksGate(t *testing.T) {
+	// A 10x regression in a benchmark that no longer exists, and a brand-new
+	// benchmark with no history, must both be ignored by the gate.
+	r := Compare(
+		rec(9, bench("BenchmarkRetired", 100), bench("BenchmarkA", 1000)),
+		rec(10, bench("BenchmarkNew", 1000000), bench("BenchmarkA", 1000)),
+		0.25)
+	if r.Failed() {
+		t.Fatalf("unshared benchmarks must not gate:\n%s", r)
+	}
+	if len(r.OnlyOld) != 1 || r.OnlyOld[0] != "BenchmarkRetired" {
+		t.Fatalf("OnlyOld = %v", r.OnlyOld)
+	}
+	if len(r.OnlyNew) != 1 || r.OnlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("OnlyNew = %v", r.OnlyNew)
+	}
+}
+
+func TestCompareNoSharedPassesWithNote(t *testing.T) {
+	r := Compare(rec(9, bench("BenchmarkA", 1)), rec(10, bench("BenchmarkB", 1)), 0.25)
+	if r.Failed() {
+		t.Fatalf("disjoint records must pass:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "no shared benchmarks") {
+		t.Fatalf("report must note the empty intersection:\n%s", r)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	r := Compare(rec(9, bench("BenchmarkA", 1000)), rec(10, bench("BenchmarkA", 10)), 0.25)
+	if r.Failed() {
+		t.Fatalf("a 100x speedup must pass:\n%s", r)
+	}
+}
+
+func TestLoadRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	data := `{"pr": 9, "package": "p", "benchmarks": [
+		{"name": "BenchmarkA", "iterations": 10, "ns_per_op": 123, "bytes_per_op": 4, "allocs_per_op": 1}
+	]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PR != 9 || len(r.Benchmarks) != 1 || r.Benchmarks[0].NsPerOp != 123 {
+		t.Fatalf("LoadRecord = %+v", r)
+	}
+}
+
+func TestLoadRecordRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, data := range map[string]string{
+		"empty.json":  `{"pr": 1, "benchmarks": []}`,
+		"noname.json": `{"pr": 1, "benchmarks": [{"ns_per_op": 5}]}`,
+		"nons.json":   `{"pr": 1, "benchmarks": [{"name": "BenchmarkA"}]}`,
+		"junk.json":   `]`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadRecord(path); err == nil {
+			t.Errorf("%s: LoadRecord accepted malformed record", name)
+		}
+	}
+}
+
+func TestCompareCommittedRecords(t *testing.T) {
+	// The real committed trajectory must load and pass its own gate — this is
+	// exactly what CI runs.
+	old, err := LoadRecord("../../BENCH_8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := LoadRecord("../../BENCH_9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(old, cur, 0.25)
+	t.Logf("\n%s", r)
+	if r.Failed() {
+		t.Fatalf("committed records fail their own gate:\n%s", r)
+	}
+}

@@ -1,0 +1,49 @@
+// Command benchdiff is the bench regression gate: it compares two committed
+// BENCH_<pr>.json records and fails (exit 1) when any benchmark present in
+// both regressed by more than the threshold in ns/op.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_9.json -new BENCH_10.json [-threshold 0.25]
+//
+// Only benchmarks shared by name are compared — PRs add and retire
+// benchmarks freely, and the gate only guards the ones with history. Two
+// files with no shared benchmarks pass with a note. Records are expected in
+// the repo's BENCH_<pr>.json shape (see any committed file); benchmarks
+// measured on different machines drift, so the default threshold is a
+// deliberately loose 25%.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "previous BENCH_<pr>.json (required)")
+	newPath := flag.String("new", "", "current BENCH_<pr>.json (required)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op regression before failing")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRec, err := LoadRecord(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRec, err := LoadRecord(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	report := Compare(oldRec, newRec, *threshold)
+	fmt.Print(report.String())
+	if report.Failed() {
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,13 @@
 // evaluation spans, -manifest a machine-readable run manifest, and
 // -debug-addr serves live metrics/expvar/pprof over HTTP. A one-line metrics
 // summary (cache hits/misses, simulations, retries) is printed on exit.
+//
+// In grid mode the trace is fleet-merged: workers ship their evaluation
+// spans back over the grid protocol and each worker renders on its own pid
+// lane; the manifest gains a grid topology section (who did what, at what
+// cost); and the grid listener additionally serves /grid/v1/fleet (per-worker
+// health and federated metrics) plus /debug/prometheus (text exposition of
+// the coordinator registry and the per-worker-labeled fleet series).
 package main
 
 import (
@@ -225,7 +232,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dse:", lerr)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: coord.Handler()}
+		// The grid listener also serves live telemetry: the standard debug
+		// tree, plus a Prometheus exposition that merges this process's
+		// registry with the fleet's per-worker-labeled series.
+		mux := http.NewServeMux()
+		mux.Handle("/", coord.Handler())
+		mux.Handle("/debug/", obs.DebugMux(run.Obs.Metrics))
+		mux.Handle("/debug/prometheus", obs.PrometheusHandler(func() []obs.Snapshot {
+			return []obs.Snapshot{run.Obs.Metrics.Snapshot(), coord.Fleet().Labeled()}
+		}))
+		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln) //nolint:errcheck // closed on shutdown
 		url := "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "dse: grid coordinator listening on %s\n", url)
@@ -236,7 +252,14 @@ func main() {
 			wg.Add(1)
 			go func(id string) {
 				defer wg.Done()
-				if werr := grid.Run(ctx, grid.WorkerConfig{URL: url, ID: id, DB: db}); werr != nil && ctx.Err() == nil {
+				wcfg := grid.WorkerConfig{
+					URL: url, ID: id, DB: db,
+					// Each in-process worker gets its own registry so the
+					// fleet endpoint and manifest attribute metrics per
+					// worker exactly as with external worker processes.
+					Obs: &obs.Observer{Metrics: obs.NewRegistry()},
+				}
+				if werr := grid.Run(ctx, wcfg); werr != nil && ctx.Err() == nil {
 					fmt.Fprintf(os.Stderr, "dse: grid worker %s: %v\n", id, werr)
 				}
 			}(id)
@@ -250,6 +273,7 @@ func main() {
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			srv.Shutdown(sctx) //nolint:errcheck // best-effort drain
+			run.SetGrid(coord.Manifest())
 		}
 	}
 

@@ -8,7 +8,7 @@
 //	gridworker -coordinator http://127.0.0.1:7070 [-id w0] [-batch 4]
 //	    [-parallel 1] [-chaos-seed 1 -chaos-drop 0.1 -chaos-dup 0.05
 //	     -chaos-stale 0.05 -chaos-delay 0.1 -chaos-delay-for 20ms]
-//	    [-estimate-addr 127.0.0.1:0]
+//	    [-estimate-addr 127.0.0.1:0] [-debug-addr 127.0.0.1:0]
 //
 // The -chaos-* flags deterministically inject network faults into this
 // worker's RPCs (dropped, delayed, duplicated, and stale-attempt
@@ -16,7 +16,13 @@
 // sweep result stays bitwise identical to a fault-free run. -estimate-addr
 // additionally serves this worker's hardware backend over HTTP
 // (hw.EstimateHandler) so it can double as a cost-model fleet node for
-// hw.RemoteBackend clients.
+// hw.RemoteBackend clients, and -debug-addr serves the worker's live metrics
+// (including /debug/prometheus in text exposition format).
+//
+// When the coordinator runs with telemetry on, the worker also ships its
+// evaluation spans and metrics snapshots back piggybacked on its existing
+// RPCs, so the coordinator's merged trace and /grid/v1/fleet endpoint show
+// this worker's lane.
 //
 // The worker exits 0 when the coordinator reports the sweep done, and
 // non-zero when the coordinator stays unreachable.
@@ -55,6 +61,7 @@ func main() {
 	chaosDelay := flag.Float64("chaos-delay", 0, "probability an RPC is delayed")
 	chaosDelayFor := flag.Duration("chaos-delay-for", 20*time.Millisecond, "injected RPC delay duration")
 	estimateAddr := flag.String("estimate-addr", "", "also serve this worker's hw backend over HTTP on this address")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics, /debug/prometheus, expvar, and pprof on this HTTP address")
 	flag.Parse()
 
 	if *coordinator == "" {
@@ -77,6 +84,18 @@ func main() {
 		}
 	}
 
+	observer := &obs.Observer{Metrics: obs.NewRegistry()}
+
+	if *debugAddr != "" {
+		addr, stopDbg, err := obs.ServeDebug(*debugAddr, observer.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridworker:", err)
+			os.Exit(1)
+		}
+		defer stopDbg() //nolint:errcheck // best-effort shutdown
+		fmt.Fprintf(os.Stderr, "gridworker: debug endpoint on http://%s/debug/prometheus\n", addr)
+	}
+
 	if *estimateAddr != "" {
 		// A fixed mid-grid accelerator config: the wire workload carries the
 		// network recipe, and this node prices it on this configuration.
@@ -94,7 +113,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "gridworker: estimate backend on http://%s\n", ln.Addr())
 		srv := &http.Server{Handler: http.NewServeMux()}
-		srv.Handler.(*http.ServeMux).Handle("/grid/v1/estimate", hw.EstimateHandler(backend))
+		srv.Handler.(*http.ServeMux).Handle("/grid/v1/estimate", hw.ObservedEstimateHandler(backend, observer))
 		go srv.Serve(ln) //nolint:errcheck // closed with the process
 		defer srv.Close()
 	}
@@ -107,7 +126,7 @@ func main() {
 		Heartbeat: *heartbeat,
 		Poll:      *poll,
 		Net:       net_,
-		Obs:       &obs.Observer{Metrics: obs.NewRegistry()},
+		Obs:       observer,
 	})
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "gridworker:", err)

@@ -99,6 +99,19 @@ type job struct {
 	sp        *obs.Span
 }
 
+// workerState is the coordinator's per-worker bookkeeping: trace lane,
+// telemetry sequencing, and attribution counters for the fleet endpoint and
+// the run manifest.
+type workerState struct {
+	pid      int // merged-trace lane (2, 3, ... — coordinator is 1)
+	lastSeen time.Time
+	accepted int64
+	steals   int64
+	reclaims int64
+	busy     time.Duration // sum over accepted results of delivery - grant
+	spanSeq  int64         // highest ingested span sequence number
+}
+
 // Coordinator owns a sweep's job table and serves the grid wire protocol.
 // It plugs into the search engine as an evaluation delegate (dse
 // Request.Delegate = c.Evaluate): the optimizer loop stays single-process
@@ -113,12 +126,15 @@ type Coordinator struct {
 	nextID      int64
 	closed      bool
 	lastReclaim time.Time
+	workers     map[string]*workerState
 
 	delivered *memo.Store[int64, uint32]
+	fleet     *obs.Fleet
 
-	cJobs, cJobsDone, cJobsFailed            *obs.Counter
-	cGranted, cExpired, cStolen, cRenewed    *obs.Counter
-	cAccepted, cDuplicate, cStale, cCRCError *obs.Counter
+	cJobs, cJobsDone, cJobsFailed, cExhausted *obs.Counter
+	cGranted, cExpired, cStolen, cRenewed     *obs.Counter
+	cAccepted, cDuplicate, cStale, cCRCError  *obs.Counter
+	cMergeSkipped                             *obs.Counter
 }
 
 // NewCoordinator builds a coordinator for one sweep of the given (normalized)
@@ -130,15 +146,18 @@ func NewCoordinator(req api.CoDesignRequest, cfg Config) *Coordinator {
 		counters = memo.RegistryCounters(cfg.Obs.Metrics, "grid.delivered")
 	}
 	o := cfg.Obs
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:       cfg,
 		req:       req.Normalized(),
 		jobs:      make(map[int64]*job),
+		workers:   make(map[string]*workerState),
 		delivered: memo.New[int64, uint32](1<<14, counters),
+		fleet:     obs.NewFleet(),
 
 		cJobs:       o.Counter("grid.jobs.submitted"),
 		cJobsDone:   o.Counter("grid.jobs.completed"),
 		cJobsFailed: o.Counter("grid.jobs.failed"),
+		cExhausted:  o.Counter("grid.jobs.exhausted"),
 		cGranted:    o.Counter("grid.lease.granted"),
 		cExpired:    o.Counter("grid.lease.expired"),
 		cStolen:     o.Counter("grid.lease.stolen"),
@@ -147,7 +166,65 @@ func NewCoordinator(req api.CoDesignRequest, cfg Config) *Coordinator {
 		cDuplicate:  o.Counter("grid.result.duplicate"),
 		cStale:      o.Counter("grid.result.stale"),
 		cCRCError:   o.Counter("grid.result.crc_error"),
+
+		cMergeSkipped: o.Counter("grid.fleet.merge_skipped"),
 	}
+	c.tracer().SetProcessName(obs.LocalPID, "coordinator")
+	return c
+}
+
+// tracer returns the coordinator's tracer; nil when tracing is off (every
+// tracer method no-ops on nil).
+func (c *Coordinator) tracer() *obs.Tracer {
+	if c.cfg.Obs == nil {
+		return nil
+	}
+	return c.cfg.Obs.Trace
+}
+
+// telemetryOn reports whether this coordinator ingests telemetry attachments
+// — advertised in hello so untelemetered sweeps ship (and allocate) nothing.
+func (c *Coordinator) telemetryOn() bool {
+	return c.cfg.Obs != nil && (c.cfg.Obs.Trace != nil || c.cfg.Obs.Metrics != nil)
+}
+
+// workerStateLocked returns (creating on first sight) the worker's state.
+// First sight assigns the worker the next free trace pid lane and names it
+// in the merged trace; callers that represent a real contact from the worker
+// update lastSeen themselves. Callers hold c.mu.
+func (c *Coordinator) workerStateLocked(id string) *workerState {
+	ws := c.workers[id]
+	if ws == nil {
+		ws = &workerState{pid: obs.LocalPID + 1 + len(c.workers)}
+		c.workers[id] = ws
+		c.tracer().SetProcessName(ws.pid, "worker "+id)
+	}
+	return ws
+}
+
+// ingestLocked merges one RPC's telemetry attachment: spans above the
+// worker's acknowledged sequence go to the tracer on the worker's pid lane,
+// and the metrics snapshot (latest sequence wins) replaces the worker's
+// entry in the fleet registry, counting — not dropping — any instrument
+// whose histogram layout disagrees. Returns the new span acknowledgment.
+// Callers hold c.mu.
+func (c *Coordinator) ingestLocked(ws *workerState, worker string, t *TelemetryAttachment) int64 {
+	if t == nil {
+		return ws.spanSeq
+	}
+	var fresh []obs.WireSpan
+	for _, s := range t.Spans {
+		if s.Seq > ws.spanSeq {
+			ws.spanSeq = s.Seq
+			fresh = append(fresh, s)
+		}
+	}
+	c.tracer().Ingest(ws.pid, fresh...)
+	if t.Metrics != nil && t.MetricsSeq > 0 {
+		skipped := c.fleet.Update(worker, t.MetricsSeq, *t.Metrics)
+		c.cMergeSkipped.Add(int64(len(skipped)))
+	}
+	return ws.spanSeq
 }
 
 // Evaluate is the sweep's evaluation delegate: it turns one design into a
@@ -237,10 +314,29 @@ func (c *Coordinator) reclaimLocked(now time.Time) {
 			if now.After(l.deadline) {
 				delete(j.leases, a)
 				c.cExpired.Inc()
+				ws := c.workerStateLocked(l.worker)
+				ws.reclaims++
+				// The holder died (or went silent) without shipping the
+				// evaluation span, so the merged trace would show nothing on
+				// its lane for this attempt. Close the orphan explicitly with
+				// a typed annotation — the trace stays well-formed because
+				// only completed spans ever enter it.
+				c.tracer().Ingest(ws.pid, obs.WireSpan{
+					Name: fmt.Sprintf("orphan job %d", j.id), Cat: "grid", TID: j.id,
+					StartUnixNano: l.granted.UnixNano(),
+					DurNanos:      now.Sub(l.granted).Nanoseconds(),
+					Parent:        j.sp.Context(),
+					Args: map[string]string{
+						"reason":  "lease-expired",
+						"worker":  l.worker,
+						"attempt": fmt.Sprintf("%d", a),
+					},
+				})
 			}
 		}
 		if len(j.leases) == 0 && !j.queued {
 			if j.next >= c.cfg.MaxAttempts {
+				c.cExhausted.Inc()
 				c.completeLocked(j, dse.Evaluated{}, fmt.Errorf(
 					"grid: job %d (%s) exhausted %d lease attempts", j.id, j.design, j.next))
 				continue
@@ -264,6 +360,7 @@ func (c *Coordinator) grantLocked(j *job, worker string, now time.Time) Job {
 		Seed:    fault.AttemptSeed(j.seed, a),
 		Attempt: a,
 		LeaseMS: c.cfg.LeaseTTL.Milliseconds(),
+		Parent:  j.sp.Context(),
 	}
 }
 
@@ -276,8 +373,11 @@ func (c *Coordinator) lease(req LeaseRequest) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reclaimLocked(now)
+	ws := c.workerStateLocked(req.Worker)
+	ws.lastSeen = now
+	ack := c.ingestLocked(ws, req.Worker, req.Telemetry)
 	if c.closed {
-		return LeaseResponse{Done: true}
+		return LeaseResponse{Done: true, SpanAck: ack}
 	}
 	max := req.Max
 	if max <= 0 || max > c.cfg.BatchSize {
@@ -318,12 +418,13 @@ func (c *Coordinator) lease(req LeaseRequest) LeaseResponse {
 			}
 			jobs = append(jobs, c.grantLocked(j, req.Worker, now))
 			c.cStolen.Inc()
+			ws.steals++
 		}
 	}
 	if len(jobs) == 0 {
-		return LeaseResponse{WaitMS: 50}
+		return LeaseResponse{WaitMS: 50, SpanAck: ack}
 	}
-	return LeaseResponse{Jobs: jobs}
+	return LeaseResponse{Jobs: jobs, SpanAck: ack}
 }
 
 // outstandingLocked returns incomplete, unqueued, currently-leased jobs in
@@ -348,7 +449,9 @@ func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reclaimLocked(now)
-	resp := HeartbeatResponse{Done: c.closed}
+	ws := c.workerStateLocked(req.Worker)
+	ws.lastSeen = now
+	resp := HeartbeatResponse{Done: c.closed, SpanAck: c.ingestLocked(ws, req.Worker, req.Telemetry)}
 	for _, id := range req.Jobs {
 		j := c.jobs[id]
 		if j == nil || j.completed {
@@ -379,43 +482,150 @@ func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 // job on first valid delivery — which is what makes duplicate leases (steals)
 // and at-least-once posting safe.
 func (c *Coordinator) result(p ResultPost) ResultResponse {
+	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Telemetry ingests before arbitration: a stale or duplicate delivery is
+	// still a live worker shipping real spans and metrics.
+	ws := c.workerStateLocked(p.Worker)
+	ws.lastSeen = now
+	ack := c.ingestLocked(ws, p.Worker, p.Telemetry)
 	j := c.jobs[p.Job]
 	if j == nil {
 		c.cStale.Inc()
-		return ResultResponse{Stale: true, Done: c.closed}
+		return ResultResponse{Stale: true, Done: c.closed, SpanAck: ack}
 	}
 	if w, ok := j.issued[p.Attempt]; !ok || w != p.Worker {
 		c.cStale.Inc()
-		return ResultResponse{Stale: true, Done: c.closed}
+		return ResultResponse{Stale: true, Done: c.closed, SpanAck: ack}
 	}
 	if _, dup := c.delivered.Get(p.Job); dup || j.completed {
 		c.cDuplicate.Inc()
-		return ResultResponse{Accepted: true, Duplicate: true, Done: c.closed}
+		return ResultResponse{Accepted: true, Duplicate: true, Done: c.closed, SpanAck: ack}
 	}
 	if p.Error != nil {
 		c.delivered.Put(p.Job, 0)
 		c.cAccepted.Inc()
+		c.attributeLocked(ws, j, p.Attempt, now)
 		c.completeLocked(j, dse.Evaluated{}, p.Error.reconstruct())
-		return ResultResponse{Accepted: true, Done: c.closed}
+		return ResultResponse{Accepted: true, Done: c.closed, SpanAck: ack}
 	}
 	if Checksum(p.Result) != p.CRC {
 		// A corrupt payload is dropped, not fatal: the lease stays
 		// outstanding, so the job is re-delivered or reclaimed like any
 		// other lost attempt.
 		c.cCRCError.Inc()
-		return ResultResponse{Done: c.closed}
+		return ResultResponse{Done: c.closed, SpanAck: ack}
 	}
 	var e dse.Evaluated
 	if err := json.Unmarshal(p.Result, &e); err != nil {
 		c.cCRCError.Inc()
-		return ResultResponse{Done: c.closed}
+		return ResultResponse{Done: c.closed, SpanAck: ack}
 	}
 	c.delivered.Put(p.Job, p.CRC)
 	c.cAccepted.Inc()
+	c.attributeLocked(ws, j, p.Attempt, now)
 	c.completeLocked(j, e, nil)
-	return ResultResponse{Accepted: true, Done: c.closed}
+	return ResultResponse{Accepted: true, Done: c.closed, SpanAck: ack}
+}
+
+// attributeLocked credits an accepted delivery to its worker: one job, plus
+// coordinator-clock wall time from the winning attempt's lease grant to
+// delivery. Callers hold c.mu.
+func (c *Coordinator) attributeLocked(ws *workerState, j *job, attempt int, now time.Time) {
+	ws.accepted++
+	if l, ok := j.leases[attempt]; ok {
+		ws.busy += now.Sub(l.granted)
+	}
+}
+
+// fleetStatus snapshots the coordinator's view of the fleet for the
+// /grid/v1/fleet endpoint.
+func (c *Coordinator) fleetStatus() FleetResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp := FleetResponse{
+		Workers:       []FleetWorkerStatus{},
+		JobsSubmitted: c.cJobs.Value(),
+		JobsCompleted: c.cJobsDone.Value(),
+		JobsFailed:    c.cJobsFailed.Value(),
+		JobsExhausted: c.cExhausted.Value(),
+		Pending:       len(c.pending),
+		MergeSkipped:  c.fleet.Skipped(),
+	}
+	active := map[string]int{}
+	oldest := map[string]time.Time{}
+	for _, j := range c.jobs {
+		if j.completed {
+			continue
+		}
+		for _, l := range j.leases {
+			active[l.worker]++
+			if t, ok := oldest[l.worker]; !ok || l.granted.Before(t) {
+				oldest[l.worker] = l.granted
+			}
+		}
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := c.workers[id]
+		st := FleetWorkerStatus{
+			ID: id, PID: ws.pid,
+			LastSeenMS:   now.Sub(ws.lastSeen).Milliseconds(),
+			Jobs:         ws.accepted,
+			Steals:       ws.steals,
+			Reclaims:     ws.reclaims,
+			ActiveLeases: active[id],
+			BusySec:      ws.busy.Seconds(),
+		}
+		if t, ok := oldest[id]; ok {
+			st.OldestLeaseMS = now.Sub(t).Milliseconds()
+		}
+		if snap, _, ok := c.fleet.Worker(id); ok {
+			st.Metrics = snap
+		}
+		resp.Workers = append(resp.Workers, st)
+	}
+	return resp
+}
+
+// Fleet exposes the coordinator's federated worker-metrics registry — what
+// a serving process merges into its Prometheus exposition.
+func (c *Coordinator) Fleet() *obs.Fleet { return c.fleet }
+
+// Manifest summarizes the sweep's grid topology for the run manifest: totals
+// plus the per-worker attribution table, sorted by worker id.
+func (c *Coordinator) Manifest() *obs.GridManifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &obs.GridManifest{
+		JobsSubmitted: c.cJobs.Value(),
+		JobsCompleted: c.cJobsDone.Value(),
+		JobsFailed:    c.cJobsFailed.Value(),
+		JobsExhausted: c.cExhausted.Value(),
+		MergeSkipped:  c.fleet.Skipped(),
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := c.workers[id]
+		m.Workers = append(m.Workers, obs.GridWorkerManifest{
+			ID: id, PID: ws.pid,
+			Jobs:     ws.accepted,
+			Steals:   ws.steals,
+			Reclaims: ws.reclaims,
+			BusySec:  ws.busy.Seconds(),
+		})
+	}
+	return m
 }
 
 // Handler serves the grid wire protocol.
@@ -427,7 +637,18 @@ func (c *Coordinator) Handler() http.Handler {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, http.StatusOK, HelloResponse{Version: ProtocolVersion, Request: c.req})
+		writeJSON(w, http.StatusOK, HelloResponse{
+			Version: ProtocolVersion, Request: c.req,
+			NowUnixNano: time.Now().UnixNano(), Telemetry: c.telemetryOn(),
+		})
+	})
+	mux.HandleFunc(PathFleet, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.fleetStatus())
 	})
 	mux.Handle(PathLease, postJSON(func(req LeaseRequest) LeaseResponse { return c.lease(req) }))
 	mux.Handle(PathHeartbeat, postJSON(func(req HeartbeatRequest) HeartbeatResponse { return c.heartbeat(req) }))

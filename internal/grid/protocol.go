@@ -29,11 +29,14 @@ import (
 	"autopilot/internal/catalog"
 	"autopilot/internal/dse"
 	"autopilot/internal/fault"
+	"autopilot/internal/obs"
 )
 
 // ProtocolVersion is the coordinator/worker wire-protocol version; a worker
-// refuses to join a coordinator speaking a different one.
-const ProtocolVersion = 1
+// refuses to join a coordinator speaking a different one. Version 2 added
+// fleet telemetry: span contexts on leases, telemetry attachments with
+// sequence-acked span shipping, and the /grid/v1/fleet endpoint.
+const ProtocolVersion = 2
 
 // Wire paths under the coordinator's mux.
 const (
@@ -41,20 +44,42 @@ const (
 	PathLease     = "/grid/v1/lease"
 	PathHeartbeat = "/grid/v1/heartbeat"
 	PathResult    = "/grid/v1/result"
+	PathFleet     = "/grid/v1/fleet"
 )
 
 // HelloResponse is the coordinator's self-description: the protocol version
 // and the normalized co-design request, from which a worker rebuilds the
-// exact evaluator a local run would have used.
+// exact evaluator a local run would have used. NowUnixNano is the
+// coordinator's wall clock at response time — workers derive a clock offset
+// from it so the spans they ship are stamped on the coordinator's clock —
+// and Telemetry tells workers whether the coordinator ingests telemetry
+// attachments at all (when false, workers buffer and ship nothing, keeping
+// the no-op path allocation-free).
 type HelloResponse struct {
-	Version int                 `json:"version"`
-	Request api.CoDesignRequest `json:"request"`
+	Version     int                 `json:"version"`
+	Request     api.CoDesignRequest `json:"request"`
+	NowUnixNano int64               `json:"now_unix_nano,omitempty"`
+	Telemetry   bool                `json:"telemetry,omitempty"`
+}
+
+// TelemetryAttachment piggybacks fleet telemetry on the RPCs workers already
+// send — no extra requests, so RPC chaos keys and golden output are
+// untouched. Spans are the worker's entire unacknowledged buffer (the
+// receiver deduplicates by Seq and acknowledges, so at-least-once delivery
+// cannot double-ingest); Metrics is a full cumulative registry snapshot
+// ordered by MetricsSeq (latest wins, so duplicated or reordered heartbeats
+// cannot double-count).
+type TelemetryAttachment struct {
+	Spans      []obs.WireSpan `json:"spans,omitempty"`
+	MetricsSeq int64          `json:"metrics_seq,omitempty"`
+	Metrics    *obs.Snapshot  `json:"metrics,omitempty"`
 }
 
 // LeaseRequest asks for up to Max jobs on behalf of a worker.
 type LeaseRequest struct {
-	Worker string `json:"worker"`
-	Max    int    `json:"max,omitempty"`
+	Worker    string               `json:"worker"`
+	Max       int                  `json:"max,omitempty"`
+	Telemetry *TelemetryAttachment `json:"telemetry,omitempty"`
 }
 
 // Job is one leased design evaluation. Seed is the attempt-keyed chaos seed
@@ -66,29 +91,36 @@ type Job struct {
 	Seed    int64           `json:"seed"`
 	Attempt int             `json:"attempt"`
 	LeaseMS int64           `json:"lease_ms"`
+	// Parent is the coordinator-side span this evaluation belongs to, so the
+	// worker's spans nest under it in the merged trace. Zero when untraced.
+	Parent obs.SpanContext `json:"parent,omitempty"`
 }
 
 // LeaseResponse grants jobs, or — when none are available — tells the worker
 // how long to back off before asking again. Done means the sweep is over and
-// the worker should exit.
+// the worker should exit. SpanAck acknowledges every shipped span with
+// Seq <= SpanAck so the worker can prune its buffer.
 type LeaseResponse struct {
-	Jobs   []Job `json:"jobs,omitempty"`
-	Done   bool  `json:"done,omitempty"`
-	WaitMS int64 `json:"wait_ms,omitempty"`
+	Jobs    []Job `json:"jobs,omitempty"`
+	Done    bool  `json:"done,omitempty"`
+	WaitMS  int64 `json:"wait_ms,omitempty"`
+	SpanAck int64 `json:"span_ack,omitempty"`
 }
 
 // HeartbeatRequest renews every lease the worker holds on the listed jobs.
 type HeartbeatRequest struct {
-	Worker string  `json:"worker"`
-	Jobs   []int64 `json:"jobs,omitempty"`
+	Worker    string               `json:"worker"`
+	Jobs      []int64              `json:"jobs,omitempty"`
+	Telemetry *TelemetryAttachment `json:"telemetry,omitempty"`
 }
 
 // HeartbeatResponse reports leases the worker no longer holds (reclaimed or
 // completed elsewhere — the worker should stop working on them) and whether
 // the sweep is over.
 type HeartbeatResponse struct {
-	Done bool    `json:"done,omitempty"`
-	Drop []int64 `json:"drop,omitempty"`
+	Done    bool    `json:"done,omitempty"`
+	Drop    []int64 `json:"drop,omitempty"`
+	SpanAck int64   `json:"span_ack,omitempty"`
 }
 
 // WireInfeasible carries a typed catalog.InfeasibleError verdict across the
@@ -110,12 +142,13 @@ type WireError struct {
 // ResultPost delivers one attempt's outcome. Exactly one of Result/Error is
 // set; CRC covers the Result payload bytes.
 type ResultPost struct {
-	Worker  string          `json:"worker"`
-	Job     int64           `json:"job"`
-	Attempt int             `json:"attempt"`
-	CRC     uint32          `json:"crc,omitempty"`
-	Result  json.RawMessage `json:"result,omitempty"`
-	Error   *WireError      `json:"error,omitempty"`
+	Worker    string               `json:"worker"`
+	Job       int64                `json:"job"`
+	Attempt   int                  `json:"attempt"`
+	CRC       uint32               `json:"crc,omitempty"`
+	Result    json.RawMessage      `json:"result,omitempty"`
+	Error     *WireError           `json:"error,omitempty"`
+	Telemetry *TelemetryAttachment `json:"telemetry,omitempty"`
 }
 
 // ResultResponse acknowledges a delivery. Duplicate means the job was already
@@ -123,10 +156,47 @@ type ResultPost struct {
 // Stale means the (job, attempt, worker) triple never held a lease and the
 // delivery was rejected.
 type ResultResponse struct {
-	Accepted  bool `json:"accepted,omitempty"`
-	Duplicate bool `json:"duplicate,omitempty"`
-	Stale     bool `json:"stale,omitempty"`
-	Done      bool `json:"done,omitempty"`
+	Accepted  bool  `json:"accepted,omitempty"`
+	Duplicate bool  `json:"duplicate,omitempty"`
+	Stale     bool  `json:"stale,omitempty"`
+	Done      bool  `json:"done,omitempty"`
+	SpanAck   int64 `json:"span_ack,omitempty"`
+}
+
+// FleetWorkerStatus is one worker's row in the fleet health report.
+type FleetWorkerStatus struct {
+	ID string `json:"id"`
+	// PID is the worker's lane in the merged Chrome trace.
+	PID int `json:"pid"`
+	// LastSeenMS is milliseconds since the worker's last RPC.
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Jobs counts accepted result deliveries; Steals counts duplicate leases
+	// this worker took on stragglers; Reclaims counts this worker's leases
+	// that expired.
+	Jobs     int64 `json:"jobs"`
+	Steals   int64 `json:"steals,omitempty"`
+	Reclaims int64 `json:"reclaims,omitempty"`
+	// ActiveLeases and OldestLeaseMS describe the worker's current holdings.
+	ActiveLeases  int   `json:"active_leases,omitempty"`
+	OldestLeaseMS int64 `json:"oldest_lease_ms,omitempty"`
+	// BusySec is coordinator-clock wall time attributed to accepted results.
+	BusySec float64 `json:"busy_sec"`
+	// Metrics is the worker's latest federated registry snapshot (includes
+	// its estimate-latency histograms).
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// FleetResponse is the coordinator's /grid/v1/fleet health report.
+type FleetResponse struct {
+	Workers       []FleetWorkerStatus `json:"workers"`
+	JobsSubmitted int64               `json:"jobs_submitted"`
+	JobsCompleted int64               `json:"jobs_completed"`
+	JobsFailed    int64               `json:"jobs_failed"`
+	JobsExhausted int64               `json:"jobs_exhausted"`
+	Pending       int                 `json:"pending"`
+	// MergeSkipped counts worker metric instruments dropped from federation
+	// for histogram-layout mismatch (see obs.Fleet).
+	MergeSkipped int64 `json:"merge_skipped,omitempty"`
 }
 
 // JobSeed derives a job's chaos-seed base from its identity (the design's

@@ -1,0 +1,340 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autopilot/internal/dse"
+	"autopilot/internal/fault"
+	"autopilot/internal/obs"
+)
+
+// tEvent mirrors one Chrome trace_event object for assertions.
+type tEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// exportTrace round-trips a tracer through its JSON export.
+func exportTrace(t *testing.T, tr *obs.Tracer) []tEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []tEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	return file.TraceEvents
+}
+
+// checkTraceWellFormed pins the merged-trace invariants any run must keep:
+// only complete ("X") and metadata ("M") events, non-negative timestamps and
+// durations, and process names declared for every non-local pid in use.
+func checkTraceWellFormed(t *testing.T, evs []tEvent) map[int]string {
+	t.Helper()
+	procs := map[int]string{}
+	for _, e := range evs {
+		switch e.Ph {
+		case "M":
+			procs[e.PID] = e.Args["name"]
+		case "X":
+			if e.TS < 0 || e.Dur < 0 {
+				t.Errorf("event %q has negative time: ts=%v dur=%v", e.Name, e.TS, e.Dur)
+			}
+		default:
+			t.Errorf("event %q has phase %q, want X or M", e.Name, e.Ph)
+		}
+	}
+	for _, e := range evs {
+		if e.Ph == "X" && e.PID != obs.LocalPID {
+			if _, ok := procs[e.PID]; !ok {
+				t.Errorf("event %q on pid %d, which has no process_name", e.Name, e.PID)
+			}
+		}
+	}
+	return procs
+}
+
+// runGridTraced runs the sweep through a coordinator with full telemetry
+// (tracer + metrics) and n chaos-wrapped workers that each carry their own
+// metrics registry, returning everything the assertions need. The returned
+// fleet response was captured after all workers flushed but while the server
+// was still up.
+func runGridTraced(t *testing.T, chaos bool, n int) (*dse.Result, *Coordinator, *obs.Tracer, FleetResponse) {
+	t.Helper()
+	r := tinyRequest()
+	tr := obs.NewTracer()
+	cfg := Config{LeaseTTL: 2 * time.Second, MaxAttempts: 50,
+		Obs: &obs.Observer{Metrics: obs.NewRegistry(), Trace: tr}}
+	coord := NewCoordinator(r, cfg)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wc := WorkerConfig{
+			URL: ts.URL, ID: fmt.Sprintf("w%d", i), DB: surrogateDB(),
+			Poll: 5 * time.Millisecond,
+			Obs:  &obs.Observer{Metrics: obs.NewRegistry()},
+		}
+		if chaos {
+			// Dropped and duplicated RPCs exercise exactly the faults the
+			// seq-acked span shipping and latest-wins snapshots must absorb.
+			wc.Net = &fault.Injector{
+				Seed: 2000 + int64(i), DropRate: 0.15, DupRate: 0.10,
+				StaleRate: 0.10, DelayRate: 0.05, Delay: 2 * time.Millisecond,
+			}
+			wc.Heartbeat = 20 * time.Millisecond // many heartbeats to tamper with
+		}
+		wg.Add(1)
+		go func(wc WorkerConfig) {
+			defer wg.Done()
+			if err := Run(ctx, wc); err != nil && ctx.Err() == nil {
+				t.Errorf("worker %s: %v", wc.ID, err)
+			}
+		}(wc)
+	}
+
+	p2, err := r.Phase2Request(surrogateDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Delegate = coord.Evaluate
+	p2.Obs = cfg.Obs // as cmd/dse wires it: job spans parent the workers' spans
+	res, err := dse.Execute(context.Background(), p2)
+	coord.Close()
+	wg.Wait() // workers flush their final telemetry before the server closes
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + PathFleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fleet FleetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatalf("fleet endpoint: %v", err)
+	}
+	return res, coord, tr, fleet
+}
+
+// TestGridTelemetryBitwiseParity is the tentpole's golden-neutrality pin:
+// with cross-process tracing and metrics federation fully on, a 3-worker grid
+// sweep still reconverges bitwise to the uninstrumented single-process run.
+func TestGridTelemetryBitwiseParity(t *testing.T) {
+	want := render(runLocal(t, tinyRequest()))
+	res, _, _, _ := runGridTraced(t, false, 3)
+	if got := render(res); got != want {
+		t.Errorf("telemetry changed the frontier:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGridMergedTraceUnderChaos pins trace well-formedness when the RPCs
+// carrying telemetry are dropped, duplicated, delayed and stale-replayed: the
+// merged export stays valid, every worker that did jobs has its own named pid
+// lane with at least one evaluation span, and seq-deduplication keeps
+// re-delivered span batches from double-rendering.
+func TestGridMergedTraceUnderChaos(t *testing.T) {
+	want := render(runLocal(t, tinyRequest()))
+	res, coord, tr, _ := runGridTraced(t, true, 3)
+	if got := render(res); got != want {
+		t.Errorf("chaos + telemetry changed the frontier:\n%s\nwant:\n%s", got, want)
+	}
+
+	evs := exportTrace(t, tr)
+	procs := checkTraceWellFormed(t, evs)
+	if procs[obs.LocalPID] != "coordinator" {
+		t.Errorf("local pid named %q, want coordinator", procs[obs.LocalPID])
+	}
+
+	spansPerPID := map[int]int{}
+	dups := map[string]int{}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			continue
+		}
+		spansPerPID[e.PID]++
+		if e.PID != obs.LocalPID {
+			dups[fmt.Sprintf("%d/%s/%v", e.PID, e.Name, e.TS)]++
+		}
+	}
+	for key, n := range dups {
+		if n > 1 {
+			t.Errorf("span %s rendered %d times; duplicated delivery leaked past seq dedup", key, n)
+		}
+	}
+
+	// Every worker the coordinator attributed jobs to must own a trace lane
+	// with at least one shipped evaluation span.
+	m := coord.Manifest()
+	if len(m.Workers) == 0 {
+		t.Fatal("manifest names no workers")
+	}
+	for _, w := range m.Workers {
+		if w.Jobs == 0 {
+			continue
+		}
+		if procs[w.PID] != "worker "+w.ID {
+			t.Errorf("worker %s pid %d lane named %q", w.ID, w.PID, procs[w.PID])
+		}
+		if spansPerPID[w.PID] == 0 {
+			t.Errorf("worker %s (pid %d, %d jobs) shipped no spans", w.ID, w.PID, w.Jobs)
+		}
+	}
+}
+
+// TestGridOrphanSpanOnReclaim pins the killed-worker story: a worker that
+// leases a job and dies silently can never ship its span, so the coordinator
+// closes the hole itself — a synthesized, completed span on the dead worker's
+// lane annotated with the reclaim reason. The trace stays well-formed because
+// only completed spans ever enter it.
+func TestGridOrphanSpanOnReclaim(t *testing.T) {
+	req := tinyRequest()
+	tr := obs.NewTracer()
+	cfg := Config{LeaseTTL: 60 * time.Millisecond, MaxLeases: 1, MaxAttempts: 50,
+		Obs: &obs.Observer{Metrics: obs.NewRegistry(), Trace: tr}}
+	coord := NewCoordinator(req, cfg)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	p2, err := req.Phase2Request(surrogateDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Delegate = coord.Evaluate
+	p2.Obs = cfg.Obs
+	type out struct {
+		res *dse.Result
+		err error
+	}
+	resc := make(chan out, 1)
+	go func() {
+		res, err := dse.Execute(context.Background(), p2)
+		resc <- out{res, err}
+	}()
+
+	// The victim leases the first job and is never heard from again — the
+	// in-test stand-in for SIGKILL.
+	captureFirstJob(t, coord, "victim")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(ctx, WorkerConfig{URL: ts.URL, ID: "healthy", DB: surrogateDB(), Poll: 5 * time.Millisecond}) //nolint:errcheck
+	}()
+
+	o := <-resc
+	coord.Close()
+	cancel()
+	wg.Wait()
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+
+	evs := exportTrace(t, tr)
+	procs := checkTraceWellFormed(t, evs)
+	var orphan *tEvent
+	for i, e := range evs {
+		if e.Ph == "X" && strings.HasPrefix(e.Name, "orphan job ") {
+			orphan = &evs[i]
+			break
+		}
+	}
+	if orphan == nil {
+		t.Fatal("no orphan span for the dead worker's reclaimed lease")
+	}
+	if orphan.Args["reason"] != "lease-expired" || orphan.Args["worker"] != "victim" {
+		t.Errorf("orphan annotations = %v", orphan.Args)
+	}
+	if procs[orphan.PID] != "worker victim" {
+		t.Errorf("orphan on lane %q, want the dead worker's", procs[orphan.PID])
+	}
+	if orphan.Args["parent_span"] == "" {
+		t.Error("orphan span lost its parent job span")
+	}
+}
+
+// TestGridFleetEndpoint pins /grid/v1/fleet: after a sweep every worker shows
+// up with its job attribution, the totals reconcile, and the final flushed
+// metrics snapshots are queryable per worker.
+func TestGridFleetEndpoint(t *testing.T) {
+	_, coord, _, fleet := runGridTraced(t, false, 3)
+
+	if fleet.JobsCompleted == 0 || fleet.JobsSubmitted != fleet.JobsCompleted {
+		t.Errorf("submitted=%d completed=%d, want equal and non-zero", fleet.JobsSubmitted, fleet.JobsCompleted)
+	}
+	if fleet.Pending != 0 {
+		t.Errorf("pending = %d after Close", fleet.Pending)
+	}
+	if len(fleet.Workers) != 3 {
+		t.Fatalf("fleet reports %d workers, want 3: %+v", len(fleet.Workers), fleet.Workers)
+	}
+	var attributed int64
+	seen := map[string]bool{}
+	withMetrics := 0
+	for _, w := range fleet.Workers {
+		seen[w.ID] = true
+		attributed += w.Jobs
+		if w.LastSeenMS < 0 {
+			t.Errorf("worker %s last seen %dms ago", w.ID, w.LastSeenMS)
+		}
+		if w.ActiveLeases != 0 {
+			t.Errorf("worker %s still holds %d leases after the sweep", w.ID, w.ActiveLeases)
+		}
+		if len(w.Metrics.Counters) > 0 || len(w.Metrics.Histograms) > 0 {
+			withMetrics++
+		}
+	}
+	for _, id := range []string{"w0", "w1", "w2"} {
+		if !seen[id] {
+			t.Errorf("worker %s missing from fleet: %+v", id, fleet.Workers)
+		}
+	}
+	if attributed != fleet.JobsCompleted {
+		t.Errorf("per-worker jobs sum to %d, completed = %d", attributed, fleet.JobsCompleted)
+	}
+	if withMetrics == 0 {
+		t.Error("no worker's flushed metrics snapshot reached the fleet")
+	}
+
+	// The grid manifest mirrors the same attribution for -manifest output.
+	m := coord.Manifest()
+	if m.JobsCompleted != fleet.JobsCompleted {
+		t.Errorf("manifest completed = %d, fleet = %d", m.JobsCompleted, fleet.JobsCompleted)
+	}
+	var mJobs int64
+	for _, w := range m.Workers {
+		mJobs += w.Jobs
+		if w.Jobs > 0 && w.BusySec <= 0 {
+			t.Errorf("worker %s did %d jobs in %v busy-seconds", w.ID, w.Jobs, w.BusySec)
+		}
+	}
+	if mJobs != m.JobsCompleted {
+		t.Errorf("manifest jobs sum to %d, completed = %d", mJobs, m.JobsCompleted)
+	}
+}

@@ -58,6 +58,12 @@ type gridWorker struct {
 	ev     *dse.Evaluator
 	done   atomic.Bool
 
+	// buf holds completed evaluation spans awaiting shipment; nil when the
+	// coordinator's hello declared telemetry off, so untelemetered sweeps
+	// record and allocate nothing.
+	buf    *obs.SpanBuffer
+	telSeq atomic.Int64 // metrics snapshot sequence (latest wins)
+
 	mu   sync.Mutex
 	held map[int64]bool
 }
@@ -90,6 +96,12 @@ func Run(ctx context.Context, cfg WorkerConfig) error {
 		return fmt.Errorf("grid: worker %s: coordinator speaks protocol %d, want %d",
 			cfg.ID, hello.Version, ProtocolVersion)
 	}
+	if hello.Telemetry {
+		// Spans ship stamped on the coordinator's clock: the offset between
+		// the two wall clocks is learned here (one-shot, RTT ignored — trace
+		// alignment needs milliseconds, not microseconds).
+		w.buf = obs.NewSpanBuffer(hello.NowUnixNano - time.Now().UnixNano())
+	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 2 * time.Second
 		if g := hello.Request.Grid; g != nil && g.HeartbeatMS > 0 {
@@ -115,7 +127,47 @@ func Run(ctx context.Context, cfg WorkerConfig) error {
 	defer hbCancel()
 	go w.heartbeatLoop(hbCtx)
 
-	return w.leaseLoop(ctx)
+	err = w.leaseLoop(ctx)
+	hbCancel()
+	if err == nil {
+		w.flushTelemetry()
+	}
+	return err
+}
+
+// flushTelemetry makes one best-effort final shipment of buffered spans and
+// the closing metrics snapshot when the sweep ends cleanly. It bypasses the
+// chaos injector: the sweep's results are already delivered, so this RPC is
+// outside the deterministic surface and should not consume chaos decisions.
+func (w *gridWorker) flushTelemetry() {
+	t := w.attachment(true)
+	if t == nil {
+		return
+	}
+	var hr HeartbeatResponse
+	if err := w.post(PathHeartbeat, HeartbeatRequest{Worker: w.cfg.ID, Telemetry: t}, &hr); err == nil {
+		w.buf.Ack(hr.SpanAck)
+	}
+}
+
+// attachment assembles the telemetry to piggyback on an outgoing RPC: the
+// whole unacknowledged span buffer, plus (when withMetrics — the periodic
+// heartbeat path) a sequenced cumulative snapshot of the worker's registry.
+// Returns nil when there is nothing to ship, so untelemetered workers add
+// zero bytes to every request.
+func (w *gridWorker) attachment(withMetrics bool) *TelemetryAttachment {
+	if w.buf == nil {
+		return nil
+	}
+	t := &TelemetryAttachment{Spans: w.buf.Pending()}
+	if withMetrics && w.cfg.Obs != nil && w.cfg.Obs.Metrics != nil {
+		snap := w.cfg.Obs.Metrics.Snapshot()
+		t.Metrics, t.MetricsSeq = &snap, w.telSeq.Add(1)
+	}
+	if t.Metrics == nil && len(t.Spans) == 0 {
+		return nil
+	}
+	return t
 }
 
 // hello fetches the coordinator's self-description, waiting out the window
@@ -162,8 +214,9 @@ func (w *gridWorker) leaseLoop(ctx context.Context) error {
 		var lr LeaseResponse
 		key := fmt.Sprintf("lease|%s#%d", w.cfg.ID, seq)
 		seq++
+		req := LeaseRequest{Worker: w.cfg.ID, Max: w.cfg.Batch, Telemetry: w.attachment(false)}
 		err := w.cfg.Net.RPC(key, func() error {
-			return w.post(PathLease, LeaseRequest{Worker: w.cfg.ID, Max: w.cfg.Batch}, &lr)
+			return w.post(PathLease, req, &lr)
 		})
 		if err != nil {
 			failures++
@@ -174,6 +227,7 @@ func (w *gridWorker) leaseLoop(ctx context.Context) error {
 			continue
 		}
 		failures = 0
+		w.buf.Ack(lr.SpanAck)
 		if lr.Done {
 			return nil
 		}
@@ -214,12 +268,26 @@ func (w *gridWorker) runJob(ctx context.Context, jb Job) {
 		w.mu.Unlock()
 	}()
 
+	// The evaluation span lands on this worker's pid lane in the merged
+	// trace, parented to the coordinator's job span; tid = job id keeps one
+	// job's attempts on one row. It ships only after End — a worker killed
+	// mid-evaluation leaks nothing malformed, and the coordinator closes the
+	// orphan with a lease-expired annotation instead.
+	sp := w.buf.Start(fmt.Sprintf("eval job %d", jb.ID), "grid", jb.ID, jb.Parent).
+		Arg("worker", w.cfg.ID).
+		Arg("attempt", fmt.Sprintf("%d", jb.Attempt))
 	e, err := w.ev.EvaluateAttempt(ctx, jb.Design, jb.Attempt)
 	if ctx.Err() != nil {
 		// A cancelled evaluation is this worker dying, not an answer; leave
 		// the lease to expire and be re-issued elsewhere.
 		return
 	}
+	if err != nil {
+		sp.Arg("outcome", "error")
+	} else {
+		sp.Arg("outcome", "ok")
+	}
+	sp.End()
 	post := ResultPost{Worker: w.cfg.ID, Job: jb.ID, Attempt: jb.Attempt}
 	if err != nil {
 		post.Error = encodeError(err)
@@ -241,6 +309,10 @@ func (w *gridWorker) runJob(ctx context.Context, jb Job) {
 // forges a re-delivery tagged with the previous attempt rank to exercise the
 // coordinator's arbitration.
 func (w *gridWorker) deliver(ctx context.Context, jb Job, post ResultPost) {
+	// The just-completed evaluation span rides the delivery itself; re-sent
+	// deliveries re-ship the same sequence numbers, which the coordinator
+	// deduplicates before acknowledging.
+	post.Telemetry = w.attachment(false)
 	var rr ResultResponse
 	p := fault.Policy{Attempts: 6, BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
 	err := fault.Retry(ctx, p, func(ctx context.Context, attempt int) error {
@@ -250,6 +322,7 @@ func (w *gridWorker) deliver(ctx context.Context, jb Job, post ResultPost) {
 	if err != nil {
 		return // lease expires; the coordinator re-issues the job
 	}
+	w.buf.Ack(rr.SpanAck)
 	if rr.Done {
 		w.done.Store(true)
 	}
@@ -281,11 +354,13 @@ func (w *gridWorker) heartbeatLoop(ctx context.Context) {
 		var hr HeartbeatResponse
 		key := fmt.Sprintf("heartbeat|%s#%d", w.cfg.ID, seq)
 		seq++
+		req := HeartbeatRequest{Worker: w.cfg.ID, Jobs: ids, Telemetry: w.attachment(true)}
 		if err := w.cfg.Net.RPC(key, func() error {
-			return w.post(PathHeartbeat, HeartbeatRequest{Worker: w.cfg.ID, Jobs: ids}, &hr)
+			return w.post(PathHeartbeat, req, &hr)
 		}); err != nil {
 			continue // missed heartbeats are exactly what lease TTLs absorb
 		}
+		w.buf.Ack(hr.SpanAck)
 		if hr.Done {
 			w.done.Store(true)
 		}

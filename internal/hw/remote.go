@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
+	"autopilot/internal/obs"
 	"autopilot/internal/policy"
 )
 
@@ -25,13 +27,16 @@ import (
 // networks that did not come from policy.Build cannot be expressed remotely;
 // SPA workloads serialize their op count directly.
 
-// remoteWorkload is the wire form of a Workload.
+// remoteWorkload is the wire form of a Workload. Span carries the client's
+// span context so a telemetered estimate server can attribute its server-side
+// spans to the requesting sweep; it never affects the estimate.
 type remoteWorkload struct {
 	Name           string                 `json:"name"`
 	Kind           string                 `json:"kind"` // "network" | "spa"
 	Hyper          *policy.Hyper          `json:"hyper,omitempty"`
 	Template       *policy.TemplateConfig `json:"template,omitempty"`
 	OpsPerDecision float64                `json:"ops_per_decision,omitempty"`
+	Span           *obs.SpanContext       `json:"span,omitempty"`
 }
 
 // remoteError is the wire form of a backend failure.
@@ -43,11 +48,21 @@ type remoteError struct {
 // have been built by policy.Build (they carry their hyper/template recipe);
 // anything else is rejected before it can silently mis-serialize.
 func EncodeWorkload(w Workload) ([]byte, error) {
+	rw, err := encodeRemote(w)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rw)
+}
+
+// encodeRemote lowers a workload into the wire struct (shared by
+// EncodeWorkload and RemoteBackend, which stamps a span context on it).
+func encodeRemote(w Workload) (remoteWorkload, error) {
 	rw := remoteWorkload{Name: w.Name}
 	switch w.Kind {
 	case WorkloadNetwork:
 		if w.Net == nil {
-			return nil, fmt.Errorf("hw: remote: network workload %q has no network", w.Name)
+			return rw, fmt.Errorf("hw: remote: network workload %q has no network", w.Name)
 		}
 		rw.Kind = "network"
 		h, tmpl := w.Net.Hyper, w.Net.Template
@@ -56,21 +71,39 @@ func EncodeWorkload(w Workload) ([]byte, error) {
 		rw.Kind = "spa"
 		rw.OpsPerDecision = w.OpsPerDecision
 	default:
-		return nil, fmt.Errorf("hw: remote: unsupported workload kind %v", w.Kind)
+		return rw, fmt.Errorf("hw: remote: unsupported workload kind %v", w.Kind)
 	}
-	return json.Marshal(rw)
+	return rw, nil
 }
 
 // DecodeWorkload rebuilds a workload from its wire form, re-expanding network
 // recipes through policy.Build so the server-side workload is bit-identical
 // to the client's.
 func DecodeWorkload(data []byte) (Workload, error) {
+	w, _, err := DecodeWorkloadContext(data)
+	return w, err
+}
+
+// DecodeWorkloadContext is DecodeWorkload plus the requester's span context
+// (zero when the client sent none) — what an observed estimate server uses to
+// attribute its spans.
+func DecodeWorkloadContext(data []byte) (Workload, obs.SpanContext, error) {
 	var rw remoteWorkload
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rw); err != nil {
-		return Workload{}, fmt.Errorf("hw: remote: malformed workload: %w", err)
+		return Workload{}, obs.SpanContext{}, fmt.Errorf("hw: remote: malformed workload: %w", err)
 	}
+	var sc obs.SpanContext
+	if rw.Span != nil {
+		sc = *rw.Span
+	}
+	w, err := decodeRemote(rw)
+	return w, sc, err
+}
+
+// decodeRemote raises the wire struct back to a Workload.
+func decodeRemote(rw remoteWorkload) (Workload, error) {
 	switch rw.Kind {
 	case "network":
 		if rw.Hyper == nil || rw.Template == nil {
@@ -93,6 +126,31 @@ func DecodeWorkload(data []byte) (Workload, error) {
 // -request error (400). Mount it wherever the fleet listens, e.g.
 // mux.Handle("/grid/v1/estimate", hw.EstimateHandler(backend)).
 func EstimateHandler(b Backend) http.Handler {
+	return ObservedEstimateHandler(b, nil)
+}
+
+// ObservedEstimateHandler is EstimateHandler with server-side telemetry: each
+// estimate records a span (cat "hw") annotated with the workload name and the
+// requester's span context, plus latency and error counts in the observer's
+// registry. A nil observer serves identically to EstimateHandler.
+func ObservedEstimateHandler(b Backend, o *obs.Observer) http.Handler {
+	var (
+		mu      sync.Mutex
+		tr      *obs.Tracer
+		lat     *obs.Histogram
+		calls   *obs.Counter
+		errs    *obs.Counter
+		rootSet bool
+		root    *obs.Span
+	)
+	if o != nil {
+		tr = o.Trace
+		if o.Metrics != nil {
+			lat = o.Metrics.Histogram("hw.estimate.server_seconds", obs.LatencyBuckets)
+			calls = o.Metrics.Counter("hw.estimate.server_calls")
+			errs = o.Metrics.Counter("hw.estimate.server_errors")
+		}
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
@@ -104,13 +162,32 @@ func EstimateHandler(b Backend) http.Handler {
 			writeRemoteJSON(w, http.StatusBadRequest, remoteError{Error: err.Error()})
 			return
 		}
-		wl, err := DecodeWorkload(body)
+		wl, sc, err := DecodeWorkloadContext(body)
 		if err != nil {
+			errs.Inc()
 			writeRemoteJSON(w, http.StatusBadRequest, remoteError{Error: err.Error()})
 			return
 		}
+		// Server-side estimate spans fork off one long-lived root lane so
+		// concurrent estimates render side by side.
+		mu.Lock()
+		if !rootSet {
+			rootSet = true
+			root = tr.Span("estimate server", "hw")
+		}
+		sp := root.Fork("estimate "+wl.Name, "hw").Arg("workload", wl.Name)
+		mu.Unlock()
+		if sc.Valid() {
+			sp.Arg("parent_trace", fmt.Sprintf("%d", sc.Trace)).
+				Arg("parent_span", fmt.Sprintf("%d", sc.Span))
+		}
+		start := time.Now()
 		est, err := b.Estimate(wl)
+		lat.Observe(time.Since(start).Seconds())
+		calls.Inc()
+		sp.End()
 		if err != nil {
+			errs.Inc()
 			writeRemoteJSON(w, http.StatusUnprocessableEntity, remoteError{Error: err.Error()})
 			return
 		}
@@ -136,6 +213,10 @@ type RemoteBackend struct {
 	// Client is the HTTP client; nil uses a shared default with a 30s
 	// timeout.
 	Client *http.Client
+	// Context, when valid, is stamped on every estimate request so a
+	// telemetered estimate server attributes its spans to this sweep. It is
+	// excluded from cache keying and never affects the estimate.
+	Context obs.SpanContext
 }
 
 // defaultRemoteClient bounds remote estimates that would otherwise hang a
@@ -154,7 +235,15 @@ func (b RemoteBackend) Name() string {
 // distinguish transport faults (retryable by the caller's fault.Policy) from
 // the backend's own typed rejection (422, surfaced verbatim).
 func (b RemoteBackend) Estimate(w Workload) (Estimate, error) {
-	payload, err := EncodeWorkload(w)
+	rw, err := encodeRemote(w)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if b.Context.Valid() {
+		sc := b.Context
+		rw.Span = &sc
+	}
+	payload, err := json.Marshal(rw)
 	if err != nil {
 		return Estimate{}, err
 	}

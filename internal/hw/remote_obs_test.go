@@ -1,0 +1,132 @@
+package hw
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"autopilot/internal/obs"
+	"autopilot/internal/power"
+)
+
+// TestRemoteWorkloadSpanContextRoundTrip pins cross-process trace propagation
+// on the estimate wire: a RemoteBackend carrying a span context stamps it on
+// every workload it sends, the server decodes it intact, and a plain
+// EncodeWorkload (no context) decodes to the zero context.
+func TestRemoteWorkloadSpanContextRoundTrip(t *testing.T) {
+	want := obs.SpanContext{Trace: 777, Span: 42}
+
+	var (
+		mu  sync.Mutex
+		got []obs.SpanContext
+	)
+	local := SystolicBackend{Config: testConfig(), Power: power.Default()}
+	capture := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("read body: %v", err)
+		}
+		_, sc, err := DecodeWorkloadContext(body)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		mu.Lock()
+		got = append(got, sc)
+		mu.Unlock()
+		// Re-dispatch through the real handler so the client gets an estimate.
+		req := r.Clone(r.Context())
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		EstimateHandler(local).ServeHTTP(w, req)
+	})
+	ts := httptest.NewServer(capture)
+	defer ts.Close()
+
+	remote := RemoteBackend{URL: ts.URL, Context: want}
+	if _, err := remote.Estimate(SPAWorkload("spa", 1.75e9)); err != nil {
+		t.Fatal(err)
+	}
+	bare := RemoteBackend{URL: ts.URL}
+	if _, err := bare.Estimate(SPAWorkload("spa2", 1.75e9)); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("server saw %d workloads, want 2", len(got))
+	}
+	if got[0] != want {
+		t.Errorf("decoded context = %+v, want %+v", got[0], want)
+	}
+	if got[1].Valid() {
+		t.Errorf("context-free client leaked a context: %+v", got[1])
+	}
+
+	// The bytes EncodeWorkload emits stay context-free too.
+	data, err := EncodeWorkload(SPAWorkload("spa3", 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sc, err := DecodeWorkloadContext(data); err != nil || sc.Valid() {
+		t.Errorf("EncodeWorkload context = %+v err = %v, want zero and nil", sc, err)
+	}
+}
+
+// TestObservedEstimateHandler pins the server-side telemetry: estimates are
+// counted and timed in the observer's registry, each request records a span
+// annotated with the requester's context, and the served estimates stay
+// bitwise identical to the unobserved handler's.
+func TestObservedEstimateHandler(t *testing.T) {
+	local := SystolicBackend{Config: testConfig(), Power: power.Default()}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	ts := httptest.NewServer(ObservedEstimateHandler(local, &obs.Observer{Metrics: reg, Trace: tr}))
+	defer ts.Close()
+
+	sc := obs.SpanContext{Trace: 9, Span: 5}
+	remote := RemoteBackend{URL: ts.URL, Context: sc}
+	w := NetworkWorkload("L5F32", testNetwork(t))
+	got, err := remote.Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("observed estimate differs: %+v vs %+v", got, want)
+	}
+
+	if v := reg.Counter("hw.estimate.server_calls").Value(); v != 1 {
+		t.Errorf("server_calls = %d, want 1", v)
+	}
+	if v := reg.Counter("hw.estimate.server_errors").Value(); v != 0 {
+		t.Errorf("server_errors = %d, want 0", v)
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["hw.estimate.server_seconds"]; h.Count != 1 {
+		t.Errorf("server_seconds count = %d, want 1", h.Count)
+	}
+
+	// A malformed body counts as an error, not a span-less crash.
+	resp, err := http.Post(ts.URL, "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("malformed workload served 200")
+	}
+	if v := reg.Counter("hw.estimate.server_errors").Value(); v != 1 {
+		t.Errorf("server_errors = %d, want 1", v)
+	}
+
+	durs := tr.Durations("hw")
+	if len(durs) == 0 {
+		t.Fatal("observed handler recorded no hw spans")
+	}
+}

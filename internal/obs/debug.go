@@ -20,6 +20,9 @@ func DebugMux(r *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		r.WriteJSON(w)
 	})
+	mux.Handle("/debug/prometheus", PrometheusHandler(func() []Snapshot {
+		return []Snapshot{r.Snapshot()}
+	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -32,9 +35,10 @@ func DebugMux(r *Registry) *http.ServeMux {
 // ServeDebug starts the live-telemetry HTTP endpoint on addr and returns
 // the bound address (useful with ":0") and a close function. It serves:
 //
-//	/debug/metrics  the registry snapshot as JSON (live counters)
-//	/debug/vars     the standard expvar dump (memstats, cmdline)
-//	/debug/pprof/   the standard net/http/pprof handlers
+//	/debug/metrics     the registry snapshot as JSON (live counters)
+//	/debug/prometheus  the same snapshot in Prometheus text exposition 0.0.4
+//	/debug/vars        the standard expvar dump (memstats, cmdline)
+//	/debug/pprof/      the standard net/http/pprof handlers
 //
 // The server runs until closed. The returned close function is idempotent:
 // every call after the first is a no-op returning the first call's error,

@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the fleet half of the observability layer: the pieces that
+// let one coordinator process assemble a single attributable view of a sweep
+// sharded across workers.
+//
+//   - SpanContext serializes a live span's identity so a worker-side
+//     evaluation span can name the coordinator-side job span it belongs to;
+//   - SpanBuffer accumulates completed spans worker-side as WireSpans,
+//     stamped on the coordinator's clock and sequence-numbered so shipping
+//     them piggybacked on at-least-once RPCs (result posts, heartbeats)
+//     stays idempotent under drops and duplicates;
+//   - Fleet federates worker metrics snapshots coordinator-side: cumulative
+//     snapshots replace (never re-add) per worker, mismatched histogram
+//     layouts are skipped and counted per instrument instead of poisoning
+//     the worker's whole snapshot, and the merged or per-worker-labeled
+//     views feed /grid/v1/fleet and the Prometheus exposition.
+//
+// Everything here keeps the package's two core contracts: nil receivers
+// no-op with zero allocations, and nothing draws randomness or reorders
+// work, so fleet telemetry is bitwise-invisible to sweep results.
+
+// SpanContext is the serializable identity of a span, carried across process
+// boundaries so remote children can name their parent. The zero value means
+// "no parent" (tracing off).
+type SpanContext struct {
+	// Trace identifies the originating tracer, Span the span within it.
+	Trace uint64 `json:"trace,omitempty"`
+	Span  int64  `json:"span,omitempty"`
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Span != 0 }
+
+// Context returns the span's serializable identity; the zero SpanContext for
+// a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.tr.id, Span: s.id}
+}
+
+// WireSpan is one completed span in transit between processes. Start times
+// are wall-clock nanoseconds already aligned to the receiving tracer's clock
+// (the sender learned the offset at handshake), and Seq orders a sender's
+// spans so receivers can deduplicate at-least-once delivery.
+type WireSpan struct {
+	Seq           int64             `json:"seq"`
+	Name          string            `json:"name"`
+	Cat           string            `json:"cat,omitempty"`
+	TID           int64             `json:"tid,omitempty"`
+	StartUnixNano int64             `json:"start_unix_nano"`
+	DurNanos      int64             `json:"dur_nanos"`
+	Parent        SpanContext       `json:"parent,omitempty"`
+	Args          map[string]string `json:"args,omitempty"`
+}
+
+// maxBufferedSpans bounds a SpanBuffer that is never acknowledged (a
+// coordinator that stopped ingesting); the oldest spans are dropped first,
+// which degrades the trace but never the sweep.
+const maxBufferedSpans = 4096
+
+// SpanBuffer accumulates completed spans on a worker for piggybacked
+// shipping. A nil *SpanBuffer no-ops everywhere, so workers joined to an
+// untraced coordinator record nothing and allocate nothing.
+type SpanBuffer struct {
+	// offset converts this process's wall clock to the consumer's:
+	// consumerNow ≈ localNow + offset.
+	offset int64
+
+	mu      sync.Mutex
+	next    int64
+	pending []WireSpan
+	dropped int64
+}
+
+// NewSpanBuffer returns a buffer whose spans are stamped with the given
+// clock offset (consumer wall clock minus local wall clock, nanoseconds).
+func NewSpanBuffer(offsetNanos int64) *SpanBuffer {
+	return &SpanBuffer{offset: offsetNanos}
+}
+
+// RemoteSpan is one in-flight worker-side operation destined for a remote
+// trace. End completes it into the buffer; a nil *RemoteSpan no-ops.
+type RemoteSpan struct {
+	b      *SpanBuffer
+	name   string
+	cat    string
+	tid    int64
+	parent SpanContext
+	start  time.Time
+
+	mu    sync.Mutex
+	args  map[string]string
+	ended bool
+}
+
+// Start opens a span on the buffer. tid groups related spans onto one lane
+// in the merged trace (grid workers use the job id); parent names the
+// consumer-side span this work belongs to. Nil-safe.
+func (b *SpanBuffer) Start(name, cat string, tid int64, parent SpanContext) *RemoteSpan {
+	if b == nil {
+		return nil
+	}
+	return &RemoteSpan{b: b, name: name, cat: cat, tid: tid, parent: parent, start: time.Now()}
+}
+
+// Arg attaches a key/value annotation; nil-safe, chainable.
+func (r *RemoteSpan) Arg(k, v string) *RemoteSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.args == nil {
+		r.args = map[string]string{}
+	}
+	r.args[k] = v
+	r.mu.Unlock()
+	return r
+}
+
+// End completes the span into its buffer. Ending twice records once; ending
+// a nil span is a no-op.
+func (r *RemoteSpan) End() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.ended {
+		r.mu.Unlock()
+		return
+	}
+	r.ended = true
+	args := r.args
+	r.mu.Unlock()
+
+	end := time.Now()
+	b := r.b
+	b.mu.Lock()
+	b.next++
+	b.pending = append(b.pending, WireSpan{
+		Seq:           b.next,
+		Name:          r.name,
+		Cat:           r.cat,
+		TID:           r.tid,
+		StartUnixNano: r.start.UnixNano() + b.offset,
+		DurNanos:      end.Sub(r.start).Nanoseconds(),
+		Parent:        r.parent,
+		Args:          args,
+	})
+	if over := len(b.pending) - maxBufferedSpans; over > 0 {
+		b.pending = append(b.pending[:0:0], b.pending[over:]...)
+		b.dropped += int64(over)
+	}
+	b.mu.Unlock()
+}
+
+// Pending returns a copy of every unacknowledged span in sequence order.
+// Senders attach it to each outgoing RPC; because acknowledgment is by
+// sequence number, re-sending the same window under at-least-once delivery
+// is harmless. Nil-safe (returns nil).
+func (b *SpanBuffer) Pending() []WireSpan {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pending) == 0 {
+		return nil
+	}
+	return append([]WireSpan(nil), b.pending...)
+}
+
+// Ack discards buffered spans with Seq <= seq — the receiver has durably
+// ingested them. Nil-safe.
+func (b *SpanBuffer) Ack(seq int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	i := 0
+	for i < len(b.pending) && b.pending[i].Seq <= seq {
+		i++
+	}
+	if i > 0 {
+		b.pending = append(b.pending[:0:0], b.pending[i:]...)
+	}
+	b.mu.Unlock()
+}
+
+// Dropped reports spans lost to the buffer cap; 0 for a nil buffer.
+func (b *SpanBuffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Fleet federates worker metrics snapshots on the coordinator. Workers ship
+// cumulative Registry.Snapshot()s (idempotent under duplicated or dropped
+// heartbeats — the newest sequence number wins, nothing is re-added), and
+// the fleet serves merged and per-worker-labeled views of them.
+type Fleet struct {
+	mu      sync.Mutex
+	workers map[string]*fleetWorker
+	// layouts pins the first-seen bucket layout per histogram name; later
+	// snapshots disagreeing with it have that one instrument skipped.
+	layouts map[string][]float64
+	skipped int64
+}
+
+type fleetWorker struct {
+	snap Snapshot
+	seq  int64
+	last time.Time
+}
+
+// NewFleet returns an empty fleet registry.
+func NewFleet() *Fleet {
+	return &Fleet{workers: map[string]*fleetWorker{}, layouts: map[string][]float64{}}
+}
+
+// Update stores a worker's cumulative snapshot. seq orders a worker's
+// snapshots — stale (re-delivered or reordered) snapshots are ignored, so
+// at-least-once shipping cannot double-count. Histograms whose bucket layout
+// disagrees with the fleet's first-seen layout for that name are dropped
+// from the stored snapshot one instrument at a time and returned as typed
+// *MergeErrors (mirrored into Skipped), never failing the whole snapshot.
+// Nil-safe.
+func (f *Fleet) Update(worker string, seq int64, s Snapshot) []*MergeError {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := f.workers[worker]
+	if w == nil {
+		w = &fleetWorker{}
+		f.workers[worker] = w
+	}
+	w.last = time.Now()
+	if seq <= w.seq {
+		return nil
+	}
+	var skipped []*MergeError
+	for name, h := range s.Histograms {
+		layout, ok := f.layouts[name]
+		if !ok {
+			f.layouts[name] = append([]float64(nil), h.Bounds...)
+			continue
+		}
+		if err := boundsMismatch(layout, h.Bounds); err != nil {
+			err.Instrument = name
+			skipped = append(skipped, err)
+			delete(s.Histograms, name)
+		}
+	}
+	f.skipped += int64(len(skipped))
+	w.seq, w.snap = seq, s
+	return skipped
+}
+
+// boundsMismatch compares two bucket layouts, returning a typed error on the
+// first disagreement.
+func boundsMismatch(want, got []float64) *MergeError {
+	if len(want) != len(got) {
+		return &MergeError{Index: -1, WantBounds: len(want), GotBounds: len(got)}
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return &MergeError{Index: i, WantBounds: len(want), GotBounds: len(got), WantBound: want[i], GotBound: got[i]}
+		}
+	}
+	return nil
+}
+
+// Skipped reports the cumulative count of instrument snapshots skipped for
+// layout mismatch; 0 for a nil fleet.
+func (f *Fleet) Skipped() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.skipped
+}
+
+// Workers returns the known worker ids in sorted order.
+func (f *Fleet) Workers() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Worker returns a worker's latest snapshot and last-contact time.
+func (f *Fleet) Worker(id string) (Snapshot, time.Time, bool) {
+	if f == nil {
+		return Snapshot{}, time.Time{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return Snapshot{}, time.Time{}, false
+	}
+	return w.snap, w.last, true
+}
+
+// Merged returns the fleet-wide aggregate: counters and histogram series
+// summed across workers (histogram folding reuses the Histogram.Merge bucket
+// semantics via Snapshot.Merge), gauges per-worker-last-wins. Layout
+// mismatches were already pruned at Update, so the merge itself is total.
+func (f *Fleet) Merged() Snapshot {
+	if f == nil {
+		return Snapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out Snapshot
+	for _, id := range f.sortedLocked() {
+		out.Merge(f.workers[id].snap)
+	}
+	return out
+}
+
+// Labeled returns every worker's snapshot as one flat snapshot whose series
+// names carry a worker label ("name;worker=w1") — the form the Prometheus
+// encoder renders as {worker="w1"} label pairs.
+func (f *Fleet) Labeled() Snapshot {
+	if f == nil {
+		return Snapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out Snapshot
+	for _, id := range f.sortedLocked() {
+		snap := f.workers[id].snap
+		if len(snap.Counters) > 0 && out.Counters == nil {
+			out.Counters = map[string]int64{}
+		}
+		for name, v := range snap.Counters {
+			out.Counters[labelWorker(name, id)] = v
+		}
+		if len(snap.Gauges) > 0 && out.Gauges == nil {
+			out.Gauges = map[string]float64{}
+		}
+		for name, v := range snap.Gauges {
+			out.Gauges[labelWorker(name, id)] = v
+		}
+		if len(snap.Histograms) > 0 && out.Histograms == nil {
+			out.Histograms = map[string]HistogramSnapshot{}
+		}
+		for name, h := range snap.Histograms {
+			out.Histograms[labelWorker(name, id)] = h
+		}
+	}
+	return out
+}
+
+// labelWorker appends the worker label to a series name in the ";k=v" form
+// the exposition encoder understands.
+func labelWorker(name, worker string) string {
+	return fmt.Sprintf("%s;worker=%s", name, worker)
+}
+
+func (f *Fleet) sortedLocked() []string {
+	ids := make([]string, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

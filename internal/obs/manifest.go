@@ -42,6 +42,41 @@ type Manifest struct {
 	// Events records notable run occurrences (checkpoint quarantines,
 	// resume skips) in emission order.
 	Events []RunEvent `json:"events,omitempty"`
+
+	// Grid records distributed-sweep topology when the run sharded Phase 2
+	// across grid workers: which worker did what, and at what cost.
+	Grid *GridManifest `json:"grid,omitempty"`
+}
+
+// GridManifest is the manifest's record of one distributed sweep: fleet-wide
+// job accounting plus a per-worker attribution table.
+type GridManifest struct {
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed,omitempty"`
+	// JobsExhausted counts jobs that burned every retry attempt.
+	JobsExhausted int64 `json:"jobs_exhausted,omitempty"`
+	// MergeSkipped counts worker metric instruments dropped from federation
+	// for bucket-layout mismatch (see obs.Fleet).
+	MergeSkipped int64 `json:"merge_skipped,omitempty"`
+
+	Workers []GridWorkerManifest `json:"workers,omitempty"`
+}
+
+// GridWorkerManifest attributes one worker's share of a distributed sweep.
+type GridWorkerManifest struct {
+	ID string `json:"id"`
+	// PID is the worker's lane in the merged Chrome trace.
+	PID int `json:"pid,omitempty"`
+	// Jobs counts results this worker delivered and the coordinator accepted.
+	Jobs int64 `json:"jobs"`
+	// Steals counts leases this worker took over from a slower holder;
+	// Reclaims counts this worker's leases that expired and were reissued.
+	Steals   int64 `json:"steals,omitempty"`
+	Reclaims int64 `json:"reclaims,omitempty"`
+	// BusySec is coordinator-clock wall time attributed to this worker:
+	// the sum over accepted results of delivery minus lease grant.
+	BusySec float64 `json:"busy_sec"`
 }
 
 // FailureRecord mirrors a fault-layer failure into the manifest without

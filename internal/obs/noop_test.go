@@ -56,6 +56,9 @@ func TestNoopZeroAlloc(t *testing.T) {
 	var h *Histogram
 	var s *Span
 	var o *Observer
+	var b *SpanBuffer
+	var rs *RemoteSpan
+	var f *Fleet
 	ctx := context.Background()
 
 	cases := map[string]func(){
@@ -74,6 +77,14 @@ func TestNoopZeroAlloc(t *testing.T) {
 		"StartStep":       func() { StartStep(ctx, "s", "t").End() },
 		"StartJob":        func() { StartJob(ctx, "j", "t").End() },
 		"NewContext(nil)": func() { NewContext(ctx, nil) },
+		"buffer.Start":    func() { b.Start("s", "t", 0, SpanContext{}) },
+		"buffer.Pending":  func() { b.Pending() },
+		"buffer.Ack":      func() { b.Ack(1) },
+		"remoteSpan.Arg":  func() { rs.Arg("k", "v") },
+		"remoteSpan.End":  func() { rs.End() },
+		"span.Context":    func() { _ = s.Context() },
+		"fleet.Update":    func() { f.Update("w", 1, Snapshot{}) },
+		"fleet.Merged":    func() { _ = f.Merged() },
 	}
 	for name, fn := range cases {
 		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for Snapshots, stdlib
+// only. Series names are sanitized to the metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* (dots become underscores), and the ";k=v" label
+// suffixes obs.Fleet attaches ("hw.estimate_seconds;worker=w1") render as
+// label pairs ({worker="w1"}). Counters and gauges emit one sample each;
+// histograms emit the standard cumulative _bucket/_sum/_count family.
+
+// promContentType is the Content-Type the text exposition format declares.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promSample is one rendered sample line body (labels + value), grouped under
+// a family.
+type promSample struct {
+	suffix string // appended to the family name ("", "_bucket", ...)
+	labels string // rendered {...} block, "" for none
+	value  string
+}
+
+// promFamily is one metric family: every sample sharing a base name, emitted
+// under a single TYPE header.
+type promFamily struct {
+	typ     string
+	samples []promSample
+}
+
+// WritePrometheus renders the snapshots in Prometheus text exposition format
+// 0.0.4. Later snapshots append samples to the families of earlier ones, so
+// a process can expose its own registry alongside a fleet's per-worker
+// labeled series in one scrape.
+func WritePrometheus(w io.Writer, snaps ...Snapshot) error {
+	fams := map[string]*promFamily{}
+	family := func(name, typ string) (*promFamily, string) {
+		base, labels := splitSeries(name)
+		f, ok := fams[base]
+		if !ok {
+			f = &promFamily{typ: typ}
+			fams[base] = f
+		}
+		return f, labels
+	}
+	for _, s := range snaps {
+		for _, name := range sortedCounterNames(s.Counters) {
+			f, labels := family(name, "counter")
+			f.samples = append(f.samples, promSample{labels: labels, value: strconv.FormatInt(s.Counters[name], 10)})
+		}
+		for _, name := range sortedGaugeNames(s.Gauges) {
+			f, labels := family(name, "gauge")
+			f.samples = append(f.samples, promSample{labels: labels, value: formatPromValue(s.Gauges[name])})
+		}
+		for _, name := range sortedHistogramNames(s.Histograms) {
+			f, labels := family(name, "histogram")
+			h := s.Histograms[name]
+			cum := int64(0)
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatPromValue(h.Bounds[i])
+				}
+				f.samples = append(f.samples, promSample{
+					suffix: "_bucket",
+					labels: addLabel(labels, "le", le),
+					value:  strconv.FormatInt(cum, 10),
+				})
+			}
+			f.samples = append(f.samples,
+				promSample{suffix: "_sum", labels: labels, value: formatPromValue(h.Sum)},
+				promSample{suffix: "_count", labels: labels, value: strconv.FormatInt(h.Count, 10)})
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, smp := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", name, smp.suffix, smp.labels, smp.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the snapshots returned by snap on each scrape
+// with the exposition Content-Type.
+func PrometheusHandler(snap func() []Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		var snaps []Snapshot
+		if snap != nil {
+			snaps = snap()
+		}
+		_ = WritePrometheus(w, snaps...)
+	})
+}
+
+// splitSeries splits a registry series name into its sanitized metric name
+// and a rendered label block: "hw.estimate_seconds;worker=w1" becomes
+// ("hw_estimate_seconds", `{worker="w1"}`).
+func splitSeries(series string) (name, labels string) {
+	parts := strings.Split(series, ";")
+	name = sanitizeMetricName(parts[0])
+	if len(parts) == 1 {
+		return name, ""
+	}
+	var b strings.Builder
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", sanitizeLabelName(k), escapeLabelValue(v))
+	}
+	if b.Len() == 0 {
+		return name, ""
+	}
+	return name, "{" + b.String() + "}"
+}
+
+// addLabel inserts k=v into a rendered label block (possibly empty).
+func addLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, escapeLabelValue(v))
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// sanitizeMetricName maps a series name onto [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	s := sanitizeMetricName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// escapeLabelValue leaves the value ready for %q rendering — Go's quoting is
+// a superset of the exposition format's (\\, \", \n), so no extra work.
+func escapeLabelValue(v string) string { return v }
+
+// formatPromValue renders a float the way the exposition format expects,
+// including the +Inf/-Inf/NaN spellings.
+func formatPromValue(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v > 1.7976931348623157e308:
+		return "+Inf"
+	case v < -1.7976931348623157e308:
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedCounterNames(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedGaugeNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedHistogramNames(m map[string]HistogramSnapshot) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

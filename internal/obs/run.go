@@ -48,6 +48,7 @@ type Run struct {
 	seeds    map[string]int64
 	failures []FailureRecord
 	events   []RunEvent
+	grid     *GridManifest
 }
 
 // Start builds the run's observer from the parsed flags: the metrics
@@ -96,6 +97,13 @@ func (r *Run) AddFailures(fs ...FailureRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.failures = append(r.failures, fs...)
+}
+
+// SetGrid records the distributed-sweep topology section for the manifest.
+func (r *Run) SetGrid(g *GridManifest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.grid = g
 }
 
 // AddEvent records one notable run occurrence (checkpoint quarantine,
@@ -155,6 +163,7 @@ func (r *Run) Close(runErr error) error {
 			Phases:   r.Obs.Trace.Durations("phase"),
 			Metrics:  r.Obs.Metrics.Snapshot(),
 			Failures: r.failures, Events: r.events,
+			Grid: r.grid,
 		}
 		r.mu.Unlock()
 		if runErr != nil {

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -19,6 +21,9 @@ import (
 // a sweep at concurrency N renders as exactly N job rows under its phase.
 type Tracer struct {
 	base time.Time
+	// id identifies this tracer in serialized SpanContexts, so a worker can
+	// tell which coordinator trace a parent span belongs to.
+	id uint64
 
 	mu    sync.Mutex
 	spans []spanRecord
@@ -26,6 +31,12 @@ type Tracer struct {
 	// laneBase and are reused once their previous occupant ends.
 	roots int64
 	lanes []time.Duration // lane -> busy-until (laneForever while open)
+	// nextID numbers spans so a SpanContext can name its parent across
+	// process boundaries.
+	nextID int64
+	// procs names the non-default pid lanes remote span ingestion creates
+	// (pid -> process name, rendered as trace metadata).
+	procs map[int]string
 }
 
 // laneBase offsets forked job lanes away from root/step lanes so phase rows
@@ -35,10 +46,15 @@ const laneBase = 1000
 // laneForever marks a lane occupied by a still-open span.
 const laneForever = time.Duration(math.MaxInt64)
 
+// LocalPID is the trace pid of spans recorded in this process; remote span
+// ingestion places each worker on its own pid above it.
+const LocalPID = 1
+
 // spanRecord is one completed span.
 type spanRecord struct {
 	name  string
 	cat   string
+	pid   int // 0 renders as LocalPID
 	tid   int64
 	start time.Duration
 	dur   time.Duration
@@ -49,7 +65,8 @@ type spanArg struct{ k, v string }
 
 // NewTracer returns a tracer whose clock starts now.
 func NewTracer() *Tracer {
-	return &Tracer{base: time.Now()}
+	now := time.Now()
+	return &Tracer{base: now, id: uint64(now.UnixNano())}
 }
 
 // Span is one in-flight timed operation. End records it; a nil *Span no-ops
@@ -58,6 +75,7 @@ type Span struct {
 	tr    *Tracer
 	name  string
 	cat   string
+	id    int64
 	tid   int64
 	lane  int // forked lane index to release on End; -1 otherwise
 	start time.Duration
@@ -76,8 +94,10 @@ func (t *Tracer) Span(name, cat string) *Span {
 	t.mu.Lock()
 	t.roots++
 	tid := t.roots
+	t.nextID++
+	id := t.nextID
 	t.mu.Unlock()
-	return &Span{tr: t, name: name, cat: cat, tid: tid, lane: -1, start: start}
+	return &Span{tr: t, name: name, cat: cat, id: id, tid: tid, lane: -1, start: start}
 }
 
 // Child starts a span nested under s on the same lane — for sequential
@@ -86,7 +106,12 @@ func (s *Span) Child(name, cat string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{tr: s.tr, name: name, cat: cat, tid: s.tid, lane: -1, start: time.Since(s.tr.base)}
+	t := s.tr
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tr: t, name: name, cat: cat, id: id, tid: s.tid, lane: -1, start: time.Since(t.base)}
 }
 
 // Fork starts a span for work running concurrently with s's other children:
@@ -111,8 +136,10 @@ func (s *Span) Fork(name, cat string) *Span {
 		t.lanes = append(t.lanes, 0)
 	}
 	t.lanes[lane] = laneForever
+	t.nextID++
+	id := t.nextID
 	t.mu.Unlock()
-	return &Span{tr: t, name: name, cat: cat, tid: laneBase + int64(lane), lane: lane, start: start}
+	return &Span{tr: t, name: name, cat: cat, id: id, tid: laneBase + int64(lane), lane: lane, start: start}
 }
 
 // Arg attaches a key/value annotation rendered in the trace viewer's span
@@ -184,8 +211,80 @@ func (t *Tracer) Durations(cat string) []SpanDuration {
 	return out
 }
 
+// SetProcessName labels a trace pid lane (rendered as a process_name
+// metadata event), so a merged fleet trace shows "coordinator", "worker w1",
+// … instead of bare pid numbers. Nil-safe.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.procs == nil {
+		t.procs = map[int]string{}
+	}
+	t.procs[pid] = name
+	t.mu.Unlock()
+}
+
+// BaseUnixNano is the wall-clock instant of the tracer's time zero — the
+// reference remote spans (stamped in wall-clock nanoseconds) are converted
+// against when ingested. 0 for a nil tracer.
+func (t *Tracer) BaseUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.base.UnixNano()
+}
+
+// Ingest merges externally completed spans — shipped from another process as
+// WireSpans — into the trace on the given pid lane. Start times are wall
+// clock (the sender aligned them to the coordinator's clock at hello) and
+// convert to trace-relative offsets against the tracer's base; spans that
+// began before the trace did clamp to zero rather than rendering off-screen.
+// Nil-safe, so an untraced coordinator discards remote buffers for free.
+func (t *Tracer) Ingest(pid int, spans ...WireSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	base := t.base.UnixNano()
+	t.mu.Lock()
+	for _, ws := range spans {
+		rel := time.Duration(ws.StartUnixNano - base)
+		if rel < 0 {
+			rel = 0
+		}
+		var args []spanArg
+		if len(ws.Args) > 0 {
+			args = make([]spanArg, 0, len(ws.Args))
+			for _, k := range sortedKeys(ws.Args) {
+				args = append(args, spanArg{k: k, v: ws.Args[k]})
+			}
+		}
+		if ws.Parent.Span != 0 {
+			args = append(args, spanArg{k: "parent_span", v: fmt.Sprintf("%d", ws.Parent.Span)})
+		}
+		t.spans = append(t.spans, spanRecord{
+			name: ws.Name, cat: ws.Cat, pid: pid, tid: ws.TID,
+			start: rel, dur: time.Duration(ws.DurNanos), args: args,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// sortedKeys returns m's keys in sorted order so ingested args render
+// deterministically.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // traceEvent is one Chrome trace_event object. We emit complete ("X")
-// events: begin timestamp plus duration, both in microseconds.
+// events: begin timestamp plus duration, both in microseconds — plus "M"
+// process_name metadata for named pid lanes.
 type traceEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat,omitempty"`
@@ -211,12 +310,22 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	file := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	if t != nil {
 		t.mu.Lock()
+		for _, pid := range sortedPIDs(t.procs) {
+			file.TraceEvents = append(file.TraceEvents, traceEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]string{"name": t.procs[pid]},
+			})
+		}
 		for _, r := range t.spans {
+			pid := r.pid
+			if pid == 0 {
+				pid = LocalPID
+			}
 			ev := traceEvent{
 				Name: r.name, Cat: r.cat, Ph: "X",
 				TS:  float64(r.start.Nanoseconds()) / 1e3,
 				Dur: float64(r.dur.Nanoseconds()) / 1e3,
-				PID: 1, TID: r.tid,
+				PID: pid, TID: r.tid,
 			}
 			if len(r.args) > 0 {
 				ev.Args = make(map[string]string, len(r.args))
@@ -230,4 +339,14 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(file)
+}
+
+// sortedPIDs returns the named pid lanes in ascending order.
+func sortedPIDs(procs map[int]string) []int {
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	return pids
 }
